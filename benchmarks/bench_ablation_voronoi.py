@@ -1,0 +1,62 @@
+"""Ablation E: Monte Carlo sampling vs deterministic Voronoi weighting.
+
+The paper estimates U by repeated random time draws. Its infinite-draw
+limit weights each sample by its 1-D Voronoi cell — deterministic, exact in
+expectation, and cheaper. This bench quantifies all three claims: accuracy
+against ground truth, run-to-run variance, and wall-clock time.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import AutoSens, AutoSensConfig, compare_to_truth
+from repro.viz import format_table
+from repro.workload import owa_scenario
+from repro.workload.preference import paper_curve
+
+
+def test_voronoi_ablation(benchmark):
+    def run():
+        result = owa_scenario(seed=11, duration_days=8.0, n_users=450,
+                              candidates_per_user_day=150.0).generate()
+        logs = result.logs
+        truth = paper_curve("SelectMail", "business")
+        out = {}
+        for estimator in ("sampling", "voronoi"):
+            t0 = time.perf_counter()
+            values = []
+            for seed in (1, 2, 3, 4):
+                engine = AutoSens(AutoSensConfig(
+                    seed=seed, unbiased_estimator=estimator))
+                curve = engine.preference_curve(
+                    logs, action="SelectMail", user_class="business")
+                values.append(float(curve.at(1000.0)))
+            elapsed = (time.perf_counter() - t0) / 4.0
+            report = compare_to_truth(
+                curve, lambda lat: truth.normalized(lat),
+                anchor_latencies=(500.0, 1000.0))
+            out[estimator] = {
+                "mean_at_1000": float(np.mean(values)),
+                "seed_spread": float(np.max(values) - np.min(values)),
+                "anchor_error": report.mean_abs_error,
+                "seconds": elapsed,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Ablation E: unbiased estimator variant")
+    rows = []
+    for estimator, stats in results.items():
+        rows.append([estimator, stats["mean_at_1000"], stats["seed_spread"],
+                     stats["anchor_error"], stats["seconds"]])
+    print(format_table(
+        ["estimator", "NLP(1000) mean", "cross-seed spread",
+         "mean anchor error", "sec/curve"], rows,
+    ))
+
+    assert results["voronoi"]["seed_spread"] < 1e-12  # fully deterministic
+    assert results["voronoi"]["anchor_error"] <= results["sampling"]["anchor_error"] + 0.02
+    assert results["voronoi"]["seconds"] <= results["sampling"]["seconds"]

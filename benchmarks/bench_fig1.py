@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 1 (see repro.analysis)."""
+
+
+def test_fig1(run_paper_experiment):
+    run_paper_experiment("fig1")

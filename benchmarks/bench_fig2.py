@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 2 (see repro.analysis)."""
+
+
+def test_fig2(run_paper_experiment):
+    run_paper_experiment("fig2")

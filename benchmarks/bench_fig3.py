@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 3 (see repro.analysis)."""
+
+
+def test_fig3(run_paper_experiment):
+    run_paper_experiment("fig3")

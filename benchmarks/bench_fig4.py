@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 4 (see repro.analysis)."""
+
+
+def test_fig4(run_paper_experiment):
+    run_paper_experiment("fig4")

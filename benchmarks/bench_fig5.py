@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 5 (see repro.analysis)."""
+
+
+def test_fig5(run_paper_experiment):
+    run_paper_experiment("fig5")

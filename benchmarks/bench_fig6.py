@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 6 (see repro.analysis)."""
+
+
+def test_fig6(run_paper_experiment):
+    run_paper_experiment("fig6")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 7 (see repro.analysis)."""
+
+
+def test_fig7(run_paper_experiment):
+    run_paper_experiment("fig7")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 8 (see repro.analysis)."""
+
+
+def test_fig8(run_paper_experiment):
+    run_paper_experiment("fig8")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's Figure 9 (see repro.analysis)."""
+
+
+def test_fig9(run_paper_experiment):
+    run_paper_experiment("fig9")

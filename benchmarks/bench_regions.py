@@ -1,0 +1,5 @@
+"""Extension bench: per-region (multi-timezone) analysis."""
+
+
+def test_regions(run_paper_experiment):
+    run_paper_experiment("regions")

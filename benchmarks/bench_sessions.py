@@ -1,0 +1,5 @@
+"""Extension bench: session-level latency sensitivity (paper Section 2.1 intuition)."""
+
+
+def test_sessions(run_paper_experiment):
+    run_paper_experiment("sessions")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate the paper's Table 1 worked example (exact)."""
+
+
+def test_table1(run_paper_experiment):
+    outcome = run_paper_experiment("table1")
+    assert len(outcome.checks) == 9

@@ -1,0 +1,48 @@
+"""Extension bench: bootstrap confidence bands and curve separation.
+
+The paper's Figure 5 claims business users are more latency-sensitive than
+consumers. With day-block bootstrap bands we can ask whether that gap is
+resolved beyond resampling noise at reproduction scale.
+"""
+
+from repro.core import AutoSensConfig
+from repro.core.uncertainty import nlp_confidence_band
+from repro.viz import format_table
+from repro.workload import owa_scenario
+
+
+def test_confidence_bands(benchmark):
+    def run():
+        result = owa_scenario(seed=11, duration_days=8.0, n_users=450,
+                              candidates_per_user_day=150.0).generate()
+        config = AutoSensConfig(seed=3)
+        bands = {}
+        for user_class in ("business", "consumer"):
+            bands[user_class] = nlp_confidence_band(
+                result.logs, config, n_resamples=16, rng=5,
+                action="SelectMail", user_class=user_class,
+            )
+        return bands
+
+    bands = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Day-block bootstrap bands (90%), SelectMail")
+    rows = []
+    for user_class, band in bands.items():
+        for probe in (500.0, 1000.0):
+            low, high = band.band_at(probe)
+            rows.append([user_class, f"{probe:.0f} ms",
+                         float(band.point.at(probe)), low, high])
+    print(format_table(["class", "latency", "point", "band low", "band high"],
+                       rows))
+
+    business = bands["business"]
+    consumer = bands["consumer"]
+    separated = business.separated_from(consumer, 1000.0)
+    print(f"business/consumer bands separated at 1000 ms: {separated}")
+
+    for band in bands.values():
+        assert band.halfwidth_at(500.0) < 0.1
+    # The class gap should at least point the right way, bands or not.
+    assert float(business.point.at(1000.0)) < float(consumer.point.at(1000.0))

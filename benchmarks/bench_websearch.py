@@ -1,0 +1,48 @@
+"""Extension bench: AutoSens on a non-sticky (web-search) service.
+
+Paper Section 4 argues the method applies beyond sticky services like
+email. Here the ground truth makes search users far less tolerant, and the
+pipeline must recover that contrast against the email baseline.
+"""
+
+import numpy as np
+
+from repro.core import AutoSens, AutoSensConfig, compare_to_truth
+from repro.viz import format_table
+from repro.workload import owa_scenario, websearch_scenario
+
+
+def test_websearch_extension(benchmark):
+    def run():
+        search = websearch_scenario(seed=99, duration_days=6.0, n_users=400,
+                                    candidates_per_user_day=140.0)
+        search_result = search.generate()
+        email_result = owa_scenario(seed=99, duration_days=6.0, n_users=400,
+                                    candidates_per_user_day=140.0).generate()
+        engine = AutoSens(AutoSensConfig(seed=9))
+        query = engine.preference_curve(search_result.logs, action="Query")
+        select = engine.preference_curve(email_result.logs,
+                                         action="SelectMail",
+                                         user_class="business")
+        truth = search.ground_truth.curve_for("Query", "consumer")
+        report = compare_to_truth(query, lambda lat: truth.normalized(lat),
+                                  anchor_latencies=(500.0, 1000.0))
+        return query, select, report
+
+    query, select, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Extension: non-sticky web-search service vs sticky email")
+    rows = []
+    for probe in (500.0, 1000.0):
+        rows.append([f"{probe:.0f} ms",
+                     float(query.at(probe)), float(select.at(probe))])
+    print(format_table(["latency", "search Query NLP", "email SelectMail NLP"],
+                       rows))
+    print("Query recovery: " + "; ".join(
+        f"{a.latency_ms:.0f}ms measured {a.measured:.3f} vs truth {a.expected:.3f}"
+        for a in report.anchors))
+
+    # Search users must be clearly less tolerant than email users.
+    assert float(query.at(1000.0)) < float(select.at(1000.0)) - 0.05
+    assert report.max_abs_error < 0.12

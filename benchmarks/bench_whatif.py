@@ -1,0 +1,65 @@
+"""Extension bench: passive what-if predictions vs a simulated A/B test.
+
+The paper's pitch is replacing interventional latency studies (Amazon,
+Google, Akamai) with passive inference. On the simulator we can close the
+loop: predict the activity change of a 20 % latency improvement from the
+measured NLP curve alone, then actually run the improved service (same
+seed, same candidate stream) and compare.
+"""
+
+from dataclasses import replace
+
+from repro.core import AutoSens, AutoSensConfig, predict_activity_impact, scale
+from repro.viz import format_table
+from repro.workload import TelemetryGenerator, owa_scenario
+
+SPEEDUPS = (0.9, 0.8, 0.67)
+
+
+def test_whatif_vs_simulated_ab(benchmark):
+    def run():
+        scenario = owa_scenario(seed=11, duration_days=8.0, n_users=450,
+                                candidates_per_user_day=150.0)
+        baseline = scenario.generate()
+        engine = AutoSens(AutoSensConfig(seed=3))
+        curve = engine.preference_curve(baseline.logs, action="SelectMail",
+                                        user_class="business")
+        n_baseline = len(baseline.logs.where(action="SelectMail",
+                                             user_class="business"))
+        rows = []
+        for factor in SPEEDUPS:
+            predicted = predict_activity_impact(curve, scale(factor))
+            faster_config = replace(
+                scenario.config,
+                latency=replace(scenario.config.latency,
+                                base_ms=scenario.config.latency.base_ms * factor),
+            )
+            faster = TelemetryGenerator(
+                config=faster_config,
+                ground_truth=scenario.ground_truth,
+                action_mix=scenario.action_mix,
+                activity_model=scenario.activity_model,
+            ).generate(rng=11)
+            n_faster = len(faster.logs.where(action="SelectMail",
+                                             user_class="business"))
+            simulated = (n_faster / n_baseline - 1.0) * 100.0
+            rows.append([f"x{factor:g}", predicted.activity_change_pct,
+                         simulated,
+                         predicted.activity_change_pct - simulated])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("What-if predictions vs simulated interventions (SelectMail, business)")
+    print(format_table(
+        ["latency scale", "predicted Δactivity %", "simulated Δactivity %",
+         "prediction error pp"], rows,
+    ))
+
+    for row in rows:
+        predicted, simulated = row[1], row[2]
+        # prediction and intervention must agree in sign...
+        assert predicted * simulated > 0, row
+        # ...and within a few percentage points
+        assert abs(predicted - simulated) < 3.0, row

@@ -1,0 +1,54 @@
+"""Benchmark harness helpers.
+
+Each ``bench_*`` module regenerates one paper artifact (figure or table) at
+full scale, times it with pytest-benchmark, prints the paper-vs-measured
+report, asserts the qualitative checks, and exports the underlying series
+to ``benchmarks/output/``.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import FULL, run_experiment
+from repro.viz import save_series_csv
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+warnings.filterwarnings("ignore")
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def run_paper_experiment(benchmark, output_dir):
+    """Time one experiment end-to-end, report it, and assert its checks."""
+
+    def runner(experiment_id: str, seed: int | None = None):
+        outcome = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, seed=seed, scale=FULL),
+            rounds=1, iterations=1,
+        )
+        print()
+        print(outcome.render(include_plots=True))
+        for name, series in outcome.series.items():
+            safe = name.replace("/", "-").replace(" ", "_")
+            try:
+                save_series_csv(series, output_dir / f"{safe}.csv")
+            except Exception:
+                pass  # non-tabular series (mixed lengths) are skipped
+        assert outcome.passed, "qualitative checks failed:\n" + "\n".join(
+            f"  [FAIL] {c.name}: {c.detail}" for c in outcome.checks if not c.passed
+        )
+        return outcome
+
+    return runner

@@ -1,0 +1,86 @@
+"""Warehouse-scale patterns: chunked processing and aggregate exchange.
+
+Two production workflows the in-memory quickstart doesn't cover:
+
+1. **Streaming** — telemetry too large for memory is processed in
+   day-sized chunks whose sufficient statistics merge exactly; the final
+   curve matches the batch computation.
+2. **Aggregate exchange** — a service operator exports only the
+   per-(time-slot, latency-bin) tables (no user ids, no timestamps, no
+   content); an analyst computes the NLP curve from the table alone.
+
+Run:  python examples/streaming_and_aggregates.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    AutoSens,
+    AutoSensConfig,
+    StreamingAutoSens,
+    curve_from_counts,
+    iter_chunks_by_day,
+    load_counts,
+    save_counts,
+)
+from repro.core.alpha import slotted_counts
+from repro.viz import format_table
+from repro.workload import owa_scenario
+
+SEED = 42
+
+
+def main() -> None:
+    result = owa_scenario(seed=SEED, duration_days=6.0, n_users=350,
+                          candidates_per_user_day=130.0).generate()
+    sliced = result.logs.where(action="SelectMail", user_class="business")
+    config = AutoSensConfig(seed=SEED)
+
+    # Reference: the all-in-memory batch computation.
+    batch = AutoSens(config).preference_curve(
+        result.logs, action="SelectMail", user_class="business")
+
+    # 1. Streaming: one day at a time, as a log pipeline would deliver it.
+    stream = StreamingAutoSens(AutoSensConfig(seed=SEED))
+    n_chunks = 0
+    for chunk in iter_chunks_by_day(sliced, days_per_chunk=1.0):
+        stream.consume(chunk.successful(),
+                       description="action=SelectMail, class=business")
+        n_chunks += 1
+    streamed = stream.preference_curve()
+    print(f"consumed {n_chunks} day-chunks, {stream.n_rows} rows total")
+
+    # 2. Aggregate exchange: export a table, reload it, analyze it.
+    counts = slotted_counts(
+        sliced, config.bins(),
+        n_unbiased_samples=3 * len(sliced), rng=SEED,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        table_path = Path(tmp) / "selectmail_counts.json"
+        save_counts(counts, table_path)
+        size_kb = table_path.stat().st_size / 1024.0
+        print(f"exported sufficient statistics: {size_kb:.0f} KiB "
+              f"(vs ~{len(sliced) * 120 / 1e6:.0f} MB of raw rows)")
+        from_table = curve_from_counts(load_counts(table_path), config,
+                                       slice_description="from aggregates")
+
+    rows = []
+    for probe in (500.0, 800.0, 1000.0):
+        rows.append([
+            f"{probe:.0f} ms",
+            float(batch.at(probe)),
+            float(streamed.at(probe)),
+            float(from_table.at(probe)),
+        ])
+    print(format_table(
+        ["latency", "batch NLP", "streamed NLP", "aggregate NLP"], rows,
+    ))
+    print("all three paths agree to within estimator noise; the aggregate "
+          "file contains no user identifiers or raw timestamps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Replaying a recorded latency trace through the simulator.
+
+If you have your service's latency history (per-minute medians from any
+monitoring system), you can drive the synthetic user population with it —
+"what would AutoSens see on *our* latency weather?" — and check how well
+the pipeline would recover a hypothesized preference curve at your data
+volume.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import AutoSens, AutoSensConfig, compare_to_truth
+from repro.workload import (
+    generate_from_trace,
+    read_level_trace,
+    write_level_trace,
+)
+from repro.workload.latency_model import LatencyModel
+from repro.workload.preference import paper_curve
+
+SEED = 4
+
+
+def main() -> None:
+    # Stand-in for a real monitoring export: a 3-day level path written to
+    # the trace CSV format at 1-minute resolution.
+    recorded = LatencyModel().sample_grid(3 * 86400.0, rng=9)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "service_latency.csv"
+        rows = write_level_trace(recorded, path, stride=6)
+        print(f"trace file: {rows} one-minute samples "
+              f"({path.stat().st_size / 1024:.0f} KiB)")
+
+        trace = read_level_trace(path)
+        result = generate_from_trace(trace, seed=SEED)
+
+    print(f"replayed {len(result.logs)} actions against the recorded trace")
+    engine = AutoSens(AutoSensConfig(seed=1))
+    curve = engine.preference_curve(result.logs, action="SelectMail",
+                                    user_class="business")
+    truth = paper_curve("SelectMail", "business")
+    report = compare_to_truth(curve, lambda lat: truth.normalized(lat),
+                              anchor_latencies=(500.0, 1000.0))
+    for anchor in report.anchors:
+        print(f"  {anchor.latency_ms:6.0f} ms: measured {anchor.measured:.3f}"
+              f" vs assumed truth {anchor.expected:.3f}")
+    print("note: a 1-minute trace coarsens the level process (the built-in "
+          "grid is 10 s), which slightly attenuates the recovered curve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Common experiment-driver machinery.
+
+Every paper figure/table gets a driver function producing an
+:class:`ExperimentOutcome` — a renderable bundle of tables, text plots,
+qualitative checks, and paper-vs-measured rows. Benchmarks, the CLI and the
+EXPERIMENTS.md generator all consume the same outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.viz.table import format_table
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload scale knobs shared by all experiment drivers."""
+
+    duration_days: float
+    n_users: int
+    candidates_per_user_day: float
+
+    def scaled(self, factor: float) -> "Scale":
+        return Scale(
+            duration_days=self.duration_days,
+            n_users=max(4, int(self.n_users * factor)),
+            candidates_per_user_day=self.candidates_per_user_day,
+        )
+
+
+#: Quick scale for unit/integration tests.
+SMALL = Scale(duration_days=3.0, n_users=150, candidates_per_user_day=60.0)
+#: Full scale for benchmark runs (a few hundred thousand actions).
+FULL = Scale(duration_days=10.0, n_users=500, candidates_per_user_day=150.0)
+
+
+@dataclass
+class Check:
+    """A named qualitative pass/fail with supporting detail."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ExperimentOutcome:
+    """Everything an experiment produces, ready to render."""
+
+    experiment_id: str
+    title: str
+    description: str = ""
+    tables: List[Tuple[str, Sequence[str], List[Sequence]]] = field(default_factory=list)
+    plots: List[str] = field(default_factory=list)
+    series: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    checks: List[Check] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def add_table(self, caption: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+        self.tables.append((caption, list(headers), rows))
+
+    def add_check(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(name=name, passed=bool(passed), detail=detail))
+
+    def render(self, include_plots: bool = True) -> str:
+        """Full text report."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.description:
+            lines.append(self.description)
+        for caption, headers, rows in self.tables:
+            lines.append("")
+            lines.append(caption)
+            lines.append(format_table(headers, rows))
+        if include_plots:
+            for plot in self.plots:
+                lines.append("")
+                lines.append(plot)
+        if self.checks:
+            lines.append("")
+            lines.append("Checks:")
+            for check in self.checks:
+                status = "PASS" if check.passed else "FAIL"
+                detail = f" — {check.detail}" if check.detail else ""
+                lines.append(f"  [{status}] {check.name}{detail}")
+        for note in self.notes:
+            lines.append(f"Note: {note}")
+        return "\n".join(lines)
+
+
+def nlp_rows(curves: Dict[str, "PreferenceResult"], latencies: Sequence[float]) -> List[List]:
+    """Tabulate NLP(L) for several labelled curves at probe latencies."""
+    rows = []
+    for label, curve in curves.items():
+        row: List = [label]
+        for latency in latencies:
+            try:
+                value = float(curve.at(float(latency)))
+            except Exception:
+                value = float("nan")
+            row.append(None if np.isnan(value) else value)
+        rows.append(row)
+    return rows

@@ -1,0 +1,60 @@
+"""The experiment registry: every paper figure/table, runnable by id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.analysis.base import FULL, SMALL, ExperimentOutcome, Scale
+from repro.analysis.bottleneck import run_bottleneck
+from repro.analysis.fig_locality import run_fig1, run_fig2
+from repro.analysis.fig_methodology import run_fig3, run_table1
+from repro.analysis.fig_preferences import run_fig4, run_fig5, run_fig6
+from repro.analysis.fig_time import run_fig7, run_fig8, run_fig9
+from repro.analysis.regions_ext import run_regions
+from repro.analysis.sessions_ext import run_sessions
+from repro.errors import ConfigError
+
+#: Every experiment, in the paper's presentation order. Values take
+#: ``(seed, scale)`` keyword arguments except table1 (deterministic).
+EXPERIMENTS: Dict[str, Callable[..., ExperimentOutcome]] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "table1": lambda seed=0, scale=FULL: run_table1(),
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "bottleneck": run_bottleneck,
+    "sessions": run_sessions,
+    "regions": run_regions,
+}
+
+
+def run_experiment(
+    experiment_id: str,
+    seed: int | None = None,
+    scale: Scale | str = FULL,
+) -> ExperimentOutcome:
+    """Run one experiment by id (e.g. ``"fig4"``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        )
+    if isinstance(scale, str):
+        scale = {"small": SMALL, "full": FULL}.get(scale)
+        if scale is None:
+            raise ConfigError("scale must be 'small', 'full', or a Scale")
+    kwargs = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    kwargs["scale"] = scale
+    return EXPERIMENTS[experiment_id](**kwargs)
+
+
+def run_all(seed: int | None = None, scale: Scale | str = FULL) -> List[ExperimentOutcome]:
+    """Run every registered experiment in order."""
+    return [run_experiment(eid, seed=seed, scale=scale) for eid in EXPERIMENTS]

@@ -1,0 +1,145 @@
+"""Drivers for Figure 1 (MSD/MAD locality) and Figure 2 (activity vs latency)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.base import FULL, ExperimentOutcome, Scale
+from repro.core import AutoSens, AutoSensConfig
+from repro.viz.ascii_plot import bar_chart, line_plot
+from repro.workload import owa_scenario
+
+
+def run_fig1(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 1: MSD/MAD of the latency series vs shuffled and sorted.
+
+    Paper expectation: the actual series sits far below the shuffled
+    extreme (≈1) and well above the sorted extreme (≈0) — latency is
+    locally predictable.
+    """
+    result = owa_scenario(
+        seed=seed,
+        duration_days=scale.duration_days,
+        n_users=scale.n_users,
+        candidates_per_user_day=scale.candidates_per_user_day,
+    ).generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+    comparison = engine.locality(result.logs)
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig1",
+        title="MSD/MAD locality of the latency time series",
+        description=(
+            "Compares the mean successive difference / mean absolute "
+            "difference ratio of the observed latency series against its "
+            "randomly shuffled and fully sorted extremes (paper Fig. 1)."
+        ),
+    )
+    outcome.add_table(
+        "MSD/MAD ratio",
+        ["series", "msd/mad"],
+        [
+            ["actual", comparison.actual],
+            ["shuffled", comparison.shuffled],
+            ["sorted", comparison.sorted],
+        ],
+    )
+    outcome.plots.append(bar_chart(
+        {"actual": comparison.actual,
+         "shuffled": comparison.shuffled,
+         "sorted": comparison.sorted},
+        title="MSD/MAD ratio (lower = more locality)",
+    ))
+    outcome.series["fig1"] = {
+        "series": np.array(["actual", "shuffled", "sorted"], dtype=object),
+        "msd_mad": np.array(
+            [comparison.actual, comparison.shuffled, comparison.sorted]
+        ),
+    }
+    outcome.add_check(
+        "actual well below shuffled",
+        comparison.actual < 0.8 * comparison.shuffled,
+        f"actual={comparison.actual:.3f}, shuffled={comparison.shuffled:.3f}",
+    )
+    outcome.add_check(
+        "shuffled near 1",
+        0.9 < comparison.shuffled < 1.1,
+        f"shuffled={comparison.shuffled:.3f}",
+    )
+    outcome.add_check(
+        "sorted near 0",
+        comparison.sorted < 0.05,
+        f"sorted={comparison.sorted:.4f}",
+    )
+    return outcome
+
+
+def run_fig2(seed: int = 11, scale: Scale = FULL, plot_days: float = 2.0) -> ExperimentOutcome:
+    """Figure 2: normalized latency level and activity rate over two days.
+
+    Paper expectation: periods of low latency show a higher rate of user
+    activity. On the synthetic workload the *raw* per-minute correlation is
+    confounded by the diurnal cycle (busy hours are both slower and more
+    active — the very problem Section 2.4.1 addresses); the within-hour
+    (detrended) correlation is clearly negative.
+    """
+    result = owa_scenario(
+        seed=seed,
+        duration_days=scale.duration_days,
+        n_users=scale.n_users,
+        candidates_per_user_day=scale.candidates_per_user_day,
+    ).generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+    series = engine.density_series(result.logs, window_seconds=60.0)
+
+    raw = series.pearson_correlation
+    detrended = series.detrended_correlation()
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig2",
+        title="Latency level vs rate of user activity (2-day window)",
+        description=(
+            "Per-minute action counts against per-minute mean latency "
+            "(paper Fig. 2; axes normalized)."
+        ),
+    )
+    # Clip to the first plot_days for the visual, smooth over 15-min bins.
+    n = min(int(plot_days * 24 * 60), series.window_starts.size)
+    counts, lats = series.normalized()
+    stride = 15
+    t_hours = series.window_starts[:n:stride] / 3600.0
+
+    def block_mean(x: np.ndarray) -> np.ndarray:
+        blocks = [x[i : i + stride] for i in range(0, n, stride)]
+        return np.array([np.nanmean(b) if np.any(~np.isnan(b)) else np.nan for b in blocks])
+
+    outcome.plots.append(line_plot(
+        {"activity": (t_hours, block_mean(counts)),
+         "latency": (t_hours, block_mean(lats))},
+        title="normalized activity (o) and latency (x) vs hour",
+        x_label="hours",
+    ))
+    outcome.add_table(
+        "Density-latency correlation over 1-minute windows",
+        ["measure", "value"],
+        [["raw Pearson", raw],
+         ["raw Spearman", series.spearman_correlation],
+         ["detrended (within-hour) Pearson", detrended]],
+    )
+    outcome.series["fig2"] = {
+        "window_start_s": series.window_starts[:n],
+        "action_count": series.action_counts[:n],
+        "mean_latency_ms": series.mean_latency_ms[:n],
+    }
+    outcome.add_check(
+        "within-hour correlation negative (activity drops when latency spikes)",
+        detrended < -0.1,
+        f"detrended={detrended:.3f}",
+    )
+    outcome.notes.append(
+        "The raw correlation mixes in the diurnal confounder "
+        f"(raw={raw:+.3f}); the detrended value isolates the preference effect."
+    )
+    return outcome

@@ -1,0 +1,188 @@
+"""Drivers for Figure 3 (methodology overview) and Table 1 (α example)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.base import FULL, ExperimentOutcome, Scale
+from repro.core import AutoSens, AutoSensConfig, draw_unbiased_samples, worked_example
+from repro.core.biased import biased_histogram
+from repro.core.preference import PreferenceComputer
+from repro.core.unbiased import unbiased_histogram
+from repro.stats.histogram import latency_bins
+from repro.viz.ascii_plot import line_plot
+from repro.workload import owa_scenario
+
+
+def run_fig3(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 3: (a) the unbiased draw, (b) B and U PDFs, (c) raw+smoothed B/U."""
+    result = owa_scenario(
+        seed=seed,
+        duration_days=scale.duration_days,
+        n_users=scale.n_users,
+        candidates_per_user_day=scale.candidates_per_user_day,
+    ).generate()
+    # Restrict the illustration to business hours (10:00-16:00 local): the
+    # activity factor is nearly constant there, so the raw B-vs-U contrast
+    # shows the preference effect rather than the time confounder (which
+    # the full pipeline removes via alpha; see fig4+).
+    all_logs = result.logs.where(action="SelectMail")
+    hours = (all_logs.times % 86400.0) / 3600.0
+    logs = all_logs.filter((hours >= 10.0) & (hours < 16.0))
+    bins = latency_bins(3000.0, 10.0)
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig3",
+        title="AutoSens methodology overview",
+        description=(
+            "(a) random times select nearest latency samples; (b) the "
+            "resulting biased (B) and unbiased (U) PDFs; (c) the latency "
+            "preference B/U, raw and Savitzky-Golay smoothed (paper Fig. 3). "
+            "Data restricted to 10:00-16:00 so the raw illustration is free "
+            "of the time confounder."
+        ),
+    )
+
+    # (a) a 30-minute zoom of the sampling procedure, anchored at the
+    # median action time (guaranteed to land inside the analyzed hours).
+    draw = draw_unbiased_samples(logs, n_samples=3 * len(logs), rng=seed)
+    t0 = float(np.median(logs.times))
+    t1 = t0 + 1800.0
+    in_zoom = (draw.sample_times >= t0) & (draw.sample_times < t1)
+    sel_times = draw.sample_times[draw.selected_indices]
+    sel_lat = draw.selected_latencies
+    sel_zoom = (sel_times >= t0) & (sel_times < t1)
+    outcome.plots.append(line_plot(
+        {"samples": ((draw.sample_times[in_zoom] - t0) / 60.0,
+                     draw.sample_latencies[in_zoom]),
+         "selected": ((sel_times[sel_zoom] - t0) / 60.0, sel_lat[sel_zoom])},
+        title="(a) latency samples (o) and unbiased selections (x), 30 min",
+        x_label="minutes",
+        y_label="latency ms",
+    ))
+    outcome.series["fig3a"] = {
+        "sample_time_s": draw.sample_times[in_zoom],
+        "sample_latency_ms": draw.sample_latencies[in_zoom],
+    }
+
+    # (b) B and U PDFs.
+    biased = biased_histogram(logs, bins)
+    unbiased = unbiased_histogram(logs, bins, n_samples=3 * len(logs), rng=seed + 1)
+    b_pdf = biased.pdf()
+    u_pdf = unbiased.pdf()
+    centers = bins.centers
+    show = centers <= 1500.0
+    outcome.plots.append(line_plot(
+        {"B (biased)": (centers[show], b_pdf[show]),
+         "U (unbiased)": (centers[show], u_pdf[show])},
+        title="(b) biased vs unbiased latency PDFs",
+        x_label="latency ms",
+        y_label="density",
+    ))
+    outcome.series["fig3b"] = {
+        "latency_ms": centers,
+        "biased_pdf": b_pdf,
+        "unbiased_pdf": u_pdf,
+    }
+
+    # (c) raw and smoothed preference.
+    computer = PreferenceComputer()
+    pref = computer.compute(biased, unbiased, slice_description="SelectMail")
+    outcome.plots.append(line_plot(
+        {"raw": (centers[show], pref.raw_ratio[show]),
+         "smoothed": (centers[show], pref.smoothed_ratio[show])},
+        title="(c) latency preference B/U, raw and smoothed",
+        x_label="latency ms",
+        y_label="B/U",
+    ))
+    outcome.series["fig3c"] = pref.series()
+
+    # Sanity checks on the methodology pieces.
+    median_b = biased.quantile(0.5)
+    median_u = unbiased.quantile(0.5)
+    outcome.add_table(
+        "Distribution summaries",
+        ["distribution", "median ms", "mean ms"],
+        [["B (biased)", median_b, biased.mean()],
+         ["U (unbiased)", median_u, unbiased.mean()]],
+    )
+    outcome.add_check(
+        "biased distribution shifted toward lower latency than unbiased",
+        median_b < median_u,
+        f"median B={median_b:.0f} ms vs U={median_u:.0f} ms",
+    )
+    raw_valid = ~np.isnan(pref.raw_ratio)
+    smooth_valid = ~np.isnan(pref.smoothed_ratio)
+    raw_var = float(np.nanstd(np.diff(pref.raw_ratio[raw_valid])))
+    smooth_var = float(np.nanstd(np.diff(pref.smoothed_ratio[smooth_valid])))
+    outcome.add_check(
+        "smoothing reduces bin-to-bin noise",
+        smooth_var < raw_var,
+        f"raw step sd={raw_var:.3f}, smoothed={smooth_var:.3f}",
+    )
+    return outcome
+
+
+def run_table1() -> ExperimentOutcome:
+    """Table 1: the paper's worked day/night normalization example.
+
+    This driver is fully deterministic — it reruns the arithmetic of the
+    paper's example and compares every intermediate value.
+    """
+    example = worked_example()
+    outcome = ExperimentOutcome(
+        experiment_id="table1",
+        title="Time-confounder normalization worked example",
+        description=(
+            "Two time slots (day = reference, night) and two latency bins "
+            "(low, high); reproduces every number in the paper's Table 1."
+        ),
+    )
+    paper = {
+        "alpha_low": 0.108,
+        "alpha_high": 0.100,
+        "alpha": 0.104,
+        "normalized_low": 250.0,
+        "normalized_high": 38.0,
+        "corrected_low": 3.09,
+        "corrected_high": 1.97,
+        "naive_low": 1.05,   # the paper prints 1.04 via a typo: (90+24) for (90+26)
+        "naive_high": 1.60,
+    }
+    measured = {
+        "alpha_low": example.alpha_per_bin["low"],
+        "alpha_high": example.alpha_per_bin["high"],
+        "alpha": example.alpha,
+        "normalized_low": example.normalized_counts["low"],
+        "normalized_high": example.normalized_counts["high"],
+        "corrected_low": example.corrected_rates["low"],
+        "corrected_high": example.corrected_rates["high"],
+        "naive_low": example.naive_rates["low"],
+        "naive_high": example.naive_rates["high"],
+    }
+    rows = [
+        [key, paper[key], measured[key], measured[key] - paper[key]]
+        for key in paper
+    ]
+    outcome.add_table(
+        "Paper vs computed",
+        ["quantity", "paper", "computed", "difference"],
+        rows,
+    )
+    tolerances = {
+        "alpha_low": 0.001, "alpha_high": 0.001, "alpha": 0.001,
+        "normalized_low": 1.0, "normalized_high": 1.0,
+        "corrected_low": 0.01, "corrected_high": 0.02,
+        "naive_low": 0.02, "naive_high": 0.01,
+    }
+    for key, tolerance in tolerances.items():
+        outcome.add_check(
+            f"{key} within {tolerance}",
+            abs(measured[key] - paper[key]) <= tolerance,
+            f"paper={paper[key]}, computed={measured[key]:.4f}",
+        )
+    outcome.notes.append(
+        "The paper's naive low-latency rate (1.04) uses 24 where the table "
+        "says 26 — with 26 the value is 1.05, which we treat as correct."
+    )
+    return outcome

@@ -1,0 +1,217 @@
+"""Drivers for Figures 4 (action types), 5 (user classes), 6 (quartiles)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.base import FULL, ExperimentOutcome, Scale, nlp_rows
+from repro.core import AutoSens, AutoSensConfig, compare_to_truth, monotone_ordering
+from repro.core.quartiles import QUARTILE_NAMES, assign_quartiles
+from repro.types import ALL_ACTION_TYPES, ActionType, UserClass
+from repro.viz.ascii_plot import line_plot
+from repro.workload import conditioning_scenario, owa_scenario
+from repro.workload.preference import paper_curve
+
+PROBE_LATENCIES = (500.0, 1000.0, 1500.0, 2000.0)
+
+
+def _curve_plot(curves: Dict[str, "PreferenceResult"], title: str) -> str:
+    series = {}
+    for label, curve in curves.items():
+        mask = curve.valid & (curve.latencies <= 2000.0)
+        series[label] = (curve.latencies[mask], curve.nlp[mask])
+    return line_plot(series, title=title, x_label="latency ms",
+                     y_label="normalized latency preference")
+
+
+def run_fig4(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 4: NLP per action type, business users, reference 300 ms.
+
+    Paper expectation: SelectMail drops most sharply, then SwitchFolder;
+    Search is flatter (users tolerate slow search); ComposeSend is nearly
+    flat (asynchronous send). SelectMail anchors: 0.88/0.68/0.61 at
+    500/1000/1500 ms.
+    """
+    result = owa_scenario(
+        seed=seed,
+        duration_days=scale.duration_days,
+        n_users=scale.n_users,
+        candidates_per_user_day=scale.candidates_per_user_day,
+    ).generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+    curves = engine.curves_by_action(
+        result.logs,
+        actions=list(ALL_ACTION_TYPES),
+        user_class=UserClass.BUSINESS,
+    )
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig4",
+        title="Normalized latency preference across action types",
+        description="Business users, reference latency 300 ms (paper Fig. 4).",
+    )
+    outcome.add_table(
+        "NLP at probe latencies",
+        ["action"] + [f"{int(latency)} ms" for latency in PROBE_LATENCIES],
+        nlp_rows(curves, PROBE_LATENCIES),
+    )
+    expected_rows = []
+    for action in ALL_ACTION_TYPES:
+        truth = paper_curve(action, UserClass.BUSINESS)
+        expected_rows.append(
+            [action.value]
+            + [float(truth.normalized(np.asarray([latency]))[0])
+               for latency in PROBE_LATENCIES]
+        )
+    outcome.add_table(
+        "Ground truth (paper-derived anchors)",
+        ["action"] + [f"{int(latency)} ms" for latency in PROBE_LATENCIES],
+        expected_rows,
+    )
+    outcome.plots.append(_curve_plot(curves, "NLP by action type"))
+    for label, curve in curves.items():
+        outcome.series[f"fig4_{label}"] = curve.series()
+
+    # Qualitative ordering at 1000 ms: SelectMail < SwitchFolder < Search < ComposeSend.
+    ordering = monotone_ordering(curves, at_latency=1000.0)
+    expected_order = [a.value for a in ALL_ACTION_TYPES]
+    outcome.add_check(
+        "sensitivity ordering at 1000 ms (SelectMail steepest ... ComposeSend flat)",
+        ordering == expected_order,
+        f"measured order: {ordering}",
+    )
+    report = compare_to_truth(
+        curves[ActionType.SELECT_MAIL.value],
+        lambda latencies: paper_curve(ActionType.SELECT_MAIL, UserClass.BUSINESS).normalized(latencies),
+        anchor_latencies=(500.0, 1000.0),
+    )
+    outcome.add_check(
+        "SelectMail anchors within 0.08 of paper values (500/1000 ms)",
+        report.passes(0.08),
+        "; ".join(
+            f"{a.latency_ms:.0f}ms: measured {a.measured:.3f} vs paper {a.expected:.3f}"
+            for a in report.anchors
+        ),
+    )
+    compose = curves[ActionType.COMPOSE_SEND.value]
+    outcome.add_check(
+        "ComposeSend nearly flat at 1000 ms",
+        float(compose.at(1000.0)) > 0.9,
+        f"ComposeSend NLP(1000)={float(compose.at(1000.0)):.3f}",
+    )
+    return outcome
+
+
+def run_fig5(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 5: SelectMail NLP for business vs consumer users.
+
+    Paper expectation: the drop-off is sharper for (paying) business users.
+    """
+    result = owa_scenario(
+        seed=seed,
+        duration_days=scale.duration_days,
+        n_users=scale.n_users,
+        candidates_per_user_day=scale.candidates_per_user_day,
+    ).generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+    curves = engine.curves_by_user_class(result.logs, action=ActionType.SELECT_MAIL)
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig5",
+        title="Business vs consumer latency sensitivity (SelectMail)",
+        description="Paper Fig. 5: paying users are less latency-tolerant.",
+    )
+    outcome.add_table(
+        "NLP at probe latencies",
+        ["class"] + [f"{int(latency)} ms" for latency in PROBE_LATENCIES],
+        nlp_rows(curves, PROBE_LATENCIES),
+    )
+    outcome.plots.append(_curve_plot(curves, "SelectMail NLP by user class"))
+    for label, curve in curves.items():
+        outcome.series[f"fig5_{label}"] = curve.series()
+
+    business = float(curves[UserClass.BUSINESS.value].at(1000.0))
+    consumer = float(curves[UserClass.CONSUMER.value].at(1000.0))
+    outcome.add_check(
+        "business users more sensitive than consumers at 1000 ms",
+        business < consumer,
+        f"business NLP={business:.3f} < consumer NLP={consumer:.3f}",
+    )
+    for name, user_class in (("business", UserClass.BUSINESS),
+                             ("consumer", UserClass.CONSUMER)):
+        report = compare_to_truth(
+            curves[user_class.value],
+            lambda latencies, uc=user_class: paper_curve(
+                ActionType.SELECT_MAIL, uc).normalized(latencies),
+            anchor_latencies=(500.0, 1000.0),
+        )
+        outcome.add_check(
+            f"{name} anchors within 0.08 (500/1000 ms)",
+            report.passes(0.08),
+            "; ".join(
+                f"{a.latency_ms:.0f}ms: {a.measured:.3f} vs {a.expected:.3f}"
+                for a in report.anchors
+            ),
+        )
+    return outcome
+
+
+def run_fig6(seed: int = 31, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 6: NLP by per-user median-latency quartile.
+
+    Paper expectation: sensitivity decreases monotonically from Q1
+    (fastest users) to Q4 (slowest) — conditioning to speed.
+    """
+    scenario = conditioning_scenario(
+        seed=seed,
+        duration_days=scale.duration_days,
+        n_users=max(scale.n_users, 400),
+        candidates_per_user_day=scale.candidates_per_user_day,
+    )
+    result = scenario.generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+    curves = engine.curves_by_quartile(result.logs, action=ActionType.SELECT_MAIL)
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig6",
+        title="Conditioning to speed: NLP by median-latency quartile",
+        description=(
+            "Users grouped into quartiles of per-user median latency "
+            "(Q1 fastest); paper Fig. 6."
+        ),
+    )
+    outcome.add_table(
+        "NLP at probe latencies",
+        ["quartile"] + [f"{int(latency)} ms" for latency in PROBE_LATENCIES],
+        nlp_rows(curves, PROBE_LATENCIES),
+    )
+    assignment = assign_quartiles(
+        result.logs.where(action=ActionType.SELECT_MAIL), min_actions_per_user=5
+    )
+    outcome.add_table(
+        "Quartile cut points (median latency)",
+        ["cut", "ms"],
+        [["Q1|Q2", assignment.cuts_ms[0]],
+         ["Q2|Q3", assignment.cuts_ms[1]],
+         ["Q3|Q4", assignment.cuts_ms[2]]],
+    )
+    outcome.plots.append(_curve_plot(curves, "SelectMail NLP by latency quartile"))
+    for label, curve in curves.items():
+        outcome.series[f"fig6_{label}"] = curve.series()
+
+    values = [float(curves[q].at(1000.0)) for q in QUARTILE_NAMES]
+    outcome.add_check(
+        "sensitivity decreases monotonically Q1 -> Q4 at 1000 ms",
+        all(a < b for a, b in zip(values, values[1:])),
+        "NLP(1000) = " + ", ".join(
+            f"{q}:{v:.3f}" for q, v in zip(QUARTILE_NAMES, values)
+        ),
+    )
+    outcome.add_check(
+        "Q1 clearly more sensitive than Q4",
+        values[0] < values[3] - 0.05,
+        f"Q1={values[0]:.3f} vs Q4={values[3]:.3f}",
+    )
+    return outcome

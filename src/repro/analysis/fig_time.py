@@ -1,0 +1,242 @@
+"""Drivers for Figures 7 (time of day), 8 (α profile) and 9 (months)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.base import FULL, ExperimentOutcome, Scale, nlp_rows
+from repro.core import AutoSens, AutoSensConfig
+from repro.types import ALL_DAY_PERIODS, ActionType, DayPeriod, UserClass
+from repro.viz.ascii_plot import line_plot
+from repro.workload import timeofday_scenario, two_month_scenario
+from repro.workload.preference import PERIOD_EXPONENTS, paper_curve
+
+PROBE_LATENCIES = (500.0, 1000.0, 1500.0)
+
+
+def run_fig7(seed: int = 41, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 7: SelectMail NLP for business users across 6-hour periods.
+
+    Paper expectation: preference decreases with latency in every period,
+    with a sharper drop during daytime periods than nighttime ones.
+    """
+    scenario = timeofday_scenario(
+        seed=seed,
+        duration_days=max(scale.duration_days, 14.0),
+        n_users=max(scale.n_users, 600),
+        candidates_per_user_day=scale.candidates_per_user_day,
+    )
+    result = scenario.generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+    curves = engine.curves_by_period(
+        result.logs, action=ActionType.SELECT_MAIL, user_class=UserClass.BUSINESS
+    )
+    pooled = engine.preference_curve(
+        result.logs, action=ActionType.SELECT_MAIL, user_class=UserClass.BUSINESS
+    )
+    curves_with_pooled = dict(curves)
+    curves_with_pooled["pooled (all hours)"] = pooled
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig7",
+        title="Latency sensitivity across times of day (SelectMail, business)",
+        description="Paper Fig. 7: four 6-hour local-time periods.",
+    )
+    outcome.add_table(
+        "NLP at probe latencies",
+        ["period"] + [f"{int(latency)} ms" for latency in PROBE_LATENCIES],
+        nlp_rows(curves_with_pooled, PROBE_LATENCIES),
+    )
+    truth = paper_curve(ActionType.SELECT_MAIL, UserClass.BUSINESS)
+    expected_rows = []
+    for period in ALL_DAY_PERIODS:
+        exponent = PERIOD_EXPONENTS[period]
+        expected_rows.append(
+            [period.value]
+            + [float(truth.normalized(np.asarray([latency]), exponent=exponent)[0])
+               for latency in PROBE_LATENCIES]
+        )
+    outcome.add_table(
+        "Ground-truth per-period curves",
+        ["period"] + [f"{int(latency)} ms" for latency in PROBE_LATENCIES],
+        expected_rows,
+    )
+    series = {}
+    for label, curve in curves_with_pooled.items():
+        mask = curve.valid & (curve.latencies <= 2000.0)
+        series[label] = (curve.latencies[mask], curve.nlp[mask])
+        outcome.series[f"fig7_{label}"] = curve.series()
+    outcome.plots.append(line_plot(series, title="NLP by time of day",
+                                   x_label="latency ms"))
+
+    # Night periods are fast, so their curves can run out of support above
+    # ~1 s; probe at 800 ms (well populated in every period) and clamp any
+    # probe to the curve's valid range.
+    def at_or_edge(curve, latency):
+        lo, hi = curve.valid_range()
+        return float(curve.at(min(max(latency, lo), hi)))
+
+    probe = 800.0
+    day = [at_or_edge(curves[p.value], probe)
+           for p in (DayPeriod.MORNING, DayPeriod.AFTERNOON)]
+    night = [at_or_edge(curves[p.value], probe)
+             for p in (DayPeriod.NIGHT, DayPeriod.LATE_NIGHT)]
+    outcome.add_check(
+        "daytime periods more sensitive than nighttime at 800 ms",
+        float(np.mean(day)) < float(np.mean(night)) - 0.02
+        and min(day) < min(night),
+        f"day NLP={['%.3f' % v for v in day]}, night NLP={['%.3f' % v for v in night]}",
+    )
+    for label, curve in curves.items():
+        low, high = at_or_edge(curve, 400.0), at_or_edge(curve, 1000.0)
+        outcome.add_check(
+            f"{label}: preference declines with latency",
+            high < low,
+            f"NLP(400)={low:.3f} > NLP(~1000)={high:.3f}",
+        )
+    pooled_at = at_or_edge(pooled, probe)
+    lo = min(day + night)
+    hi = max(day + night)
+    outcome.add_check(
+        "pooled curve lies within the per-period range at 800 ms",
+        lo - 0.03 <= pooled_at <= hi + 0.03,
+        f"pooled={pooled_at:.3f}, range=[{lo:.3f}, {hi:.3f}]",
+    )
+    return outcome
+
+
+def run_fig8(seed: int = 41, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 8: the time-based activity factor α across periods and latency.
+
+    Paper expectation: α is lower at night (8am-2pm as reference) and
+    roughly flat across the latency range, supporting the bin-averaging in
+    Section 2.4.1.
+    """
+    scenario = timeofday_scenario(
+        seed=seed,
+        duration_days=max(scale.duration_days, 14.0),
+        n_users=max(scale.n_users, 600),
+        candidates_per_user_day=scale.candidates_per_user_day,
+    )
+    result = scenario.generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+    alpha = engine.alpha_profile(
+        result.logs, scheme="period",
+        action=ActionType.SELECT_MAIL, user_class=UserClass.BUSINESS,
+    )
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig8",
+        title="Time-based activity factor across times of day",
+        description=(
+            "α per 6-hour period with 8am-2pm as the reference, and its "
+            "variation across latency bins (paper Fig. 8)."
+        ),
+    )
+    labels = alpha.labels()
+    outcome.add_table(
+        "Overall α per period",
+        ["period", "alpha"],
+        [[label, float(a)] for label, a in zip(labels, alpha.alpha_by_slot)],
+    )
+    # α vs latency, coarsened into 100 ms bands for display.
+    centers = alpha.bins.centers
+    series = {}
+    band_edges = np.arange(0.0, 1600.0, 100.0)
+    for row, label in enumerate(labels):
+        xs, ys = [], []
+        for lo, hi in zip(band_edges[:-1], band_edges[1:]):
+            sel = (centers >= lo) & (centers < hi)
+            vals = alpha.alpha_matrix[row, sel]
+            vals = vals[~np.isnan(vals)]
+            if vals.size:
+                xs.append((lo + hi) / 2.0)
+                ys.append(float(vals.mean()))
+        series[label] = (np.array(xs), np.array(ys))
+        outcome.series[f"fig8_{label}"] = {
+            "latency_ms": np.array(xs), "alpha": np.array(ys)
+        }
+    outcome.plots.append(line_plot(series, title="alpha vs latency by period",
+                                   x_label="latency ms", y_label="alpha"))
+
+    by_label = dict(zip(labels, alpha.alpha_by_slot))
+    outcome.add_check(
+        "alpha lower at night than in the reference (8am-2pm) period",
+        by_label[DayPeriod.NIGHT.value] < 0.7
+        and by_label[DayPeriod.LATE_NIGHT.value] < 0.7,
+        f"night={by_label[DayPeriod.NIGHT.value]:.3f}, "
+        f"late-night={by_label[DayPeriod.LATE_NIGHT.value]:.3f}",
+    )
+    flatness = alpha.flatness()
+    outcome.add_check(
+        "alpha approximately flat across latency bins (CV < 0.5)",
+        flatness < 0.5,
+        f"mean coefficient of variation across bins: {flatness:.3f}",
+    )
+    return outcome
+
+
+def run_fig9(seed: int = 21, scale: Scale = FULL) -> ExperimentOutcome:
+    """Figure 9: NLP stability across two consecutive months.
+
+    Paper expectation: SelectMail and SwitchFolder curves nearly coincide
+    for January and February.
+    """
+    scenario = two_month_scenario(
+        seed=seed,
+        n_users=max(200, scale.n_users // 2),
+        candidates_per_user_day=scale.candidates_per_user_day / 2.0,
+    )
+    result = scenario.generate()
+    engine = AutoSens(AutoSensConfig(seed=seed))
+
+    outcome = ExperimentOutcome(
+        experiment_id="fig9",
+        title="Stability of latency preference across months",
+        description="Paper Fig. 9: month 0 ('January') vs month 1 ('February').",
+    )
+    curves = {}
+    for action in (ActionType.SELECT_MAIL, ActionType.SWITCH_FOLDER):
+        by_month = engine.curves_by_month(result.logs, action=action)
+        for month, curve in by_month.items():
+            curves[f"{action.value}/m{month}"] = curve
+    outcome.add_table(
+        "NLP at probe latencies",
+        ["series"] + [f"{int(latency)} ms" for latency in PROBE_LATENCIES],
+        nlp_rows(curves, PROBE_LATENCIES),
+    )
+    series = {}
+    for label, curve in curves.items():
+        mask = curve.valid & (curve.latencies <= 2000.0)
+        series[label] = (curve.latencies[mask], curve.nlp[mask])
+        outcome.series[f"fig9_{label}"] = curve.series()
+    outcome.plots.append(line_plot(series, title="NLP by month",
+                                   x_label="latency ms"))
+
+    for action in (ActionType.SELECT_MAIL, ActionType.SWITCH_FOLDER):
+        a = float(curves[f"{action.value}/m0"].at(1000.0))
+        b = float(curves[f"{action.value}/m1"].at(1000.0))
+        outcome.add_check(
+            f"{action.value}: months agree within 0.08 at 1000 ms",
+            abs(a - b) <= 0.08,
+            f"month0={a:.3f}, month1={b:.3f}",
+        )
+
+    # Whole-curve stability, not just one probe point.
+    from repro.core.compare import stability_report
+
+    for action in (ActionType.SELECT_MAIL, ActionType.SWITCH_FOLDER):
+        pair = {label: curve for label, curve in curves.items()
+                if label.startswith(action.value)}
+        report = stability_report(pair)
+        outcome.add_table(
+            f"Whole-curve month-to-month gap ({action.value})",
+            ["pair", "mean |gap|", "max |gap|", "worst at (ms)"],
+            report.rows(),
+        )
+        outcome.add_check(
+            f"{action.value}: mean whole-curve gap below 0.06",
+            report.mean_abs_gap < 0.06,
+            f"mean |gap| = {report.mean_abs_gap:.3f}",
+        )
+    return outcome

@@ -1,0 +1,98 @@
+"""Extension analysis: per-region slices of a multi-timezone population.
+
+The paper analyzes U.S. users only (Section 3.2); this experiment shows
+why that segregation matters and what changes across regions. Each region
+is analyzed in its own local time; regions whose working day coincides
+with the service's quiet (fast) window have less latency dynamic range to
+learn from, so their curves are flatter and noisier even under identical
+ground-truth preferences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.base import FULL, ExperimentOutcome, Scale, nlp_rows
+from repro.core import AutoSens, AutoSensConfig
+from repro.errors import InsufficientDataError
+from repro.workload import global_scenario
+from repro.workload.preference import paper_curve
+
+PROBES = (500.0, 1000.0)
+
+
+def run_regions(seed: int = 77, scale: Scale = FULL) -> ExperimentOutcome:
+    """Per-region NLP curves for a three-timezone population (extension)."""
+    result = global_scenario(
+        seed=seed,
+        duration_days=scale.duration_days,
+        n_users=max(scale.n_users, 600),
+        candidates_per_user_day=scale.candidates_per_user_day,
+    ).generate()
+    logs = result.logs
+    engine = AutoSens(AutoSensConfig(seed=seed))
+
+    curves = {}
+    ranges = {}
+    for tz in logs.tz_offsets_present():
+        label = f"UTC{tz:+.0f}"
+        try:
+            curve = engine.preference_curve(
+                logs.where(tz_offset=tz), action="SelectMail",
+                user_class="business",
+            )
+        except InsufficientDataError:
+            continue
+        curves[label] = curve
+        region = logs.where(tz_offset=tz, action="SelectMail",
+                            user_class="business")
+        ranges[label] = (float(np.percentile(region.latencies_ms, 10)),
+                         float(np.percentile(region.latencies_ms, 90)))
+
+    outcome = ExperimentOutcome(
+        experiment_id="regions",
+        title="Per-region analysis across timezones (extension)",
+        description=(
+            "Three regions share one ground-truth preference; each region "
+            "is analyzed separately in its local time, as the paper's "
+            "U.S.-only slices do."
+        ),
+    )
+    outcome.add_table(
+        "NLP at probe latencies (ground truth: 0.88 / 0.68)",
+        ["region"] + [f"{int(p)} ms" for p in PROBES],
+        nlp_rows(curves, PROBES),
+    )
+    outcome.add_table(
+        "Experienced latency range per region (P10-P90, ms)",
+        ["region", "P10", "P90", "dynamic range"],
+        [[label, lo, hi, hi / lo] for label, (lo, hi) in ranges.items()],
+    )
+    truth = paper_curve("SelectMail", "business")
+    expected = float(truth.normalized(np.asarray([1000.0]))[0])
+    for label, curve in curves.items():
+        measured = float(curve.at(1000.0))
+        outcome.add_check(
+            f"{label}: declining curve",
+            measured < float(curve.at(400.0)),
+            f"NLP(400)={float(curve.at(400.0)):.3f} > NLP(1000)={measured:.3f}",
+        )
+    # At least one region should land near the shared anchor; per-region
+    # slices carry ~1/3 of the usual data, so the tolerance is looser than
+    # the single-region experiments'.
+    errors = {label: abs(float(curve.at(1000.0)) - expected)
+              for label, curve in curves.items()}
+    best = min(errors, key=errors.get)
+    outcome.add_check(
+        "best region within 0.12 of the shared ground truth at 1000 ms",
+        errors[best] < 0.12,
+        f"best={best} (|err|={errors[best]:.3f}); all: "
+        + ", ".join(f"{k}:{v:.3f}" for k, v in errors.items()),
+    )
+    outcome.notes.append(
+        "All regions share the same true preference; differences between "
+        "rows are estimator effects. The region whose workday sits in the "
+        "service's fast window (UTC+8 here) sees a compressed latency range "
+        "during its active hours and measures a flatter curve."
+    )
+    return outcome

@@ -1,0 +1,5 @@
+"""Command-line interface for the AutoSens reproduction."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+Subcommands::
+
+    autosens generate --scenario owa --seed 7 --out logs.jsonl
+    autosens analyze logs.jsonl --action SelectMail --user-class business
+    autosens experiment fig4 --scale full
+    autosens list
+
+(Or ``python -m repro ...`` without installing the entry point.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autosens",
+        description="AutoSens (IMC 2021) reproduction: latency-sensitivity "
+                    "inference through natural experiments.",
+    )
+    parser.add_argument("--version", action="version", version=f"autosens {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate synthetic telemetry")
+    gen.add_argument("--scenario", default="owa",
+                     help="scenario name (see 'autosens list')")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--days", type=float, default=None, help="duration in days")
+    gen.add_argument("--users", type=int, default=None, help="population size")
+    gen.add_argument("--out", required=True,
+                     help="output path (.jsonl, .jsonl.gz or .csv)")
+
+    ana = sub.add_parser("analyze", help="compute an NLP curve from a log file")
+    ana.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz, .csv) "
+                              "or an exported counts table (counts .json)")
+    ana.add_argument("--action", default=None)
+    ana.add_argument("--user-class", default=None)
+    ana.add_argument("--reference-ms", type=float, default=300.0)
+    ana.add_argument("--no-time-correction", action="store_true")
+    ana.add_argument("--seed", type=int, default=0)
+    ana.add_argument("--export", default=None,
+                     help="write the curve series to this CSV path")
+
+    exp = sub.add_parser("experiment", help="run paper experiments")
+    exp.add_argument("ids", nargs="*", default=[],
+                     help="experiment ids (default: all)")
+    exp.add_argument("--scale", choices=["small", "full"], default="full")
+    exp.add_argument("--seed", type=int, default=None)
+    exp.add_argument("--no-plots", action="store_true")
+
+    counts = sub.add_parser(
+        "export-counts",
+        help="export privacy-preserving sufficient statistics from a log file",
+    )
+    counts.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz or .csv)")
+    counts.add_argument("--action", default=None)
+    counts.add_argument("--user-class", default=None)
+    counts.add_argument("--scheme", default="hour-of-day")
+    counts.add_argument("--seed", type=int, default=0)
+    counts.add_argument("--out", required=True, help="output JSON path")
+
+    qual = sub.add_parser("quality", help="data-quality report for a log file")
+    qual.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz or .csv)")
+
+    pre = sub.add_parser("preflight",
+                         help="check whether a log slice supports AutoSens")
+    pre.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz or .csv)")
+    pre.add_argument("--action", default=None)
+    pre.add_argument("--user-class", default=None)
+
+    sub.add_parser("list", help="list scenarios and experiments")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.telemetry import write_csv, write_jsonl
+    from repro.workload.scenarios import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; known: {', '.join(SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    kwargs = {"seed": args.seed}
+    if args.days is not None:
+        kwargs["duration_days"] = args.days
+    if args.users is not None:
+        kwargs["n_users"] = args.users
+    scenario = SCENARIOS[args.scenario](**kwargs)
+    result = scenario.generate()
+    out = Path(args.out)
+    records = result.logs.iter_records()
+    if out.suffix == ".csv":
+        count = write_csv(records, out)
+    else:
+        count = write_jsonl(records, out)
+    print(f"wrote {count} actions ({result.n_candidates} candidates, "
+          f"{result.acceptance_rate:.1%} accepted) to {out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import AutoSens, AutoSensConfig
+    from repro.telemetry import read_csv, read_jsonl
+    from repro.viz import line_plot, save_series_csv
+    from repro.viz.table import format_table
+
+    path = Path(args.logs)
+    config = AutoSensConfig(
+        reference_ms=args.reference_ms,
+        time_correction=not args.no_time_correction,
+        seed=args.seed,
+    )
+    if path.suffix == ".json":
+        from repro.core.aggregate import curve_from_counts, load_counts
+
+        if args.action or args.user_class:
+            print("note: counts tables are pre-sliced; --action/--user-class "
+                  "are ignored", file=sys.stderr)
+        curve = curve_from_counts(load_counts(path), config,
+                                  slice_description=path.stem)
+    else:
+        logs = read_csv(path) if path.suffix == ".csv" else read_jsonl(path)
+        engine = AutoSens(config)
+        curve = engine.preference_curve(
+            logs, action=args.action, user_class=args.user_class
+        )
+    probes = [400.0, 500.0, 800.0, 1000.0, 1500.0, 2000.0]
+    rows = []
+    for probe in probes:
+        try:
+            value = float(curve.at(probe))
+        except Exception:
+            value = float("nan")
+        rows.append([f"{probe:.0f} ms",
+                     None if np.isnan(value) else value,
+                     None if np.isnan(value) else 1.0 - value])
+    print(f"slice: {curve.slice_description}  (n={curve.n_actions})")
+    print(format_table(["latency", "NLP", "activity drop"], rows))
+    mask = curve.valid & (curve.latencies <= 2000.0)
+    if mask.any():
+        print(line_plot(
+            {"NLP": (curve.latencies[mask], curve.nlp[mask])},
+            title="normalized latency preference",
+            x_label="latency ms",
+        ))
+    if args.export:
+        save_series_csv(curve.series(), args.export)
+        print(f"series written to {args.export}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import EXPERIMENTS, run_experiment
+    from repro.analysis.summary import summarize
+
+    ids = args.ids or list(EXPERIMENTS)
+    status = 0
+    outcomes = []
+    for experiment_id in ids:
+        outcome = run_experiment(experiment_id, seed=args.seed, scale=args.scale)
+        outcomes.append(outcome)
+        print(outcome.render(include_plots=not args.no_plots))
+        print()
+        if not outcome.passed:
+            status = 1
+    if len(outcomes) > 1:
+        print(summarize(outcomes))
+    return status
+
+
+def _cmd_export_counts(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import AutoSensConfig
+    from repro.core.aggregate import save_counts
+    from repro.core.alpha import slotted_counts
+    from repro.telemetry import read_csv, read_jsonl
+
+    path = Path(args.logs)
+    logs = read_csv(path) if path.suffix == ".csv" else read_jsonl(path)
+    sliced = logs.where(action=args.action, user_class=args.user_class)
+    if sliced.is_empty:
+        print("the requested slice is empty", file=sys.stderr)
+        return 2
+    config = AutoSensConfig(seed=args.seed, slot_scheme=args.scheme)
+    counts = slotted_counts(
+        sliced, config.bins(), scheme=args.scheme,
+        n_unbiased_samples=int(np.ceil(config.unbiased_oversample * len(sliced))),
+        rng=args.seed,
+    )
+    save_counts(counts, args.out)
+    print(f"wrote sufficient statistics for {len(sliced)} actions "
+          f"({counts.slot_ids.size} slots x {counts.bins.count} bins) to {args.out}")
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from repro.telemetry import quality_report, read_csv, read_jsonl
+    from repro.viz.table import format_table
+
+    path = Path(args.logs)
+    logs = read_csv(path) if path.suffix == ".csv" else read_jsonl(path)
+    report = quality_report(logs)
+    print(format_table(["metric", "value"], report.rows()))
+    for flag in report.flags:
+        print(f"[{flag.severity.upper()}] {flag.message}")
+    if not report.flags:
+        print("no quality concerns detected")
+    return 0 if report.ok else 1
+
+
+def _cmd_preflight(args: argparse.Namespace) -> int:
+    from repro.core.preflight import preflight
+    from repro.telemetry import read_csv, read_jsonl
+    from repro.viz.table import format_table
+
+    path = Path(args.logs)
+    logs = read_csv(path) if path.suffix == ".csv" else read_jsonl(path)
+    sliced = logs.where(action=args.action, user_class=args.user_class)
+    if sliced.is_empty:
+        print("the requested slice is empty", file=sys.stderr)
+        return 2
+    report = preflight(sliced)
+    print(format_table(["check", "result"], report.rows()))
+    print("recommendations:")
+    for recommendation in report.recommendations:
+        print(f"  - {recommendation}")
+    return 0 if report.ready else 1
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.analysis import EXPERIMENTS
+    from repro.workload.scenarios import SCENARIOS
+
+    print("scenarios:")
+    for name, builder in SCENARIOS.items():
+        doc = (builder.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:20s} {doc}")
+    print("experiments:")
+    for name, fn in EXPERIMENTS.items():
+        doc = (getattr(fn, "__doc__", "") or "").strip().splitlines()
+        print(f"  {name:20s} {doc[0] if doc else ''}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "experiment": _cmd_experiment,
+        "export-counts": _cmd_export_counts,
+        "quality": _cmd_quality,
+        "preflight": _cmd_preflight,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Privacy-preserving aggregate exchange.
+
+The AutoSens pipeline's sufficient statistics — per-(time-slot, latency-bin)
+action counts plus per-slot time-at-latency fractions — contain no user
+identifiers, no content, and no individual timestamps. A service operator
+can therefore export a :class:`~repro.core.alpha.SlottedCounts` table and
+hand it to an analyst who never touches raw telemetry, in the spirit of the
+paper's aggregate-only analysis posture.
+
+This module provides JSON (de)serialization for those tables and
+:func:`curve_from_counts`, which runs the downstream pipeline (α
+correction, multi-reference averaging, smoothing, normalization) on a
+table alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, SchemaError
+from repro.core.alpha import SlottedCounts, alpha_from_counts
+from repro.core.pipeline import AutoSensConfig
+from repro.core.preference import average_results
+from repro.core.result import PreferenceResult
+from repro.stats.histogram import Histogram1D, HistogramBins
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def save_counts(counts: SlottedCounts, path: PathLike) -> None:
+    """Write a sufficient-statistics table to JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "scheme": counts.scheme,
+        "bins": {
+            "low": counts.bins.low,
+            "high": counts.bins.high,
+            "width": counts.bins.width,
+        },
+        "slot_ids": [int(s) for s in counts.slot_ids],
+        "biased_counts": counts.biased_counts.tolist(),
+        "time_fractions": counts.time_fractions.tolist(),
+        "slot_seconds": (None if counts.slot_seconds is None
+                         else counts.slot_seconds.tolist()),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_counts(path: PathLike) -> SlottedCounts:
+    """Read a table written by :func:`save_counts`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON: {exc}") from exc
+    try:
+        if payload["format_version"] != FORMAT_VERSION:
+            raise SchemaError(
+                f"{path}: unsupported format version {payload['format_version']}"
+            )
+        bins = HistogramBins(**payload["bins"])
+        slot_seconds = payload.get("slot_seconds")
+        return SlottedCounts(
+            scheme=str(payload["scheme"]),
+            slot_ids=np.asarray(payload["slot_ids"], dtype=np.int64),
+            biased_counts=np.asarray(payload["biased_counts"], dtype=float),
+            time_fractions=np.asarray(payload["time_fractions"], dtype=float),
+            bins=bins,
+            slot_seconds=(None if slot_seconds is None
+                          else np.asarray(slot_seconds, dtype=float)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"{path}: malformed counts table: {exc}") from exc
+
+
+def curve_from_counts(
+    counts: SlottedCounts,
+    config: Optional[AutoSensConfig] = None,
+    slice_description: str = "",
+) -> PreferenceResult:
+    """Run the downstream AutoSens pipeline on a sufficient-statistics table.
+
+    Equivalent to :meth:`AutoSens.preference_curve` on the raw rows the
+    table was built from (the table *is* the pipeline's sufficient
+    statistic), but computable without any access to the telemetry.
+    """
+    cfg = config or AutoSensConfig()
+    if counts.bins != cfg.bins():
+        raise ConfigError(
+            "counts table bin grid does not match the configuration "
+            f"({counts.bins} vs {cfg.bins()})"
+        )
+    computer = cfg.computer()
+    references = counts.busiest_slots(cfg.n_reference_slots)
+    n_actions = int(counts.biased_counts.sum())
+    per_reference: List[PreferenceResult] = []
+    for reference in references:
+        alpha = alpha_from_counts(
+            counts, reference_slot=reference,
+            bin_average=cfg.alpha_bin_average,
+            min_bin_count=cfg.alpha_min_bin_count,
+        )
+        slot_index = {int(s): i for i, s in enumerate(alpha.slot_ids)}
+        pooled = np.zeros(counts.bins.count)
+        for row, slot in enumerate(counts.slot_ids):
+            a = alpha.alpha_by_slot[slot_index[int(slot)]]
+            if a > 0:
+                pooled += counts.biased_counts[row] / a
+        biased = Histogram1D(counts.bins)
+        biased.add_counts(pooled)
+        unbiased = Histogram1D(counts.bins)
+        unbiased.add_counts(counts.time_fractions.sum(axis=0) * 10_000.0)
+        per_reference.append(computer.compute(
+            biased, unbiased,
+            slice_description=slice_description, n_actions=n_actions,
+        ))
+    result = average_results(per_reference, slice_description=slice_description)
+    result.metadata["reference_slots"] = references
+    result.metadata["from_aggregates"] = True
+    return result

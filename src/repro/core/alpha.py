@@ -1,0 +1,434 @@
+"""The time-based activity factor α (paper Section 2.4.1).
+
+Latency and user activity are both strong functions of the hour: busy hours
+have more users *and* more congestion. Pooling naively therefore confounds
+"users avoid high latency" with "users are asleep when latency is low". The
+paper's fix:
+
+1. Discretize time into slots (1-hour slots; we pool by hour-of-day) and
+   latency into 10 ms bins.
+2. For each slot ``T`` and bin ``L``: let ``c[T, L]`` be the action count
+   and ``f[T, L]`` the fraction of slot time at that latency, estimated
+   from the slot's unbiased distribution ``U_T``.
+3. The temporal action rate is ``c[T, L] / f[T, L]``; relative to a
+   reference slot ``r``, ``α[T, L] = (c[T,L]/f[T,L]) / (c[r,L]/f[r,L])``.
+4. ``α[T]`` is the average of ``α[T, L]`` over latency bins (the paper
+   finds it flat across bins — our Figure 8 bench checks that).
+5. Counts are divided by ``α[T]`` and pooled across slots; ``U`` pools
+   directly because all slots cover equal time.
+
+Different reference slots give slightly different results on noisy data, so
+the pipeline averages over several references (Section 2.4.1, last note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
+from repro.stats.histogram import Histogram1D, HistogramBins
+from repro.stats.rng import SeedLike, spawn_rng
+from repro.core.unbiased import draw_unbiased_samples
+from repro.telemetry.log_store import LogStore
+from repro.telemetry import timeutil
+from repro.types import DayPeriod, ALL_DAY_PERIODS
+
+#: Supported time-slot schemes. ``hour-of-week`` separates weekday and
+#: weekend hours (168 slots), for services with weekly seasonality; the
+#: paper's two-month OWA window certainly had one.
+SLOT_SCHEMES = ("hour-of-day", "hour-of-week", "period", "absolute-hour")
+
+_DAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+def slot_of_times(
+    times: np.ndarray,
+    scheme: str,
+    tz_offset_hours: np.ndarray | float = 0.0,
+) -> np.ndarray:
+    """Map timestamps to integer slot ids under the chosen scheme."""
+    if scheme == "hour-of-day":
+        return timeutil.hour_slot(times, tz_offset_hours)
+    if scheme == "hour-of-week":
+        day = timeutil.day_index(times, tz_offset_hours) % 7
+        hour = timeutil.hour_slot(times, tz_offset_hours)
+        return day * 24 + hour
+    if scheme == "period":
+        hours = timeutil.hour_of_day(times, tz_offset_hours)
+        period_index = {p: i for i, p in enumerate(ALL_DAY_PERIODS)}
+        out = np.empty(hours.shape, dtype=np.int64)
+        flat = out.ravel()
+        for i, h in enumerate(hours.ravel()):
+            flat[i] = period_index[DayPeriod.of_hour(float(h))]
+        return out
+    if scheme == "absolute-hour":
+        return timeutil.absolute_hour_slot(times)
+    raise ConfigError(f"unknown slot scheme {scheme!r}; pick one of {SLOT_SCHEMES}")
+
+
+def slot_labels(scheme: str, slot_ids: Sequence[int]) -> List[str]:
+    """Human-readable labels for slot ids."""
+    if scheme == "hour-of-day":
+        return [f"{s:02d}:00" for s in slot_ids]
+    if scheme == "hour-of-week":
+        return [f"{_DAY_NAMES[s // 24]} {s % 24:02d}:00" for s in slot_ids]
+    if scheme == "period":
+        return [ALL_DAY_PERIODS[s].value for s in slot_ids]
+    if scheme == "absolute-hour":
+        return [f"hour+{s}" for s in slot_ids]
+    raise ConfigError(f"unknown slot scheme {scheme!r}")
+
+
+@dataclass
+class AlphaEstimate:
+    """Per-slot activity factors and their per-bin decomposition."""
+
+    scheme: str
+    slot_ids: np.ndarray            # distinct slot ids, sorted
+    reference_slot: int
+    alpha_by_slot: np.ndarray       # one α per slot id
+    alpha_matrix: np.ndarray        # (n_slots, n_bins): α[T, L]; NaN where undefined
+    biased_counts: np.ndarray       # (n_slots, n_bins): c[T, L]
+    time_fractions: np.ndarray      # (n_slots, n_bins): f[T, L]
+    bins: HistogramBins
+
+    def alpha_of(self, slot_id: int) -> float:
+        idx = np.flatnonzero(self.slot_ids == slot_id)
+        if idx.size == 0:
+            raise InsufficientDataError(f"slot {slot_id} not present in the estimate")
+        return float(self.alpha_by_slot[idx[0]])
+
+    def labels(self) -> List[str]:
+        return slot_labels(self.scheme, [int(s) for s in self.slot_ids])
+
+    def flatness(self) -> float:
+        """Mean over slots of the coefficient of variation of α across bins.
+
+        The paper's Figure 8 argues α is flat across the latency range; a
+        small value here (≪ 1) confirms that averaging over bins is sound.
+        """
+        cvs = []
+        for row in self.alpha_matrix:
+            vals = row[~np.isnan(row)]
+            if vals.size >= 2 and vals.mean() > 0:
+                cvs.append(vals.std() / vals.mean())
+        if not cvs:
+            raise InsufficientDataError("no slot has enough bins to assess flatness")
+        return float(np.mean(cvs))
+
+
+@dataclass
+class SlottedCounts:
+    """The expensive intermediate: per-slot counts and time fractions.
+
+    Computing these once and reusing them across several reference slots is
+    what makes the paper's multi-reference averaging cheap. ``slot_seconds``
+    records how much observed wall-clock time each slot covers, which is
+    what makes chunk-level tables mergeable (see
+    :mod:`repro.core.streaming`).
+    """
+
+    scheme: str
+    slot_ids: np.ndarray
+    biased_counts: np.ndarray     # c[T, L]
+    time_fractions: np.ndarray    # f[T, L]
+    bins: HistogramBins
+    slot_seconds: Optional[np.ndarray] = None
+
+    def busiest_slots(self, k: int = 1) -> List[int]:
+        """The ``k`` slots with the most actions, busiest first."""
+        order = np.argsort(-self.biased_counts.sum(axis=1), kind="mergesort")
+        return [int(self.slot_ids[i]) for i in order[:k]]
+
+
+def slot_time_coverage(
+    start: float,
+    end: float,
+    scheme: str,
+    slot_ids: np.ndarray,
+    tz_offset_hours: float = 0.0,
+    resolution_s: float = 60.0,
+) -> np.ndarray:
+    """Seconds of ``[start, end)`` falling into each slot (approximate).
+
+    Evaluated on a fixed grid (default 1 minute), which is exact for the
+    hour-aligned schemes whenever the span is a multiple of the resolution.
+    """
+    if end <= start:
+        return np.zeros(len(slot_ids), dtype=float)
+    grid = np.arange(start, end, resolution_s)
+    grid_slots = slot_of_times(grid, scheme, tz_offset_hours)
+    out = np.zeros(len(slot_ids), dtype=float)
+    for i, slot in enumerate(slot_ids):
+        out[i] = float((grid_slots == slot).sum()) * resolution_s
+    return out
+
+
+def slotted_counts(
+    logs: LogStore,
+    bins: HistogramBins,
+    scheme: str = "hour-of-day",
+    n_unbiased_samples: Optional[int] = None,
+    rng: SeedLike = None,
+    estimator: str = "sampling",
+) -> SlottedCounts:
+    """Compute per-slot biased counts c[T, L] and time fractions f[T, L].
+
+    ``estimator="voronoi"`` replaces the Monte Carlo unbiased draw with
+    deterministic Voronoi-cell weights (each sample's time share is
+    assigned to the slot containing the sample; cells crossing slot
+    boundaries are attributed whole, an error bounded by the typical
+    inter-action gap over the slot length).
+    """
+    if logs.is_empty:
+        raise EmptyDataError("cannot slot empty logs")
+    if estimator not in ("sampling", "voronoi"):
+        raise ConfigError(
+            f"unknown unbiased estimator {estimator!r}; use 'sampling' or 'voronoi'"
+        )
+    generator = spawn_rng(rng)
+
+    action_slots = slot_of_times(logs.times, scheme, logs.tz_offsets)
+    slot_ids = np.unique(action_slots)
+    n_slots = slot_ids.size
+
+    # c[T, L] — biased counts per slot.
+    c = np.zeros((n_slots, bins.count), dtype=float)
+    bin_idx = bins.index_of(logs.latencies_ms)
+    in_grid = bin_idx >= 0
+    for row, slot in enumerate(slot_ids):
+        mask = (action_slots == slot) & in_grid
+        np.add.at(c[row], bin_idx[mask], 1.0)
+
+    # f[T, L] — time fraction per slot from that slot's unbiased draw. Each
+    # query is assigned to its slot, so every slot's sample share is
+    # proportional to its time share. Queries whose slot holds no actions
+    # (e.g. daytime hours when analyzing a night-period slice) are dropped
+    # and redrawn, so sparse slices still get a full-size unbiased draw.
+    tz = float(np.median(logs.tz_offsets)) if len(logs) else 0.0
+    u = np.zeros((n_slots, bins.count), dtype=float)
+    if estimator == "voronoi":
+        from repro.core.unbiased import voronoi_weights
+
+        order = np.argsort(logs.times, kind="mergesort")
+        sorted_times = logs.times[order]
+        sorted_latencies = logs.latencies_ms[order]
+        sorted_tz = logs.tz_offsets[order]
+        weights = voronoi_weights(sorted_times)
+        sample_slots = slot_of_times(sorted_times, scheme, sorted_tz)
+        v_bin_idx = bins.index_of(sorted_latencies)
+        v_in_grid = v_bin_idx >= 0
+        for row, slot in enumerate(slot_ids):
+            mask = (sample_slots == slot) & v_in_grid
+            np.add.at(u[row], v_bin_idx[mask], weights[mask])
+    else:
+        target = n_unbiased_samples if n_unbiased_samples is not None else 2 * len(logs)
+        accepted = 0
+        for _ in range(12):  # bounded redraw: 12 batches cover >90% waste
+            draw = draw_unbiased_samples(logs, n_samples=target, rng=generator)
+            query_slots = slot_of_times(draw.query_times, scheme, tz)
+            u_bin_idx = bins.index_of(draw.selected_latencies)
+            u_in_grid = u_bin_idx >= 0
+            for row, slot in enumerate(slot_ids):
+                mask = (query_slots == slot) & u_in_grid
+                accepted += int(mask.sum())
+                np.add.at(u[row], u_bin_idx[mask], 1.0)
+            if accepted >= target:
+                break
+    slot_totals = u.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        f = np.where(slot_totals > 0, u / slot_totals, 0.0)
+
+    t0, t1 = logs.time_range()
+    seconds = slot_time_coverage(t0, t1, scheme, slot_ids, tz_offset_hours=tz)
+    return SlottedCounts(
+        scheme=scheme, slot_ids=slot_ids, biased_counts=c, time_fractions=f,
+        bins=bins, slot_seconds=seconds,
+    )
+
+
+def alpha_from_counts(
+    counts: SlottedCounts,
+    reference_slot: Optional[int] = None,
+    min_bin_count: float = 5.0,
+    min_time_fraction: float = 1e-6,
+    bin_average: str = "simple",
+) -> AlphaEstimate:
+    """Derive α per slot from precomputed :class:`SlottedCounts`.
+
+    ``reference_slot`` defaults to the busiest slot (most actions), which
+    the paper's day-as-reference example suggests. ``bin_average`` is
+    ``"simple"`` (the paper's plain mean over latency bins) or
+    ``"weighted"`` (weights bins by their reference-slot counts — less
+    noise on sparse data).
+    """
+    if bin_average not in ("simple", "weighted"):
+        raise ConfigError(f"bin_average must be 'simple' or 'weighted', got {bin_average!r}")
+    slot_ids = counts.slot_ids
+    n_slots = slot_ids.size
+    slot_index = {int(s): i for i, s in enumerate(slot_ids)}
+    c = counts.biased_counts
+    f = counts.time_fractions
+    bins = counts.bins
+
+    if reference_slot is None:
+        reference_slot = counts.busiest_slots(1)[0]
+    if int(reference_slot) not in slot_index:
+        raise ConfigError(f"reference slot {reference_slot} has no data")
+    ref_row = slot_index[int(reference_slot)]
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rate = np.where(f > min_time_fraction, c / f, np.nan)
+    ref_rate = rate[ref_row]
+
+    alpha_matrix = np.full((n_slots, bins.count), np.nan)
+    valid_ref = (~np.isnan(ref_rate)) & (c[ref_row] >= min_bin_count)
+    for row in range(n_slots):
+        valid = valid_ref & (~np.isnan(rate[row])) & (c[row] >= min_bin_count)
+        alpha_matrix[row, valid] = rate[row, valid] / ref_rate[valid]
+
+    alpha_by_slot = np.full(n_slots, np.nan)
+    for row in range(n_slots):
+        vals = alpha_matrix[row]
+        ok = ~np.isnan(vals)
+        if not np.any(ok):
+            continue
+        if bin_average == "simple":
+            alpha_by_slot[row] = float(vals[ok].mean())
+        else:
+            weights = c[ref_row][ok]
+            alpha_by_slot[row] = float(np.average(vals[ok], weights=weights))
+    # Slots with no overlapping valid bins: fall back to total-count ratio,
+    # which is exact when α is truly flat across bins.
+    totals = c.sum(axis=1)
+    ref_total = totals[ref_row]
+    for row in range(n_slots):
+        if np.isnan(alpha_by_slot[row]) and ref_total > 0:
+            alpha_by_slot[row] = totals[row] / ref_total
+    alpha_by_slot[ref_row] = 1.0
+
+    return AlphaEstimate(
+        scheme=counts.scheme,
+        slot_ids=slot_ids,
+        reference_slot=int(reference_slot),
+        alpha_by_slot=alpha_by_slot,
+        alpha_matrix=alpha_matrix,
+        biased_counts=c,
+        time_fractions=f,
+        bins=bins,
+    )
+
+
+def estimate_alpha(
+    logs: LogStore,
+    bins: HistogramBins,
+    scheme: str = "hour-of-day",
+    reference_slot: Optional[int] = None,
+    n_unbiased_samples: Optional[int] = None,
+    min_bin_count: float = 5.0,
+    min_time_fraction: float = 1e-6,
+    bin_average: str = "simple",
+    rng: SeedLike = None,
+) -> AlphaEstimate:
+    """One-shot α estimation: :func:`slotted_counts` + :func:`alpha_from_counts`."""
+    counts = slotted_counts(
+        logs, bins, scheme=scheme, n_unbiased_samples=n_unbiased_samples, rng=rng
+    )
+    return alpha_from_counts(
+        counts,
+        reference_slot=reference_slot,
+        min_bin_count=min_bin_count,
+        min_time_fraction=min_time_fraction,
+        bin_average=bin_average,
+    )
+
+
+def corrected_histograms(
+    logs: LogStore,
+    bins: HistogramBins,
+    alpha: AlphaEstimate,
+) -> Tuple[Histogram1D, Histogram1D]:
+    """Pool slot data into (B, U) with counts normalized by α.
+
+    ``B`` gets each action weighted by ``1/α[slot]``; ``U`` pools the
+    per-slot time fractions with equal slot weights (slots cover equal
+    time under the hour-of-day and period schemes).
+    """
+    if logs.is_empty:
+        raise EmptyDataError("cannot build corrected histograms from empty logs")
+    slot_index = {int(s): i for i, s in enumerate(alpha.slot_ids)}
+    action_slots = slot_of_times(logs.times, alpha.scheme, logs.tz_offsets)
+    weights = np.empty(len(logs), dtype=float)
+    for slot, row in slot_index.items():
+        a = alpha.alpha_by_slot[row]
+        weights[action_slots == slot] = 1.0 / a if a > 0 else 0.0
+
+    biased = Histogram1D(bins)
+    biased.add(logs.latencies_ms, weights=weights)
+
+    unbiased = Histogram1D(bins)
+    # Equal-time pooling of per-slot fractions. Each slot contributes its
+    # fraction profile once; scale is irrelevant because U is normalized.
+    pooled = alpha.time_fractions.sum(axis=0)
+    unbiased.add_counts(pooled * 10_000.0)  # arbitrary mass, density-normalized later
+    return biased, unbiased
+
+
+# --- The paper's Table 1 worked example -----------------------------------
+
+
+@dataclass(frozen=True)
+class WorkedExample:
+    """All the intermediate numbers of the paper's Table 1."""
+
+    alpha_per_bin: Dict[str, float]
+    alpha: float
+    normalized_counts: Dict[str, float]
+    naive_rates: Dict[str, float]
+    corrected_rates: Dict[str, float]
+
+
+def worked_example(
+    day_counts: Tuple[float, float] = (90.0, 140.0),
+    day_fractions: Tuple[float, float] = (0.30, 0.70),
+    night_counts: Tuple[float, float] = (26.0, 4.0),
+    night_fractions: Tuple[float, float] = (0.80, 0.20),
+) -> WorkedExample:
+    """Reproduce the paper's Table 1 normalization example.
+
+    Two slots (day = reference, night) and two latency bins (low, high).
+    Returns every intermediate quantity so tests can check them against
+    the numbers printed in the paper.
+    """
+    c_day = np.asarray(day_counts, dtype=float)
+    f_day = np.asarray(day_fractions, dtype=float)
+    c_night = np.asarray(night_counts, dtype=float)
+    f_night = np.asarray(night_fractions, dtype=float)
+    if np.any(f_day <= 0) or np.any(f_night <= 0):
+        raise ConfigError("time fractions must be positive")
+
+    rate_day = c_day / f_day
+    rate_night = c_night / f_night
+    alpha_bins = rate_night / rate_day
+    alpha = float(alpha_bins.mean())
+    normalized_night = c_night / alpha
+
+    # Pooled activity levels per latency bin; slot lengths are equal so the
+    # time at each latency is proportional to the sum of fractions.
+    time_low = f_day[0] + f_night[0]
+    time_high = f_day[1] + f_night[1]
+    naive_low = (c_day[0] + c_night[0]) / (time_low * 100.0)
+    naive_high = (c_day[1] + c_night[1]) / (time_high * 100.0)
+    corrected_low = (c_day[0] + normalized_night[0]) / (time_low * 100.0)
+    corrected_high = (c_day[1] + normalized_night[1]) / (time_high * 100.0)
+
+    return WorkedExample(
+        alpha_per_bin={"low": float(alpha_bins[0]), "high": float(alpha_bins[1])},
+        alpha=alpha,
+        normalized_counts={"low": float(normalized_night[0]), "high": float(normalized_night[1])},
+        naive_rates={"low": float(naive_low), "high": float(naive_high)},
+        corrected_rates={"low": float(corrected_low), "high": float(corrected_high)},
+    )

@@ -1,0 +1,35 @@
+"""The biased latency distribution ``B`` (paper Section 2.2).
+
+``B`` is simply the histogram of the latencies of the user actions that
+actually happened. It is "biased" because users act more when latency is
+low — which is exactly the signal AutoSens extracts by comparing ``B``
+against the unbiased distribution ``U``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+from repro.stats.histogram import Histogram1D, HistogramBins
+from repro.telemetry.log_store import LogStore
+
+
+def biased_histogram(
+    logs: LogStore,
+    bins: HistogramBins,
+    weights: Optional[np.ndarray] = None,
+) -> Histogram1D:
+    """Histogram of observed action latencies.
+
+    ``weights`` (one per row) supports the time-confounder correction,
+    where each action's count is divided by its time slot's activity
+    factor α before pooling.
+    """
+    if logs.is_empty:
+        raise EmptyDataError("cannot build a biased distribution from empty logs")
+    hist = Histogram1D(bins)
+    hist.add(logs.latencies_ms, weights=weights)
+    return hist

@@ -1,0 +1,88 @@
+"""Comparing preference curves: distances and stability reports.
+
+The paper's Figure 9 eyeballs two months' curves lying on top of each
+other; this module makes that check quantitative:
+
+- :func:`curve_distance` — sup/mean gap between two NLP curves over their
+  common valid support;
+- :func:`stability_report` — pairwise distances across a set of curves
+  (e.g. one per month) plus the latency of the worst disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, InsufficientDataError
+from repro.core.result import PreferenceResult
+
+
+@dataclass(frozen=True)
+class CurveDistance:
+    """Gap between two NLP curves over their common support."""
+
+    max_abs_gap: float
+    mean_abs_gap: float
+    worst_latency_ms: float
+    common_support_ms: Tuple[float, float]
+    n_common_bins: int
+
+
+def curve_distance(a: PreferenceResult, b: PreferenceResult) -> CurveDistance:
+    """Pointwise comparison over bins where both curves are defined."""
+    if a.bins != b.bins:
+        raise ConfigError("curves must share one bin grid")
+    both = a.valid & b.valid
+    if not both.any():
+        raise InsufficientDataError("the curves share no valid bins")
+    gaps = np.abs(a.nlp[both] - b.nlp[both])
+    centers = a.latencies[both]
+    worst = int(np.argmax(gaps))
+    return CurveDistance(
+        max_abs_gap=float(gaps.max()),
+        mean_abs_gap=float(gaps.mean()),
+        worst_latency_ms=float(centers[worst]),
+        common_support_ms=(float(centers.min()), float(centers.max())),
+        n_common_bins=int(both.sum()),
+    )
+
+
+@dataclass
+class StabilityReport:
+    """Pairwise curve distances across labelled curves."""
+
+    labels: List[str]
+    pairwise: Dict[Tuple[str, str], CurveDistance]
+
+    @property
+    def max_abs_gap(self) -> float:
+        return max(d.max_abs_gap for d in self.pairwise.values())
+
+    @property
+    def mean_abs_gap(self) -> float:
+        return float(np.mean([d.mean_abs_gap for d in self.pairwise.values()]))
+
+    def stable(self, tolerance: float) -> bool:
+        """True when every pair agrees within ``tolerance`` everywhere."""
+        return self.max_abs_gap <= tolerance
+
+    def rows(self) -> List[List]:
+        return [
+            [f"{a} vs {b}", d.mean_abs_gap, d.max_abs_gap, d.worst_latency_ms]
+            for (a, b), d in self.pairwise.items()
+        ]
+
+
+def stability_report(curves: Dict[str, PreferenceResult]) -> StabilityReport:
+    """All-pairs comparison, e.g. across months (paper Fig. 9)."""
+    labels = list(curves)
+    if len(labels) < 2:
+        raise InsufficientDataError("stability needs at least two curves")
+    pairwise: Dict[Tuple[str, str], CurveDistance] = {}
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            pairwise[(a, b)] = curve_distance(curves[a], curves[b])
+    return StabilityReport(labels=labels, pairwise=pairwise)

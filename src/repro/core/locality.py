@@ -1,0 +1,124 @@
+"""Locality diagnostics (paper Section 2.1, Figures 1 and 2).
+
+AutoSens only works if latency is *locally predictable*: users can only act
+on a latency preference if slow and fast periods persist long enough to
+notice. Two diagnostics establish this before any preference is inferred:
+
+- :func:`locality_report` — the MSD/MAD ratio of the latency series
+  against its shuffled and sorted extremes (Figure 1);
+- :func:`density_latency_series` — per-window action density vs. window
+  mean latency (Figure 2), whose negative correlation shows activity
+  concentrates in low-latency periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EmptyDataError, InsufficientDataError
+from repro.stats.correlation import pearson, spearman
+from repro.stats.msd import LocalityComparison, compare_locality
+from repro.stats.rng import SeedLike
+from repro.telemetry.log_store import LogStore
+from repro.telemetry import timeutil
+
+
+def locality_report(logs: LogStore, rng: SeedLike = None) -> LocalityComparison:
+    """MSD/MAD of the observed latency series vs shuffled and sorted.
+
+    The series is ordered by action timestamp, as logged.
+    """
+    if len(logs) < 3:
+        raise EmptyDataError("need at least three actions for a locality report")
+    ordered = logs.sorted_by_time()
+    return compare_locality(ordered.latencies_ms, rng=rng)
+
+
+@dataclass
+class DensityLatencySeries:
+    """Windowed action-rate and mean-latency series plus their correlation."""
+
+    window_starts: np.ndarray
+    action_counts: np.ndarray
+    mean_latency_ms: np.ndarray
+    window_seconds: float
+
+    @property
+    def pearson_correlation(self) -> float:
+        """Correlation of count vs latency over non-empty windows."""
+        ok = self.action_counts > 0
+        if ok.sum() < 2:
+            raise InsufficientDataError("too few non-empty windows for a correlation")
+        return pearson(self.action_counts[ok], self.mean_latency_ms[ok])
+
+    @property
+    def spearman_correlation(self) -> float:
+        ok = self.action_counts > 0
+        if ok.sum() < 2:
+            raise InsufficientDataError("too few non-empty windows for a correlation")
+        return spearman(self.action_counts[ok], self.mean_latency_ms[ok])
+
+    def detrended_correlation(self) -> float:
+        """Correlation after removing hour-of-day means from both series.
+
+        The raw correlation can be *positive* when the diurnal confounder
+        dominates (busy hours have more users and more congestion — exactly
+        the Section 2.4.1 problem). Subtracting each hour-of-day's mean from
+        both series exposes the within-hour relationship: activity dips when
+        latency spikes, the behaviour Figure 2 illustrates.
+        """
+        ok = self.action_counts > 0
+        if ok.sum() < 2:
+            raise InsufficientDataError("too few non-empty windows for a correlation")
+        hours = ((self.window_starts % 86400.0) / 3600.0).astype(np.int64)
+        counts = self.action_counts.astype(float).copy()
+        lats = self.mean_latency_ms.copy()
+        for h in np.unique(hours[ok]):
+            sel = ok & (hours == h)
+            counts[sel] -= counts[sel].mean()
+            lats[sel] -= np.nanmean(lats[sel])
+        return pearson(counts[ok], lats[ok])
+
+    def normalized(self) -> tuple:
+        """(counts, latency) rescaled to [0, 1] — the paper's Figure 2 axes
+        are normalized for commercial sensitivity; ours for comparability."""
+        def scale(x: np.ndarray) -> np.ndarray:
+            x = x.astype(float)
+            lo, hi = np.nanmin(x), np.nanmax(x)
+            if hi <= lo:
+                return np.zeros_like(x)
+            return (x - lo) / (hi - lo)
+
+        return scale(self.action_counts), scale(self.mean_latency_ms)
+
+
+def density_latency_series(
+    logs: LogStore,
+    window_seconds: float = 60.0,
+) -> DensityLatencySeries:
+    """Bucket actions into fixed windows; count them and average latency.
+
+    Windows with no actions get count 0 and NaN latency — the paper's
+    "temporal density of the latency samples" compared to "the average
+    latency in that window" (Section 2.1), computed over 1-minute windows.
+    """
+    if logs.is_empty:
+        raise EmptyDataError("cannot window empty logs")
+    t0, t1 = logs.time_range()
+    idx = timeutil.window_index(logs.times - t0, window_seconds)
+    n_windows = int(idx.max()) + 1
+    counts = np.zeros(n_windows, dtype=float)
+    sums = np.zeros(n_windows, dtype=float)
+    np.add.at(counts, idx, 1.0)
+    np.add.at(sums, idx, logs.latencies_ms)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts > 0, sums / counts, np.nan)
+    starts = t0 + window_seconds * np.arange(n_windows)
+    return DensityLatencySeries(
+        window_starts=starts,
+        action_counts=counts,
+        mean_latency_ms=means,
+        window_seconds=window_seconds,
+    )

@@ -1,0 +1,359 @@
+"""The end-to-end AutoSens pipeline.
+
+:class:`AutoSens` ties the pieces together exactly as the paper describes:
+
+1. slice the telemetry (action type, user class, period, month — the
+   content and conditioning confounders are handled by segregation);
+2. mitigate the time confounder by estimating the per-slot activity factor
+   α and normalizing counts (Section 2.4.1), averaging over several
+   reference slots;
+3. build the biased (B) and unbiased (U) latency distributions on a shared
+   10 ms grid (Section 2.2);
+4. compute, smooth and normalize the preference ratio B/U into the
+   normalized latency preference curve (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
+from repro.stats.histogram import Histogram1D, HistogramBins, latency_bins
+from repro.stats.rng import RngFactory, SeedLike
+from repro.core.alpha import (
+    AlphaEstimate,
+    alpha_from_counts,
+    corrected_histograms,
+    slotted_counts,
+)
+from repro.core.biased import biased_histogram
+from repro.core.locality import (
+    DensityLatencySeries,
+    density_latency_series,
+    locality_report,
+)
+from repro.core.preference import PreferenceComputer, average_results
+from repro.core.quartiles import QUARTILE_NAMES, assign_quartiles, quartile_slices
+from repro.core.result import PreferenceResult
+from repro.core.unbiased import unbiased_histogram
+from repro.stats.msd import LocalityComparison
+from repro.telemetry.log_store import LogStore
+from repro.types import ALL_DAY_PERIODS, ActionType, DayPeriod, UserClass
+
+
+@dataclass(frozen=True)
+class AutoSensConfig:
+    """All methodology knobs, defaulting to the paper's choices."""
+
+    max_latency_ms: float = 3000.0
+    bin_width_ms: float = 10.0
+    smoothing_window: int = 101
+    smoothing_degree: int = 3
+    reference_ms: float = 300.0
+    min_unbiased_count: float = 40.0
+    unbiased_oversample: float = 3.0
+    time_correction: bool = True
+    #: 'sampling' = the paper's Monte Carlo unbiased draw;
+    #: 'voronoi' = its deterministic infinite-draw limit.
+    unbiased_estimator: str = "sampling"
+    slot_scheme: str = "hour-of-day"
+    n_reference_slots: int = 3
+    alpha_bin_average: str = "simple"
+    alpha_min_bin_count: float = 5.0
+    min_actions: int = 200
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_reference_slots < 1:
+            raise ConfigError(
+                f"n_reference_slots must be >= 1, got {self.n_reference_slots}"
+            )
+        if self.unbiased_oversample <= 0:
+            raise ConfigError(
+                f"unbiased_oversample must be positive, got {self.unbiased_oversample}"
+            )
+        if self.unbiased_estimator not in ("sampling", "voronoi"):
+            raise ConfigError(
+                "unbiased_estimator must be 'sampling' or 'voronoi', "
+                f"got {self.unbiased_estimator!r}"
+            )
+
+    def bins(self) -> HistogramBins:
+        return latency_bins(self.max_latency_ms, self.bin_width_ms)
+
+    def computer(self) -> PreferenceComputer:
+        return PreferenceComputer(
+            smoothing_window=self.smoothing_window,
+            smoothing_degree=self.smoothing_degree,
+            reference_ms=self.reference_ms,
+            min_unbiased_count=self.min_unbiased_count,
+        )
+
+
+class AutoSens:
+    """The AutoSens analysis engine.
+
+    >>> engine = AutoSens()
+    >>> curve = engine.preference_curve(logs, action="SelectMail")
+    >>> curve.at(1000.0)    # e.g. 0.68: 32 % less activity than at 300 ms
+    """
+
+    def __init__(self, config: Optional[AutoSensConfig] = None) -> None:
+        self.config = config or AutoSensConfig()
+        self._rng = RngFactory(self.config.seed)
+
+    # -- slicing ------------------------------------------------------------
+
+    def _slice(
+        self,
+        logs: LogStore,
+        action: Union[str, ActionType, None] = None,
+        user_class: Union[str, UserClass, None] = None,
+        period: Optional[DayPeriod] = None,
+        month: Optional[int] = None,
+        days_per_month: int = 30,
+    ) -> tuple:
+        sliced = logs.where(
+            action=action,
+            user_class=user_class,
+            period=period,
+            month=month,
+            days_per_month=days_per_month,
+        )
+        parts = []
+        if action is not None:
+            parts.append(f"action={action}")
+        if user_class is not None:
+            parts.append(f"class={user_class}")
+        if period is not None:
+            parts.append(f"period={period.value}")
+        if month is not None:
+            parts.append(f"month={month}")
+        description = ", ".join(parts) if parts else "all actions"
+        if len(sliced) < self.config.min_actions:
+            raise InsufficientDataError(
+                f"slice [{description}] has {len(sliced)} actions; "
+                f"need at least {self.config.min_actions}"
+            )
+        return sliced, description
+
+    # -- distributions --------------------------------------------------------
+
+    def distributions(
+        self,
+        logs: LogStore,
+        rng: SeedLike = None,
+    ) -> tuple:
+        """(B, U) for already-sliced logs, honoring the time correction."""
+        cfg = self.config
+        bins = cfg.bins()
+        generator = rng if rng is not None else self._rng.child("distributions")
+        n_unbiased = int(np.ceil(cfg.unbiased_oversample * len(logs)))
+        if not cfg.time_correction:
+            biased = biased_histogram(logs, bins)
+            unbiased = unbiased_histogram(
+                logs, bins, n_samples=n_unbiased, rng=generator,
+                estimator=cfg.unbiased_estimator,
+            )
+            return biased, unbiased
+        counts = slotted_counts(
+            logs, bins, scheme=cfg.slot_scheme,
+            n_unbiased_samples=n_unbiased, rng=generator,
+            estimator=cfg.unbiased_estimator,
+        )
+        alpha = alpha_from_counts(
+            counts,
+            bin_average=cfg.alpha_bin_average,
+            min_bin_count=cfg.alpha_min_bin_count,
+        )
+        return corrected_histograms(logs, bins, alpha)
+
+    # -- the main entry point ---------------------------------------------------
+
+    def preference_curve(
+        self,
+        logs: LogStore,
+        action: Union[str, ActionType, None] = None,
+        user_class: Union[str, UserClass, None] = None,
+        period: Optional[DayPeriod] = None,
+        month: Optional[int] = None,
+        days_per_month: int = 30,
+    ) -> PreferenceResult:
+        """Compute the normalized latency preference for a telemetry slice."""
+        cfg = self.config
+        sliced, description = self._slice(
+            logs, action, user_class, period, month, days_per_month
+        )
+        bins = cfg.bins()
+        computer = cfg.computer()
+        generator = self._rng.child("preference")
+        n_unbiased = int(np.ceil(cfg.unbiased_oversample * len(sliced)))
+
+        if not cfg.time_correction:
+            biased = biased_histogram(sliced, bins)
+            unbiased = unbiased_histogram(
+                sliced, bins, n_samples=n_unbiased, rng=generator,
+                estimator=cfg.unbiased_estimator,
+            )
+            return computer.compute(
+                biased, unbiased,
+                slice_description=description, n_actions=len(sliced),
+            )
+
+        counts = slotted_counts(
+            sliced, bins, scheme=cfg.slot_scheme,
+            n_unbiased_samples=n_unbiased, rng=generator,
+            estimator=cfg.unbiased_estimator,
+        )
+        references = counts.busiest_slots(cfg.n_reference_slots)
+        per_reference = []
+        for reference in references:
+            alpha = alpha_from_counts(
+                counts,
+                reference_slot=reference,
+                bin_average=cfg.alpha_bin_average,
+                min_bin_count=cfg.alpha_min_bin_count,
+            )
+            biased, unbiased = corrected_histograms(sliced, bins, alpha)
+            per_reference.append(
+                computer.compute(
+                    biased, unbiased,
+                    slice_description=description, n_actions=len(sliced),
+                )
+            )
+        result = average_results(per_reference, slice_description=description)
+        result.metadata["reference_slots"] = references
+        return result
+
+    # -- segmentations (the paper's figures) ------------------------------------
+
+    def curves_by_action(
+        self,
+        logs: LogStore,
+        actions: Optional[List] = None,
+        user_class: Union[str, UserClass, None] = None,
+    ) -> Dict[str, PreferenceResult]:
+        """Figure 4: one curve per action type."""
+        names = actions if actions is not None else logs.action_names()
+        out: Dict[str, PreferenceResult] = {}
+        for name in names:
+            key = name.value if isinstance(name, ActionType) else str(name)
+            out[key] = self.preference_curve(logs, action=key, user_class=user_class)
+        return out
+
+    def curves_by_user_class(
+        self,
+        logs: LogStore,
+        action: Union[str, ActionType, None] = None,
+    ) -> Dict[str, PreferenceResult]:
+        """Figure 5: one curve per subscription class."""
+        out: Dict[str, PreferenceResult] = {}
+        for name in logs.class_names():
+            if not name:
+                continue
+            out[name] = self.preference_curve(logs, action=action, user_class=name)
+        return out
+
+    def curves_by_quartile(
+        self,
+        logs: LogStore,
+        action: Union[str, ActionType, None] = None,
+        min_actions_per_user: int = 5,
+    ) -> Dict[str, PreferenceResult]:
+        """Figure 6: one curve per median-latency quartile.
+
+        Quartiles are assigned from the *full* slice (all hours) before the
+        per-quartile curves are computed.
+        """
+        base = logs.where(action=action) if action is not None else logs.successful()
+        assignment = assign_quartiles(base, min_actions_per_user=min_actions_per_user)
+        slices = quartile_slices(base, assignment)
+        out: Dict[str, PreferenceResult] = {}
+        for name in QUARTILE_NAMES:
+            curve = self.preference_curve(slices[name])
+            curve.slice_description = f"quartile={name}" + (
+                f", action={action}" if action is not None else ""
+            )
+            out[name] = curve
+        return out
+
+    def curves_by_period(
+        self,
+        logs: LogStore,
+        action: Union[str, ActionType, None] = None,
+        user_class: Union[str, UserClass, None] = None,
+    ) -> Dict[str, PreferenceResult]:
+        """Figure 7: one curve per six-hour local-time period.
+
+        Within a single period the hour-of-day α correction still applies
+        across the period's hours.
+        """
+        out: Dict[str, PreferenceResult] = {}
+        for period in ALL_DAY_PERIODS:
+            out[period.value] = self.preference_curve(
+                logs, action=action, user_class=user_class, period=period
+            )
+        return out
+
+    def curves_by_month(
+        self,
+        logs: LogStore,
+        action: Union[str, ActionType, None] = None,
+        months: Optional[List[int]] = None,
+        days_per_month: int = 30,
+    ) -> Dict[int, PreferenceResult]:
+        """Figure 9: one curve per synthetic month."""
+        if months is None:
+            from repro.telemetry import timeutil
+
+            months = sorted(
+                int(m) for m in np.unique(timeutil.month_index(logs.times, days_per_month))
+            )
+        return {
+            m: self.preference_curve(
+                logs, action=action, month=m, days_per_month=days_per_month
+            )
+            for m in months
+        }
+
+    # -- diagnostics --------------------------------------------------------------
+
+    def locality(self, logs: LogStore) -> LocalityComparison:
+        """Figure 1: the MSD/MAD locality comparison."""
+        return locality_report(logs, rng=self._rng.child("locality"))
+
+    def density_series(
+        self, logs: LogStore, window_seconds: float = 60.0
+    ) -> DensityLatencySeries:
+        """Figure 2: windowed activity-vs-latency series."""
+        return density_latency_series(logs, window_seconds=window_seconds)
+
+    def alpha_profile(
+        self,
+        logs: LogStore,
+        scheme: str = "period",
+        reference_slot: Optional[int] = None,
+        action: Union[str, ActionType, None] = None,
+        user_class: Union[str, UserClass, None] = None,
+    ) -> AlphaEstimate:
+        """Figure 8: the α estimate itself (defaults to the 4-period scheme,
+        reference slot 0 = the 8am-2pm period)."""
+        sliced, _ = self._slice(logs, action, user_class)
+        cfg = self.config
+        n_unbiased = int(np.ceil(cfg.unbiased_oversample * len(sliced)))
+        counts = slotted_counts(
+            sliced, cfg.bins(), scheme=scheme,
+            n_unbiased_samples=n_unbiased, rng=self._rng.child("alpha-profile"),
+            estimator=cfg.unbiased_estimator,
+        )
+        if reference_slot is None and scheme == "period":
+            reference_slot = 0  # 8am-2pm, as in the paper's Figure 8
+        return alpha_from_counts(
+            counts,
+            reference_slot=reference_slot,
+            bin_average=cfg.alpha_bin_average,
+            min_bin_count=cfg.alpha_min_bin_count,
+        )

@@ -1,0 +1,133 @@
+"""Result objects: the normalized latency preference curve.
+
+A :class:`PreferenceResult` holds everything the paper plots per figure:
+the shared bin grid, the biased/unbiased densities, the raw ``B/U`` ratio,
+its smoothed version, and the reference-normalized curve, plus enough
+provenance (slice description, sample counts) to label a plot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.stats.histogram import HistogramBins
+
+
+@dataclass
+class PreferenceResult:
+    """A computed normalized-latency-preference curve."""
+
+    bins: HistogramBins
+    biased_counts: np.ndarray
+    unbiased_counts: np.ndarray
+    raw_ratio: np.ndarray
+    smoothed_ratio: np.ndarray
+    nlp: np.ndarray
+    reference_ms: float
+    slice_description: str = ""
+    n_actions: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Bin centers (ms) the curve is defined over."""
+        return self.bins.centers
+
+    @property
+    def valid(self) -> np.ndarray:
+        """Mask of bins where the NLP is defined (enough unbiased mass)."""
+        return ~np.isnan(self.nlp)
+
+    def valid_range(self) -> tuple:
+        """(min, max) latency over which the curve is defined."""
+        centers = self.latencies[self.valid]
+        if centers.size == 0:
+            raise InsufficientDataError("the NLP curve has no valid bins")
+        return float(centers.min()), float(centers.max())
+
+    def at(self, latency_ms: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """NLP at arbitrary latencies by linear interpolation over valid bins.
+
+        Queries outside the valid range return ``nan``.
+        """
+        centers = self.latencies[self.valid]
+        values = self.nlp[self.valid]
+        if centers.size == 0:
+            raise InsufficientDataError("the NLP curve has no valid bins")
+        q = np.asarray(latency_ms, dtype=float)
+        out = np.interp(q, centers, values, left=np.nan, right=np.nan)
+        if np.isscalar(latency_ms):
+            return float(out)
+        return out
+
+    def drop_at(self, latency_ms: float) -> float:
+        """Activity reduction relative to the reference: ``1 - NLP(L)``.
+
+        The paper's headline phrasing: NLP 0.68 at 1000 ms = '32 % less
+        active than at the reference latency'.
+        """
+        return 1.0 - float(self.at(latency_ms))
+
+    def series(self) -> Dict[str, np.ndarray]:
+        """Column-oriented view for export/plotting."""
+        return {
+            "latency_ms": self.latencies,
+            "biased_count": self.biased_counts,
+            "unbiased_count": self.unbiased_counts,
+            "raw_ratio": self.raw_ratio,
+            "smoothed_ratio": self.smoothed_ratio,
+            "nlp": self.nlp,
+        }
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "bins": {"low": self.bins.low, "high": self.bins.high, "width": self.bins.width},
+            "reference_ms": self.reference_ms,
+            "slice_description": self.slice_description,
+            "n_actions": self.n_actions,
+            "metadata": self.metadata,
+            "series": {k: [None if np.isnan(x) else float(x) for x in v]
+                       for k, v in self.series().items()},
+        }
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "PreferenceResult":
+        data = json.loads(Path(path).read_text())
+        series = {
+            k: np.array([np.nan if x is None else x for x in v], dtype=float)
+            for k, v in data["series"].items()
+        }
+        return cls(
+            bins=HistogramBins(**data["bins"]),
+            biased_counts=series["biased_count"],
+            unbiased_counts=series["unbiased_count"],
+            raw_ratio=series["raw_ratio"],
+            smoothed_ratio=series["smoothed_ratio"],
+            nlp=series["nlp"],
+            reference_ms=float(data["reference_ms"]),
+            slice_description=data.get("slice_description", ""),
+            n_actions=int(data.get("n_actions", 0)),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        try:
+            lo, hi = self.valid_range()
+            span = f"[{lo:.0f}, {hi:.0f}] ms"
+        except InsufficientDataError:
+            span = "empty"
+        return (
+            f"PreferenceResult({self.slice_description or 'all'}, "
+            f"n={self.n_actions}, ref={self.reference_ms:.0f} ms, valid={span})"
+        )

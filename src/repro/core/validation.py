@@ -1,0 +1,107 @@
+"""Recovery validation: measured NLP curves vs. ground truth / paper anchors.
+
+The synthetic workload knows its true preference curves, so the reproduction
+can quantify how well AutoSens recovers them. :func:`compare_to_truth`
+evaluates a measured :class:`PreferenceResult` against any callable ground
+truth at chosen anchor latencies and reports per-anchor and aggregate error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.core.result import PreferenceResult
+
+#: The latencies the paper quotes SelectMail values at (Section 3.2/3.5).
+PAPER_ANCHOR_LATENCIES = (500.0, 1000.0, 1500.0, 2000.0)
+
+
+@dataclass(frozen=True)
+class AnchorComparison:
+    """Measured vs expected NLP at one latency."""
+
+    latency_ms: float
+    expected: float
+    measured: float
+
+    @property
+    def error(self) -> float:
+        return self.measured - self.expected
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.error)
+
+
+@dataclass
+class RecoveryReport:
+    """Full comparison of a measured curve against ground truth."""
+
+    anchors: List[AnchorComparison]
+    slice_description: str = ""
+
+    @property
+    def max_abs_error(self) -> float:
+        return max(a.abs_error for a in self.anchors)
+
+    @property
+    def mean_abs_error(self) -> float:
+        return float(np.mean([a.abs_error for a in self.anchors]))
+
+    def passes(self, tolerance: float) -> bool:
+        return self.max_abs_error <= tolerance
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Tabular form for report printers."""
+        return [
+            {
+                "latency_ms": a.latency_ms,
+                "expected": a.expected,
+                "measured": a.measured,
+                "error": a.error,
+            }
+            for a in self.anchors
+        ]
+
+
+def compare_to_truth(
+    result: PreferenceResult,
+    truth: Callable[[np.ndarray], np.ndarray],
+    anchor_latencies: Sequence[float] = PAPER_ANCHOR_LATENCIES,
+) -> RecoveryReport:
+    """Evaluate a measured curve against a ground-truth callable.
+
+    ``truth`` must return the *normalized* expected preference (1 at the
+    reference latency). Anchors outside the measured curve's valid range
+    are skipped; if all are skipped, the data were insufficient.
+    """
+    anchors: List[AnchorComparison] = []
+    lo, hi = result.valid_range()
+    lats = np.asarray([x for x in anchor_latencies if lo <= x <= hi], dtype=float)
+    if lats.size == 0:
+        raise InsufficientDataError(
+            f"no anchor latency falls in the measured range [{lo:.0f}, {hi:.0f}] ms"
+        )
+    expected = np.asarray(truth(lats), dtype=float)
+    for latency, exp in zip(lats, expected):
+        measured = float(result.at(float(latency)))
+        anchors.append(
+            AnchorComparison(latency_ms=float(latency), expected=float(exp), measured=measured)
+        )
+    return RecoveryReport(anchors=anchors, slice_description=result.slice_description)
+
+
+def monotone_ordering(curves: Dict[str, PreferenceResult], at_latency: float) -> List[str]:
+    """Order curve labels by NLP at a probe latency, most sensitive first.
+
+    Used to check qualitative findings like "Q1 is more sensitive than Q4"
+    or "business drops more than consumer".
+    """
+    values = {}
+    for label, curve in curves.items():
+        values[label] = float(curve.at(at_latency))
+    return sorted(values, key=values.get)

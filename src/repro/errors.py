@@ -1,0 +1,40 @@
+"""Exception hierarchy for the AutoSens reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A telemetry record or log file violates the expected schema."""
+
+
+class EmptyDataError(ReproError):
+    """An analysis was attempted on an empty data set or empty slice."""
+
+
+class InsufficientDataError(ReproError):
+    """Data exists but is too sparse for the requested estimate.
+
+    For example: an NLP curve was requested for a latency range whose bins
+    have no unbiased mass, or an alpha factor for a time slot with no actions.
+    """
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class PrivacyError(ReproError):
+    """An operation would reveal information about too small a user group.
+
+    The paper analyzes only large user aggregates; the telemetry layer
+    enforces a minimum aggregate size before returning per-group statistics.
+    """

@@ -1,0 +1,90 @@
+"""Bootstrap confidence intervals.
+
+The paper reports point estimates of the normalized latency preference; this
+reproduction additionally attaches percentile-bootstrap confidence bands so
+the benchmark output can show when two curves (e.g. business vs consumer)
+are separated beyond resampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+from repro.stats.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate with a percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    @property
+    def halfwidth(self) -> float:
+        return 0.5 * (self.high - self.low)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: SeedLike = None,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for ``statistic`` of ``values``."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise EmptyDataError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise EmptyDataError(f"confidence must be in (0, 1), got {confidence}")
+    generator = spawn_rng(rng)
+    replicates = np.empty(n_resamples, dtype=float)
+    n = v.size
+    for i in range(n_resamples):
+        replicates[i] = float(statistic(v[generator.integers(0, n, size=n)]))
+    alpha = 1.0 - confidence
+    low, high = np.quantile(replicates, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapResult(
+        estimate=float(statistic(v)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_curve_band(
+    resample: Callable[[np.random.Generator], np.ndarray],
+    point: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 200,
+    rng: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pointwise percentile band for a whole curve.
+
+    ``resample`` must return one bootstrap replicate of the curve (same
+    length as ``point``) each time it is called with a generator.
+    """
+    generator = spawn_rng(rng)
+    point = np.asarray(point, dtype=float)
+    replicates = np.empty((n_resamples, point.size), dtype=float)
+    for i in range(n_resamples):
+        rep = np.asarray(resample(generator), dtype=float)
+        if rep.shape != point.shape:
+            raise EmptyDataError("resample() returned a curve of the wrong length")
+        replicates[i] = rep
+    alpha = 1.0 - confidence
+    low = np.nanquantile(replicates, alpha / 2.0, axis=0)
+    high = np.nanquantile(replicates, 1.0 - alpha / 2.0, axis=0)
+    return low, high

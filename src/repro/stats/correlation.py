@@ -1,0 +1,60 @@
+"""Correlation measures used by the locality diagnostics.
+
+The paper's second locality check (Section 2.1) correlates the per-minute
+*temporal density* of latency samples with the window-average latency; a
+negative correlation means user actions cluster in low-latency periods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+
+
+def _validated_pair(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise EmptyDataError(f"correlation inputs differ in shape: {x.shape} vs {y.shape}")
+    ok = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[ok], y[ok]
+    if x.size < 2:
+        raise EmptyDataError("correlation needs at least two finite pairs")
+    return x, y
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson product-moment correlation coefficient.
+
+    NaN pairs are dropped. Returns 0.0 when either input is constant (the
+    coefficient is undefined there; 0 is the conservative 'no association').
+    """
+    x, y = _validated_pair(x, y)
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Ranks with ties broken by midrank (average rank)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        midrank = 0.5 * (i + j) + 1.0
+        ranks[order[i : j + 1]] = midrank
+        i = j + 1
+    return ranks
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson on midranks)."""
+    x, y = _validated_pair(x, y)
+    return pearson(_rankdata(x), _rankdata(y))

@@ -1,0 +1,234 @@
+"""Fixed-width binned histograms.
+
+AutoSens discretizes latency into 10 ms bins (paper Section 2.3) and builds
+two histograms over the same bin grid — the biased distribution ``B`` and the
+unbiased distribution ``U`` — whose ratio yields the latency preference.
+:class:`Histogram1D` is that shared building block: a weighted, fixed-width
+histogram supporting accumulation, merging, scaling and normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, EmptyDataError
+
+
+@dataclass(frozen=True)
+class HistogramBins:
+    """A fixed-width bin grid ``[low, low + width), [low + width, ...)``.
+
+    Values below ``low`` or at/above ``high`` are either clipped into the
+    edge bins or dropped, depending on the histogram's ``clip`` flag.
+    """
+
+    low: float
+    high: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if not (self.high > self.low):
+            raise ConfigError(f"high ({self.high}) must exceed low ({self.low})")
+        if not (self.width > 0):
+            raise ConfigError(f"bin width must be positive, got {self.width}")
+        span = self.high - self.low
+        count = span / self.width
+        if abs(count - round(count)) > 1e-9 * max(1.0, count):
+            raise ConfigError(
+                f"bin width {self.width} does not evenly divide [{self.low}, {self.high})"
+            )
+
+    @property
+    def count(self) -> int:
+        """Number of bins."""
+        return int(round((self.high - self.low) / self.width))
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Array of ``count + 1`` bin edges."""
+        return self.low + self.width * np.arange(self.count + 1)
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Array of bin center values."""
+        return self.low + self.width * (np.arange(self.count) + 0.5)
+
+    def index_of(self, values: np.ndarray) -> np.ndarray:
+        """Map values to bin indices; out-of-range values map to -1."""
+        values = np.asarray(values, dtype=float)
+        idx = np.floor((values - self.low) / self.width).astype(np.int64)
+        out_of_range = (values < self.low) | (values >= self.high)
+        idx[out_of_range] = -1
+        return idx
+
+    def clip_index_of(self, values: np.ndarray) -> np.ndarray:
+        """Map values to bin indices, clipping out-of-range into edge bins."""
+        values = np.asarray(values, dtype=float)
+        idx = np.floor((values - self.low) / self.width).astype(np.int64)
+        return np.clip(idx, 0, self.count - 1)
+
+
+class Histogram1D:
+    """Weighted fixed-width histogram over a :class:`HistogramBins` grid.
+
+    Parameters
+    ----------
+    bins:
+        The bin grid shared by every histogram that will be compared.
+    clip:
+        When true, out-of-range samples accumulate into the edge bins;
+        when false (default) they are silently dropped but counted in
+        :attr:`dropped`.
+    """
+
+    def __init__(self, bins: HistogramBins, clip: bool = False) -> None:
+        self.bins = bins
+        self.clip = clip
+        self._weights = np.zeros(bins.count, dtype=float)
+        self._dropped = 0.0
+        self._total_added = 0.0
+
+    # -- accumulation ------------------------------------------------------
+
+    def add(self, values: Iterable[float], weights: Optional[Iterable[float]] = None) -> None:
+        """Accumulate ``values`` (optionally with per-sample ``weights``)."""
+        values = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                            dtype=float)
+        if values.size == 0:
+            return
+        if weights is None:
+            w = np.ones_like(values)
+        else:
+            w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                           dtype=float)
+            if w.shape != values.shape:
+                raise ConfigError("weights must match values in shape")
+        if self.clip:
+            idx = self.bins.clip_index_of(values)
+            np.add.at(self._weights, idx, w)
+        else:
+            idx = self.bins.index_of(values)
+            keep = idx >= 0
+            self._dropped += float(w[~keep].sum())
+            np.add.at(self._weights, idx[keep], w[keep])
+        self._total_added += float(w.sum())
+
+    def add_counts(self, counts: np.ndarray) -> None:
+        """Accumulate a pre-binned count vector (length = bin count)."""
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != self._weights.shape:
+            raise ConfigError(
+                f"counts length {counts.shape} != bin count {self._weights.shape}"
+            )
+        self._weights += counts
+        self._total_added += float(counts.sum())
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bin accumulated weight (a copy)."""
+        return self._weights.copy()
+
+    @property
+    def total(self) -> float:
+        """Total weight currently in the bins."""
+        return float(self._weights.sum())
+
+    @property
+    def dropped(self) -> float:
+        """Total weight dropped because it fell outside the grid."""
+        return self._dropped
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total <= 0.0
+
+    def pdf(self) -> np.ndarray:
+        """Probability *density* per bin (integrates to 1 over the grid)."""
+        total = self.total
+        if total <= 0:
+            raise EmptyDataError("cannot normalize an empty histogram")
+        return self._weights / (total * self.bins.width)
+
+    def pmf(self) -> np.ndarray:
+        """Probability mass per bin (sums to 1)."""
+        total = self.total
+        if total <= 0:
+            raise EmptyDataError("cannot normalize an empty histogram")
+        return self._weights / total
+
+    def mean(self) -> float:
+        """Weighted mean using bin centers."""
+        if self.is_empty:
+            raise EmptyDataError("cannot take the mean of an empty histogram")
+        return float(np.average(self.bins.centers, weights=self._weights))
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile by linear interpolation within bins."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self.is_empty:
+            raise EmptyDataError("cannot take a quantile of an empty histogram")
+        cdf = np.cumsum(self._weights) / self.total
+        edges = self.bins.edges
+        idx = int(np.searchsorted(cdf, q, side="left"))
+        idx = min(idx, self.bins.count - 1)
+        prev_cdf = cdf[idx - 1] if idx > 0 else 0.0
+        bin_mass = cdf[idx] - prev_cdf
+        frac = 0.0 if bin_mass <= 0 else (q - prev_cdf) / bin_mass
+        return float(edges[idx] + frac * self.bins.width)
+
+    # -- algebra -----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "Histogram1D":
+        """Return a copy with every bin weight multiplied by ``factor``."""
+        out = Histogram1D(self.bins, clip=self.clip)
+        out._weights = self._weights * float(factor)
+        out._total_added = self._total_added * float(factor)
+        out._dropped = self._dropped * float(factor)
+        return out
+
+    def merged(self, other: "Histogram1D") -> "Histogram1D":
+        """Return a new histogram with this one's and ``other``'s weights."""
+        if other.bins != self.bins:
+            raise ConfigError("cannot merge histograms with different bin grids")
+        out = Histogram1D(self.bins, clip=self.clip)
+        out._weights = self._weights + other._weights
+        out._total_added = self._total_added + other._total_added
+        out._dropped = self._dropped + other._dropped
+        return out
+
+    def ratio_to(self, other: "Histogram1D", min_denominator: float = 0.0) -> np.ndarray:
+        """Per-bin density ratio ``self.pdf() / other.pdf()``.
+
+        Bins where ``other`` has density at or below ``min_denominator`` yield
+        ``nan`` rather than an unstable or infinite ratio.
+        """
+        if other.bins != self.bins:
+            raise ConfigError("cannot ratio histograms with different bin grids")
+        num = self.pdf()
+        den = other.pdf()
+        out = np.full_like(num, np.nan)
+        ok = den > min_denominator
+        out[ok] = num[ok] / den[ok]
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram1D):
+            return NotImplemented
+        return self.bins == other.bins and np.array_equal(self._weights, other._weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram1D(bins=[{self.bins.low}, {self.bins.high})@{self.bins.width}, "
+            f"total={self.total:.3g}, dropped={self.dropped:.3g})"
+        )
+
+
+def latency_bins(max_latency_ms: float = 3000.0, width_ms: float = 10.0) -> HistogramBins:
+    """The paper's latency grid: 10 ms bins starting at zero."""
+    return HistogramBins(low=0.0, high=max_latency_ms, width=width_ms)

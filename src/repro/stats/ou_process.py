@@ -1,0 +1,110 @@
+"""Ornstein–Uhlenbeck and AR(1) processes.
+
+The workload simulator models the *predictable* component of latency as a
+mean-reverting log-scale congestion process: periods of elevated latency
+persist for minutes to hours and then decay — exactly the temporal locality
+the paper's Figure 1 measures. An exact-discretization OU process gives that
+behaviour with two interpretable knobs: the relaxation time and the
+stationary standard deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class OrnsteinUhlenbeck:
+    """A stationary OU process ``dX = -(X - mean)/tau dt + sigma_inf*sqrt(2/tau) dW``.
+
+    Parameters
+    ----------
+    mean:
+        Long-run mean the process reverts to.
+    tau:
+        Relaxation (mean-reversion) time, in the same units as the sample
+        step. Larger tau = longer-lived excursions = more locality.
+    sigma:
+        Stationary standard deviation of the process.
+    """
+
+    mean: float = 0.0
+    tau: float = 1800.0
+    sigma: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise ConfigError(f"tau must be positive, got {self.tau}")
+        if self.sigma < 0:
+            raise ConfigError(f"sigma must be non-negative, got {self.sigma}")
+
+    def sample_path(
+        self,
+        n_steps: int,
+        dt: float,
+        rng: SeedLike = None,
+        x0: float | None = None,
+    ) -> np.ndarray:
+        """Sample ``n_steps`` values at spacing ``dt`` via exact discretization.
+
+        The exact AR(1) update ``x' = mean + phi (x - mean) + eps`` with
+        ``phi = exp(-dt/tau)`` and ``eps ~ N(0, sigma^2 (1 - phi^2))`` has the
+        correct stationary distribution regardless of ``dt``.
+        """
+        if n_steps < 0:
+            raise ConfigError(f"n_steps must be non-negative, got {n_steps}")
+        if dt <= 0:
+            raise ConfigError(f"dt must be positive, got {dt}")
+        generator = spawn_rng(rng)
+        phi = float(np.exp(-dt / self.tau))
+        noise_sd = self.sigma * float(np.sqrt(max(0.0, 1.0 - phi * phi)))
+        out = np.empty(n_steps, dtype=float)
+        if n_steps == 0:
+            return out
+        if x0 is None:
+            x = self.mean + self.sigma * generator.standard_normal()
+        else:
+            x = float(x0)
+        shocks = noise_sd * generator.standard_normal(n_steps)
+        for i in range(n_steps):
+            x = self.mean + phi * (x - self.mean) + shocks[i]
+            out[i] = x
+        return out
+
+    def autocorrelation(self, lag_seconds: float) -> float:
+        """Theoretical autocorrelation at the given lag."""
+        return float(np.exp(-abs(lag_seconds) / self.tau))
+
+
+def ar1_series(
+    n: int,
+    phi: float,
+    sigma: float = 1.0,
+    mean: float = 0.0,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Sample a stationary AR(1) series ``x' = mean + phi (x - mean) + eps``.
+
+    ``sigma`` is the *stationary* standard deviation (not the shock scale).
+    Requires ``|phi| < 1``.
+    """
+    if not -1.0 < phi < 1.0:
+        raise ConfigError(f"phi must satisfy |phi| < 1, got {phi}")
+    if n < 0:
+        raise ConfigError(f"n must be non-negative, got {n}")
+    generator = spawn_rng(rng)
+    shock_sd = sigma * float(np.sqrt(1.0 - phi * phi))
+    out = np.empty(n, dtype=float)
+    if n == 0:
+        return out
+    x = mean + sigma * generator.standard_normal()
+    shocks = shock_sd * generator.standard_normal(n)
+    for i in range(n):
+        x = mean + phi * (x - mean) + shocks[i]
+        out[i] = x
+    return out

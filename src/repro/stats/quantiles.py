@@ -1,0 +1,122 @@
+"""Exact and streaming quantiles.
+
+Section 3.4 groups users into quartiles of their per-user *median* latency.
+At OWA scale that median must be computed without buffering every sample per
+user, so alongside the exact helper we provide the P² (Jain & Chlamtac,
+1985) streaming quantile estimator: O(1) memory per user, five markers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, EmptyDataError
+
+
+def exact_quantile(values: np.ndarray, q: float) -> float:
+    """Exact quantile via linear interpolation (numpy's default scheme)."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise EmptyDataError("cannot take a quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"q must be in [0, 1], got {q}")
+    return float(np.quantile(v, q))
+
+
+class P2Quantile:
+    """P² streaming quantile estimator (Jain & Chlamtac, 1985).
+
+    Maintains five markers whose heights converge to the requested quantile
+    without storing observations. Exact for the first five samples; after
+    that the classic parabolic (P²) update adjusts interior markers.
+
+    >>> est = P2Quantile(0.5)
+    >>> for x in [5, 1, 4, 2, 3]:
+    ...     est.add(x)
+    >>> est.value()
+    3.0
+    """
+
+    def __init__(self, q: float = 0.5) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigError(f"q must be in (0, 1), got {q}")
+        self.q = q
+        self._initial: list[float] = []
+        self._n: list[int] = []        # marker positions (1-based)
+        self._ns: list[float] = []     # desired positions
+        self._heights: list[float] = []
+        self._count = 0
+
+    def add(self, value: float) -> None:
+        """Feed one observation."""
+        value = float(value)
+        self._count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._n = [1, 2, 3, 4, 5]
+                q = self.q
+                self._ns = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+            return
+
+        heights = self._heights
+        n = self._n
+        # Locate the cell and update extreme heights.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 5):
+                if value < heights[i]:
+                    k = i - 1
+                    break
+        for i in range(k + 1, 5):
+            n[i] += 1
+        q = self.q
+        dn = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        for i in range(5):
+            self._ns[i] += dn[i]
+
+        # Adjust interior markers.
+        for i in range(1, 4):
+            d = self._ns[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (d <= -1 and n[i - 1] - n[i] < -1):
+                step = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        n = self._n
+        h = self._heights
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        n = self._n
+        h = self._heights
+        return h[i] + d * (h[i + d] - h[i]) / (n[i + d] - n[i])
+
+    @property
+    def count(self) -> int:
+        """Number of observations fed so far."""
+        return self._count
+
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self._count == 0:
+            raise EmptyDataError("no observations fed to P2Quantile")
+        if len(self._initial) < 5:
+            return exact_quantile(np.asarray(self._initial), self.q)
+        return float(self._heights[2])

@@ -1,0 +1,98 @@
+"""Time-based resampling primitives for the unbiased-distribution estimator.
+
+Section 2.2 of the paper approximates the unbiased latency distribution by
+repeatedly (1) drawing a point in time uniformly at random over the
+observation window and (2) selecting the latency sample *closest in time* to
+that point, breaking ties uniformly at random. These two primitives live
+here; :mod:`repro.core.unbiased` assembles them into the estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+from repro.stats.rng import SeedLike, spawn_rng
+
+
+def random_times(
+    start: float,
+    end: float,
+    n: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Draw ``n`` times uniformly at random from ``[start, end)``."""
+    if not end > start:
+        raise EmptyDataError(f"empty time window [{start}, {end})")
+    if n < 0:
+        raise EmptyDataError(f"cannot draw a negative number of times ({n})")
+    generator = spawn_rng(rng)
+    return generator.uniform(start, end, size=n)
+
+
+def nearest_time_sample(
+    sample_times: np.ndarray,
+    query_times: np.ndarray,
+    rng: SeedLike = None,
+    tie_tolerance: float = 0.0,
+) -> np.ndarray:
+    """Indices of the sample nearest in time to each query time.
+
+    ``sample_times`` must be sorted ascending. Ties — several samples at the
+    same distance within ``tie_tolerance`` — are broken uniformly at random,
+    as the paper prescribes for multiple samples at the chosen time.
+
+    Returns an integer index array into ``sample_times`` with one entry per
+    query.
+    """
+    times = np.asarray(sample_times, dtype=float)
+    queries = np.asarray(query_times, dtype=float)
+    if times.size == 0:
+        raise EmptyDataError("no samples to draw from")
+    if times.size > 1 and np.any(np.diff(times) < 0):
+        raise EmptyDataError("sample_times must be sorted ascending")
+
+    # For each query, the insertion point splits candidates into the sample
+    # just before and just after; pick whichever is closer.
+    right = np.searchsorted(times, queries, side="left")
+    left = np.clip(right - 1, 0, times.size - 1)
+    right = np.clip(right, 0, times.size - 1)
+    dist_left = np.abs(queries - times[left])
+    dist_right = np.abs(times[right] - queries)
+    take_right = dist_right < dist_left
+    nearest = np.where(take_right, right, left)
+
+    generator = spawn_rng(rng)
+
+    # Exact-distance ties between the left and right neighbour: coin flip.
+    tied_lr = np.abs(dist_left - dist_right) <= tie_tolerance
+    tied_lr &= left != right
+    if np.any(tied_lr):
+        flips = generator.random(int(tied_lr.sum())) < 0.5
+        chosen = np.where(flips, left[tied_lr], right[tied_lr])
+        nearest = nearest.copy()
+        nearest[tied_lr] = chosen
+
+    # Duplicate timestamps: several samples share the winning time; pick one
+    # uniformly among the run of equal times.
+    winning_times = times[nearest]
+    run_start = np.searchsorted(times, winning_times, side="left")
+    run_end = np.searchsorted(times, winning_times, side="right")
+    run_len = run_end - run_start
+    multi = run_len > 1
+    if np.any(multi):
+        offsets = (generator.random(int(multi.sum())) * run_len[multi]).astype(np.int64)
+        nearest = nearest.copy()
+        nearest[multi] = run_start[multi] + offsets
+    return nearest
+
+
+def sorted_by_time(
+    times: np.ndarray, *columns: np.ndarray
+) -> Tuple[np.ndarray, ...]:
+    """Return ``times`` and the given parallel columns sorted by time."""
+    times = np.asarray(times, dtype=float)
+    order = np.argsort(times, kind="mergesort")
+    return (times[order],) + tuple(np.asarray(c)[order] for c in columns)

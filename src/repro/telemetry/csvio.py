@@ -1,0 +1,72 @@
+"""CSV reader/writer for telemetry logs.
+
+A flat-file interchange format for spreadsheets and other tools. The column
+set matches :meth:`ActionRecord.to_dict` minus the free-form ``extra``
+mapping (CSV is flat); ``extra`` is dropped on write.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.errors import SchemaError
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.record import ActionRecord
+
+PathLike = Union[str, Path]
+
+FIELDS = [
+    "time",
+    "action",
+    "latency_ms",
+    "user_id",
+    "user_class",
+    "success",
+    "tz_offset_hours",
+]
+
+
+def write_csv(records: Iterable[ActionRecord], path: PathLike) -> int:
+    """Write records to CSV with a header row; returns row count."""
+    path = Path(path)
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=FIELDS, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            row = record.to_dict()
+            row["success"] = int(row["success"])
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def iter_csv(path: PathLike, strict: bool = True) -> Iterator[ActionRecord]:
+    """Stream records from a CSV file written by :func:`write_csv`."""
+    path = Path(path)
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        missing = set(("time", "action", "latency_ms")) - set(reader.fieldnames or [])
+        if missing:
+            raise SchemaError(f"{path}: missing required CSV columns {sorted(missing)}")
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                yield ActionRecord(
+                    time=float(row["time"]),
+                    action=row["action"],
+                    latency_ms=float(row["latency_ms"]),
+                    user_id=row.get("user_id", "") or "",
+                    user_class=row.get("user_class", "") or "",
+                    success=bool(int(row.get("success", 1) or 1)),
+                    tz_offset_hours=float(row.get("tz_offset_hours", 0) or 0),
+                )
+            except (TypeError, ValueError, SchemaError) as exc:
+                if strict:
+                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+
+
+def read_csv(path: PathLike, strict: bool = True) -> LogStore:
+    """Read a whole CSV file into a :class:`LogStore`."""
+    return LogStore.from_records(iter_csv(path, strict=strict))

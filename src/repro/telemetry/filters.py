@@ -1,0 +1,127 @@
+"""Composable row predicates over a :class:`LogStore`.
+
+:meth:`LogStore.where` covers the common conjunctive slices; these predicate
+objects cover the long tail — arbitrary boolean combinations, reusable slice
+definitions for the experiment registry, and serializable descriptions for
+report headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple, Union
+
+import numpy as np
+
+from repro.telemetry import timeutil
+from repro.telemetry.log_store import LogStore, _PERIOD_HOURS
+from repro.types import ActionType, DayPeriod, UserClass
+
+
+class Predicate:
+    """A named boolean row-mask over a log store, supporting ``& | ~``."""
+
+    def __init__(self, fn: Callable[[LogStore], np.ndarray], name: str) -> None:
+        self._fn = fn
+        self.name = name
+
+    def mask(self, logs: LogStore) -> np.ndarray:
+        out = np.asarray(self._fn(logs), dtype=bool)
+        if out.shape != logs.times.shape:
+            raise ValueError(f"predicate {self.name!r} returned a bad mask shape")
+        return out
+
+    def apply(self, logs: LogStore) -> LogStore:
+        return logs.filter(self.mask(logs))
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda logs: self.mask(logs) & other.mask(logs),
+            f"({self.name} & {other.name})",
+        )
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda logs: self.mask(logs) | other.mask(logs),
+            f"({self.name} | {other.name})",
+        )
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(lambda logs: ~self.mask(logs), f"~{self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Predicate({self.name})"
+
+
+def action_is(action: Union[str, ActionType]) -> Predicate:
+    """Rows whose action type matches."""
+    name = action.value if isinstance(action, ActionType) else str(action)
+
+    def fn(logs: LogStore) -> np.ndarray:
+        if name not in logs.action_vocab:
+            return np.zeros(len(logs), dtype=bool)
+        return logs.action_codes == logs.action_vocab.index(name)
+
+    return Predicate(fn, f"action={name}")
+
+
+def user_class_is(user_class: Union[str, UserClass]) -> Predicate:
+    """Rows whose user class matches."""
+    name = user_class.value if isinstance(user_class, UserClass) else str(user_class)
+
+    def fn(logs: LogStore) -> np.ndarray:
+        if name not in logs.class_vocab:
+            return np.zeros(len(logs), dtype=bool)
+        return logs.class_codes == logs.class_vocab.index(name)
+
+    return Predicate(fn, f"class={name}")
+
+
+def in_period(period: DayPeriod) -> Predicate:
+    """Rows in one of the four six-hour local-time periods."""
+
+    def fn(logs: LogStore) -> np.ndarray:
+        hours = timeutil.hour_of_day(logs.times, logs.tz_offsets)
+        lo, hi = _PERIOD_HOURS[period]
+        if lo < hi:
+            return (hours >= lo) & (hours < hi)
+        return (hours >= lo) | (hours < hi)
+
+    return Predicate(fn, f"period={period.value}")
+
+
+def in_month(month: int, days_per_month: int = 30) -> Predicate:
+    """Rows in a synthetic-calendar month (0-based)."""
+
+    def fn(logs: LogStore) -> np.ndarray:
+        return timeutil.month_index(logs.times, days_per_month) == month
+
+    return Predicate(fn, f"month={month}")
+
+
+def latency_between(low_ms: float, high_ms: float) -> Predicate:
+    """Rows with latency in ``[low_ms, high_ms)``."""
+
+    def fn(logs: LogStore) -> np.ndarray:
+        return (logs.latencies_ms >= low_ms) & (logs.latencies_ms < high_ms)
+
+    return Predicate(fn, f"latency=[{low_ms},{high_ms})")
+
+
+def time_between(start: float, end: float) -> Predicate:
+    """Rows with timestamp in ``[start, end)``."""
+
+    def fn(logs: LogStore) -> np.ndarray:
+        return (logs.times >= start) & (logs.times < end)
+
+    return Predicate(fn, f"time=[{start},{end})")
+
+
+def successful() -> Predicate:
+    """Rows whose action succeeded (the paper drops errors)."""
+    return Predicate(lambda logs: logs.success.copy(), "success")
+
+
+def everything() -> Predicate:
+    """The trivially-true predicate (useful as a fold seed)."""
+    return Predicate(lambda logs: np.ones(len(logs), dtype=bool), "all")

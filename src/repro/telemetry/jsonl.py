@@ -1,0 +1,63 @@
+"""JSON-lines reader/writer for telemetry logs.
+
+One JSON object per line with the :meth:`ActionRecord.to_dict` fields.
+The reader is streaming (constant memory until materialized into a
+:class:`LogStore`) and strict by default: malformed lines raise
+:class:`SchemaError` with the line number, or are counted and skipped when
+``strict=False`` — server logs in the wild always have a few bad rows.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.errors import SchemaError
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.record import ActionRecord
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_jsonl(records: Iterable[ActionRecord], path: PathLike) -> int:
+    """Write records to a (optionally ``.gz``) JSONL file; returns row count."""
+    path = Path(path)
+    count = 0
+    with _open_text(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def iter_jsonl(path: PathLike, strict: bool = True) -> Iterator[ActionRecord]:
+    """Stream records from a JSONL file.
+
+    With ``strict=False`` malformed lines are skipped silently; use
+    :func:`read_jsonl` to get the skip count.
+    """
+    path = Path(path)
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield ActionRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, SchemaError) as exc:
+                if strict:
+                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+
+
+def read_jsonl(path: PathLike, strict: bool = True) -> LogStore:
+    """Read a whole JSONL file into a :class:`LogStore`."""
+    return LogStore.from_records(iter_jsonl(path, strict=strict))

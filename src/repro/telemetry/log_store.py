@@ -1,0 +1,399 @@
+"""Columnar, NumPy-backed telemetry store.
+
+At the paper's scale (billions of rows) telemetry lives in a data warehouse;
+at reproduction scale a columnar in-memory store with vectorized filtering
+plays that role. Strings (action names, user ids, user classes) are
+dictionary-encoded: each :class:`LogStore` carries integer code columns plus
+shared vocabularies, so filtering and grouping never touch Python strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import EmptyDataError, SchemaError
+from repro.telemetry.record import ActionRecord
+from repro.telemetry import timeutil
+from repro.types import ActionType, DayPeriod, UserClass
+
+
+def _encode(values: Sequence[str], vocab: List[str]) -> np.ndarray:
+    """Dictionary-encode ``values`` into ``vocab`` (extended in place)."""
+    index = {name: i for i, name in enumerate(vocab)}
+    codes = np.empty(len(values), dtype=np.int64)
+    for i, name in enumerate(values):
+        code = index.get(name)
+        if code is None:
+            code = len(vocab)
+            vocab.append(name)
+            index[name] = code
+        codes[i] = code
+    return codes
+
+
+def _as_name(value: Union[str, ActionType, UserClass]) -> str:
+    if isinstance(value, (ActionType, UserClass)):
+        return value.value
+    return str(value)
+
+
+class LogStore:
+    """An immutable columnar batch of :class:`ActionRecord` rows.
+
+    Construction is via :meth:`from_records`, :meth:`from_arrays`, or the
+    telemetry readers. All filtering methods return new stores sharing the
+    vocabularies (cheap views of the underlying arrays where possible).
+    """
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        latencies_ms: np.ndarray,
+        action_codes: np.ndarray,
+        user_codes: np.ndarray,
+        class_codes: np.ndarray,
+        success: np.ndarray,
+        tz_offsets: np.ndarray,
+        action_vocab: List[str],
+        user_vocab: List[str],
+        class_vocab: List[str],
+    ) -> None:
+        n = len(times)
+        columns = (latencies_ms, action_codes, user_codes, class_codes, success, tz_offsets)
+        if any(len(c) != n for c in columns):
+            raise SchemaError("all columns must have equal length")
+        self.times = np.asarray(times, dtype=float)
+        self.latencies_ms = np.asarray(latencies_ms, dtype=float)
+        self.action_codes = np.asarray(action_codes, dtype=np.int64)
+        self.user_codes = np.asarray(user_codes, dtype=np.int64)
+        self.class_codes = np.asarray(class_codes, dtype=np.int64)
+        self.success = np.asarray(success, dtype=bool)
+        self.tz_offsets = np.asarray(tz_offsets, dtype=float)
+        self.action_vocab = action_vocab
+        self.user_vocab = user_vocab
+        self.class_vocab = class_vocab
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[ActionRecord]) -> "LogStore":
+        """Build a store from an iterable of records."""
+        rows = list(records)
+        action_vocab: List[str] = []
+        user_vocab: List[str] = []
+        class_vocab: List[str] = []
+        return cls(
+            times=np.array([r.time for r in rows], dtype=float),
+            latencies_ms=np.array([r.latency_ms for r in rows], dtype=float),
+            action_codes=_encode([r.action for r in rows], action_vocab),
+            user_codes=_encode([r.user_id for r in rows], user_vocab),
+            class_codes=_encode([r.user_class for r in rows], class_vocab),
+            success=np.array([r.success for r in rows], dtype=bool),
+            tz_offsets=np.array([r.tz_offset_hours for r in rows], dtype=float),
+            action_vocab=action_vocab,
+            user_vocab=user_vocab,
+            class_vocab=class_vocab,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        times: np.ndarray,
+        latencies_ms: np.ndarray,
+        actions: Sequence[str],
+        user_ids: Optional[Sequence[str]] = None,
+        user_classes: Optional[Sequence[str]] = None,
+        success: Optional[np.ndarray] = None,
+        tz_offsets: Optional[np.ndarray] = None,
+    ) -> "LogStore":
+        """Build a store from parallel arrays; missing metadata defaults."""
+        n = len(times)
+        action_vocab: List[str] = []
+        user_vocab: List[str] = []
+        class_vocab: List[str] = []
+        if user_ids is None:
+            user_ids = [""] * n
+        if user_classes is None:
+            user_classes = [""] * n
+        return cls(
+            times=np.asarray(times, dtype=float),
+            latencies_ms=np.asarray(latencies_ms, dtype=float),
+            action_codes=_encode(list(actions), action_vocab),
+            user_codes=_encode(list(user_ids), user_vocab),
+            class_codes=_encode(list(user_classes), class_vocab),
+            success=(np.ones(n, dtype=bool) if success is None
+                     else np.asarray(success, dtype=bool)),
+            tz_offsets=(np.zeros(n, dtype=float) if tz_offsets is None
+                        else np.asarray(tz_offsets, dtype=float)),
+            action_vocab=action_vocab,
+            user_vocab=user_vocab,
+            class_vocab=class_vocab,
+        )
+
+    @classmethod
+    def from_coded_arrays(
+        cls,
+        times: np.ndarray,
+        latencies_ms: np.ndarray,
+        action_codes: np.ndarray,
+        action_vocab: Sequence[str],
+        user_codes: np.ndarray,
+        user_vocab: Sequence[str],
+        class_codes: np.ndarray,
+        class_vocab: Sequence[str],
+        success: Optional[np.ndarray] = None,
+        tz_offsets: Optional[np.ndarray] = None,
+    ) -> "LogStore":
+        """Zero-copy constructor for already dictionary-encoded columns."""
+        n = len(times)
+        return cls(
+            times=times,
+            latencies_ms=latencies_ms,
+            action_codes=action_codes,
+            user_codes=user_codes,
+            class_codes=class_codes,
+            success=(np.ones(n, dtype=bool) if success is None else success),
+            tz_offsets=(np.zeros(n, dtype=float) if tz_offsets is None else tz_offsets),
+            action_vocab=list(action_vocab),
+            user_vocab=list(user_vocab),
+            class_vocab=list(class_vocab),
+        )
+
+    # -- basic views -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def actions(self) -> np.ndarray:
+        """Action names as an object array (decoded)."""
+        vocab = np.asarray(self.action_vocab, dtype=object)
+        return vocab[self.action_codes]
+
+    @property
+    def user_classes(self) -> np.ndarray:
+        """User class names as an object array (decoded)."""
+        vocab = np.asarray(self.class_vocab, dtype=object)
+        return vocab[self.class_codes]
+
+    @property
+    def local_times(self) -> np.ndarray:
+        """Timestamps shifted into each user's local clock."""
+        return self.times + 3600.0 * self.tz_offsets
+
+    def time_range(self) -> Tuple[float, float]:
+        """(min, max) timestamp; raises on an empty store."""
+        if self.is_empty:
+            raise EmptyDataError("empty log store has no time range")
+        return float(self.times.min()), float(self.times.max())
+
+    def duration(self) -> float:
+        """Observation span in seconds."""
+        lo, hi = self.time_range()
+        return hi - lo
+
+    def action_names(self) -> List[str]:
+        """Distinct action names actually present, in vocab order."""
+        present = np.unique(self.action_codes)
+        return [self.action_vocab[int(c)] for c in present]
+
+    def class_names(self) -> List[str]:
+        """Distinct user class names actually present, in vocab order."""
+        present = np.unique(self.class_codes)
+        return [self.class_vocab[int(c)] for c in present]
+
+    def n_users(self) -> int:
+        """Number of distinct users present."""
+        return int(np.unique(self.user_codes).size)
+
+    def tz_offsets_present(self) -> List[float]:
+        """Distinct timezone offsets (regions) present, sorted."""
+        return sorted(float(x) for x in np.unique(self.tz_offsets))
+
+    # -- filtering ---------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "LogStore":
+        """Return the rows where ``mask`` is true (vocabularies shared)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.times.shape:
+            raise SchemaError("mask must have one entry per row")
+        return LogStore(
+            times=self.times[mask],
+            latencies_ms=self.latencies_ms[mask],
+            action_codes=self.action_codes[mask],
+            user_codes=self.user_codes[mask],
+            class_codes=self.class_codes[mask],
+            success=self.success[mask],
+            tz_offsets=self.tz_offsets[mask],
+            action_vocab=self.action_vocab,
+            user_vocab=self.user_vocab,
+            class_vocab=self.class_vocab,
+        )
+
+    def where(
+        self,
+        action: Union[str, ActionType, None] = None,
+        user_class: Union[str, UserClass, None] = None,
+        period: Optional[DayPeriod] = None,
+        month: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+        user_codes: Optional[np.ndarray] = None,
+        tz_offset: Optional[float] = None,
+        success_only: bool = True,
+        days_per_month: int = 30,
+    ) -> "LogStore":
+        """Vectorized multi-criteria slice.
+
+        All criteria are conjunctive; ``None`` means "no constraint". The
+        paper's analyses only consider successful actions, hence
+        ``success_only`` defaults to true.
+        """
+        mask = np.ones(len(self), dtype=bool)
+        if success_only:
+            mask &= self.success
+        if action is not None:
+            name = _as_name(action)
+            try:
+                code = self.action_vocab.index(name)
+            except ValueError:
+                return self.filter(np.zeros(len(self), dtype=bool))
+            mask &= self.action_codes == code
+        if user_class is not None:
+            name = _as_name(user_class)
+            try:
+                code = self.class_vocab.index(name)
+            except ValueError:
+                return self.filter(np.zeros(len(self), dtype=bool))
+            mask &= self.class_codes == code
+        if period is not None:
+            hours = timeutil.hour_of_day(self.times, self.tz_offsets)
+            lo, hi = _PERIOD_HOURS[period]
+            if lo < hi:
+                mask &= (hours >= lo) & (hours < hi)
+            else:  # wraps midnight
+                mask &= (hours >= lo) | (hours < hi)
+        if month is not None:
+            mask &= timeutil.month_index(self.times, days_per_month) == month
+        if time_range is not None:
+            lo_t, hi_t = time_range
+            mask &= (self.times >= lo_t) & (self.times < hi_t)
+        if user_codes is not None:
+            mask &= np.isin(self.user_codes, np.asarray(user_codes, dtype=np.int64))
+        if tz_offset is not None:
+            mask &= np.isclose(self.tz_offsets, tz_offset)
+        return self.filter(mask)
+
+    def successful(self) -> "LogStore":
+        """Only the rows where the action succeeded."""
+        return self.filter(self.success)
+
+    def sorted_by_time(self) -> "LogStore":
+        """Rows ordered by timestamp (stable sort)."""
+        order = np.argsort(self.times, kind="mergesort")
+        return LogStore(
+            times=self.times[order],
+            latencies_ms=self.latencies_ms[order],
+            action_codes=self.action_codes[order],
+            user_codes=self.user_codes[order],
+            class_codes=self.class_codes[order],
+            success=self.success[order],
+            tz_offsets=self.tz_offsets[order],
+            action_vocab=self.action_vocab,
+            user_vocab=self.user_vocab,
+            class_vocab=self.class_vocab,
+        )
+
+    def concat(self, other: "LogStore") -> "LogStore":
+        """Concatenate two stores, re-encoding the other's vocabularies."""
+        other_actions = [other.action_vocab[c] for c in other.action_codes]
+        other_users = [other.user_vocab[c] for c in other.user_codes]
+        other_classes = [other.class_vocab[c] for c in other.class_codes]
+        action_vocab = list(self.action_vocab)
+        user_vocab = list(self.user_vocab)
+        class_vocab = list(self.class_vocab)
+        return LogStore(
+            times=np.concatenate([self.times, other.times]),
+            latencies_ms=np.concatenate([self.latencies_ms, other.latencies_ms]),
+            action_codes=np.concatenate(
+                [self.action_codes, _encode(other_actions, action_vocab)]
+            ),
+            user_codes=np.concatenate(
+                [self.user_codes, _encode(other_users, user_vocab)]
+            ),
+            class_codes=np.concatenate(
+                [self.class_codes, _encode(other_classes, class_vocab)]
+            ),
+            success=np.concatenate([self.success, other.success]),
+            tz_offsets=np.concatenate([self.tz_offsets, other.tz_offsets]),
+            action_vocab=action_vocab,
+            user_vocab=user_vocab,
+            class_vocab=class_vocab,
+        )
+
+    # -- aggregation -------------------------------------------------------
+
+    def per_user_median_latency(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(user_codes, median_latency_ms) for every distinct user.
+
+        Vectorized: sorts rows by user code and slices runs.
+        """
+        if self.is_empty:
+            raise EmptyDataError("no rows to compute per-user medians from")
+        order = np.argsort(self.user_codes, kind="mergesort")
+        codes = self.user_codes[order]
+        lats = self.latencies_ms[order]
+        distinct, starts = np.unique(codes, return_index=True)
+        boundaries = np.append(starts, codes.size)
+        medians = np.empty(distinct.size, dtype=float)
+        for i in range(distinct.size):
+            medians[i] = np.median(lats[boundaries[i]:boundaries[i + 1]])
+        return distinct, medians
+
+    def per_user_action_count(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(user_codes, action_count) for every distinct user."""
+        if self.is_empty:
+            raise EmptyDataError("no rows to count per user")
+        distinct, counts = np.unique(self.user_codes, return_counts=True)
+        return distinct, counts
+
+    # -- record round-trip ---------------------------------------------------
+
+    def iter_records(self) -> Iterator[ActionRecord]:
+        """Decode rows back into :class:`ActionRecord` objects (slow path)."""
+        for i in range(len(self)):
+            yield ActionRecord(
+                time=float(self.times[i]),
+                action=self.action_vocab[int(self.action_codes[i])],
+                latency_ms=float(self.latencies_ms[i]),
+                user_id=self.user_vocab[int(self.user_codes[i])],
+                user_class=self.class_vocab[int(self.class_codes[i])],
+                success=bool(self.success[i]),
+                tz_offset_hours=float(self.tz_offsets[i]),
+            )
+
+    def to_records(self) -> List[ActionRecord]:
+        return list(self.iter_records())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_empty:
+            return "LogStore(empty)"
+        lo, hi = self.time_range()
+        return (
+            f"LogStore(rows={len(self)}, users={self.n_users()}, "
+            f"actions={self.action_names()}, span={hi - lo:.0f}s)"
+        )
+
+
+#: Local-hour boundaries for each six-hour period: (start, end), end exclusive.
+_PERIOD_HOURS = {
+    DayPeriod.MORNING: (8.0, 14.0),
+    DayPeriod.AFTERNOON: (14.0, 20.0),
+    DayPeriod.NIGHT: (20.0, 2.0),
+    DayPeriod.LATE_NIGHT: (2.0, 8.0),
+}

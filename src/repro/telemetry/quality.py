@@ -1,0 +1,146 @@
+"""Telemetry quality assessment.
+
+Before trusting an AutoSens run on real logs, check the raw material: time
+coverage (gaps starve the unbiased estimator), error share (the analysis
+drops failures), duplicate-timestamp share (batched logging), latency
+sanity, and per-slice volumes. :func:`quality_report` computes all of it
+and flags conditions known to degrade the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+from repro.telemetry.log_store import LogStore
+
+
+@dataclass
+class QualityFlag:
+    """One detected data-quality concern."""
+
+    severity: str      # "info" | "warn" | "error"
+    message: str
+
+
+@dataclass
+class QualityReport:
+    """Aggregate telemetry health metrics plus flags."""
+
+    n_rows: int
+    n_users: int
+    span_days: float
+    error_share: float
+    duplicate_time_share: float
+    largest_gap_s: float
+    coverage_share: float          # share of 10-min windows with >= 1 action
+    latency_percentiles: Dict[str, float]
+    rows_per_action: Dict[str, int]
+    flags: List[QualityFlag] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.flags)
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """Tabular key/value form for printers."""
+        out: List[Tuple[str, object]] = [
+            ("rows", self.n_rows),
+            ("distinct users", self.n_users),
+            ("span (days)", round(self.span_days, 2)),
+            ("error share", round(self.error_share, 4)),
+            ("duplicate-timestamp share", round(self.duplicate_time_share, 4)),
+            ("largest gap (s)", round(self.largest_gap_s, 1)),
+            ("10-min window coverage", round(self.coverage_share, 3)),
+        ]
+        for name, value in self.latency_percentiles.items():
+            out.append((f"latency {name} (ms)", round(value, 1)))
+        for action, count in sorted(self.rows_per_action.items()):
+            out.append((f"rows[{action}]", count))
+        return out
+
+
+def quality_report(
+    logs: LogStore,
+    min_rows: int = 1000,
+    max_error_share: float = 0.1,
+    coverage_window_s: float = 600.0,
+) -> QualityReport:
+    """Assess a telemetry batch; never raises on bad data (only on empty)."""
+    if logs.is_empty:
+        raise EmptyDataError("cannot assess empty logs")
+    flags: List[QualityFlag] = []
+
+    times = np.sort(logs.times)
+    start, end = float(times[0]), float(times[-1])
+    span_days = (end - start) / 86400.0
+
+    error_share = float(1.0 - logs.success.mean())
+    diffs = np.diff(times)
+    duplicate_share = float((diffs == 0).mean()) if diffs.size else 0.0
+    largest_gap = float(diffs.max()) if diffs.size else 0.0
+
+    if end > start:
+        n_windows = int(np.ceil((end - start) / coverage_window_s))
+        idx = np.minimum(((times - start) / coverage_window_s).astype(np.int64),
+                         n_windows - 1)
+        coverage = float(np.unique(idx).size / n_windows)
+    else:
+        coverage = 0.0
+
+    lat = logs.latencies_ms
+    percentiles = {
+        "p50": float(np.percentile(lat, 50)),
+        "p90": float(np.percentile(lat, 90)),
+        "p99": float(np.percentile(lat, 99)),
+    }
+    per_action = {
+        name: int(count) for name, count in zip(
+            *np.unique(logs.actions, return_counts=True))
+    }
+
+    if len(logs) < min_rows:
+        flags.append(QualityFlag(
+            "error", f"only {len(logs)} rows; the pipeline needs volume "
+                     f"(>= {min_rows} per analyzed slice)"))
+    if error_share > max_error_share:
+        flags.append(QualityFlag(
+            "warn", f"{error_share:.1%} of actions failed; the analysis "
+                    "drops them — check for an error storm"))
+    if span_days < 1.0:
+        flags.append(QualityFlag(
+            "warn", f"span is {span_days:.2f} days; the hour-of-day alpha "
+                    "correction needs at least one full day"))
+    if coverage < 0.6:
+        flags.append(QualityFlag(
+            "warn", f"only {coverage:.0%} of {coverage_window_s / 60:.0f}-min "
+                    "windows contain actions; the unbiased estimator will "
+                    "borrow latencies across gaps"))
+    if largest_gap > 6 * 3600.0:
+        flags.append(QualityFlag(
+            "warn", f"largest silence is {largest_gap / 3600.0:.1f} h; "
+                    "availability inside it is unobservable"))
+    if duplicate_share > 0.5:
+        flags.append(QualityFlag(
+            "info", f"{duplicate_share:.0%} of consecutive rows share a "
+                    "timestamp (batched logging); ties are broken randomly"))
+    if percentiles["p50"] <= 0.0:
+        flags.append(QualityFlag("warn", "median latency is zero"))
+    if (lat < 0).any():
+        flags.append(QualityFlag("error", "negative latencies present"))
+
+    return QualityReport(
+        n_rows=len(logs),
+        n_users=logs.n_users(),
+        span_days=span_days,
+        error_share=error_share,
+        duplicate_time_share=duplicate_share,
+        largest_gap_s=largest_gap,
+        coverage_share=coverage,
+        latency_percentiles=percentiles,
+        rows_per_action=per_action,
+        flags=flags,
+    )

@@ -1,0 +1,79 @@
+"""Shared vocabulary types: action kinds, user classes, time periods.
+
+These mirror the slices used in the paper's evaluation (Section 3): four OWA
+action types, business vs. consumer users, and four six-hour local-time
+periods.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ActionType(str, enum.Enum):
+    """User action kinds studied in the paper (Section 3.2)."""
+
+    SELECT_MAIL = "SelectMail"
+    SWITCH_FOLDER = "SwitchFolder"
+    SEARCH = "Search"
+    COMPOSE_SEND = "ComposeSend"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class UserClass(str, enum.Enum):
+    """Subscription tier of a user (Section 3.3)."""
+
+    BUSINESS = "business"
+    CONSUMER = "consumer"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class DayPeriod(str, enum.Enum):
+    """Four six-hour local-time periods used in Section 3.6.
+
+    The paper's periods are 8am-2pm, 2pm-8pm, 8pm-2am and 2am-8am.
+    """
+
+    MORNING = "8am-2pm"
+    AFTERNOON = "2pm-8pm"
+    NIGHT = "8pm-2am"
+    LATE_NIGHT = "2am-8am"
+
+    @classmethod
+    def of_hour(cls, hour_of_day: float) -> "DayPeriod":
+        """Map an hour of day in ``[0, 24)`` to its six-hour period."""
+        hour = float(hour_of_day) % 24.0
+        if 8.0 <= hour < 14.0:
+            return cls.MORNING
+        if 14.0 <= hour < 20.0:
+            return cls.AFTERNOON
+        if 20.0 <= hour or hour < 2.0:
+            return cls.NIGHT
+        return cls.LATE_NIGHT
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Ordered list of all action types, in the order the paper presents them.
+ALL_ACTION_TYPES = (
+    ActionType.SELECT_MAIL,
+    ActionType.SWITCH_FOLDER,
+    ActionType.SEARCH,
+    ActionType.COMPOSE_SEND,
+)
+
+#: Ordered list of user classes.
+ALL_USER_CLASSES = (UserClass.BUSINESS, UserClass.CONSUMER)
+
+#: Ordered list of day periods as the paper plots them.
+ALL_DAY_PERIODS = (
+    DayPeriod.MORNING,
+    DayPeriod.AFTERNOON,
+    DayPeriod.NIGHT,
+    DayPeriod.LATE_NIGHT,
+)

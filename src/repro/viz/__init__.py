@@ -1,0 +1,13 @@
+"""Terminal visualization and series export (no plotting stack required)."""
+
+from repro.viz.ascii_plot import bar_chart, line_plot
+from repro.viz.export import save_series_csv, save_series_json
+from repro.viz.table import format_table
+
+__all__ = [
+    "line_plot",
+    "bar_chart",
+    "format_table",
+    "save_series_csv",
+    "save_series_json",
+]

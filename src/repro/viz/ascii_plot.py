@@ -1,0 +1,105 @@
+"""Terminal line plots.
+
+The offline environment has no plotting stack, so figures render as Unicode
+scatter/line charts in the terminal and the underlying series export to
+CSV/JSON (see :mod:`repro.viz.export`) for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+
+#: Per-series markers, cycled.
+MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, steps: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.zeros(values.size, dtype=int)
+    out = np.floor((values - lo) / span * (steps - 1e-9)).astype(int)
+    return np.clip(out, 0, steps - 1)
+
+
+def line_plot(
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render named (x, y) series as a text chart.
+
+    NaN points are skipped. Returns a multi-line string ready to print.
+    """
+    finite_x: list = []
+    finite_y: list = []
+    for xs, ys in series.values():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        ok = ~(np.isnan(xs) | np.isnan(ys))
+        finite_x.append(xs[ok])
+        finite_y.append(ys[ok])
+    all_x = np.concatenate(finite_x) if finite_x else np.array([])
+    all_y = np.concatenate(finite_y) if finite_y else np.array([])
+    if all_x.size == 0:
+        raise EmptyDataError("nothing to plot")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = float(all_y.min()), float(all_y.max())
+        if y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        ok = ~(np.isnan(xs) | np.isnan(ys))
+        cols = _scale(xs[ok], x_lo, x_hi, width)
+        rows = _scale(ys[ok], y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for i, row in enumerate(canvas):
+        y_val = y_hi - (y_hi - y_lo) * i / (height - 1) if height > 1 else y_hi
+        lines.append(f"{y_val:9.3g} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    x_axis = f"{x_lo:<12.4g}{x_label.center(max(0, width - 24))}{x_hi:>12.4g}"
+    lines.append(" " * 11 + x_axis)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    if y_label:
+        lines.append(" " * 11 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        raise EmptyDataError("nothing to chart")
+    label_width = max(len(k) for k in values)
+    peak = max(abs(v) for v in values.values()) or 1.0
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(abs(value) / peak * width)))
+        lines.append(f"{label:>{label_width}} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Aligned plain-text tables for benchmark/report output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    indent: str = "",
+) -> str:
+    """Render rows as a boxed, column-aligned table string."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([format_cell(c, precision) for c in row])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+
+    def fmt_row(cells: List[str]) -> str:
+        return indent + "| " + " | ".join(
+            c.rjust(w) for c, w in zip(cells, widths)
+        ) + " |"
+
+    separator = indent + "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = [separator, fmt_row(rendered[0]), separator]
+    lines.extend(fmt_row(r) for r in rendered[1:])
+    lines.append(separator)
+    return "\n".join(lines)

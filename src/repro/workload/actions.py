@@ -1,0 +1,100 @@
+"""Action mixes: which action types occur, how often, and how slow they are.
+
+Each action type carries a share of the candidate-action stream and a
+latency multiplier on top of the service level — Search does server-side
+work and is slower; ComposeSend acknowledges asynchronously and is fast
+(Section 3.2 explains why its latency barely matters to users).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.rng import SeedLike, spawn_rng
+from repro.types import ActionType
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """One action type's share of traffic and latency scaling."""
+
+    name: str
+    share: float
+    latency_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("action name must be non-empty")
+        if self.share < 0:
+            raise ConfigError(f"share must be non-negative, got {self.share}")
+        if self.latency_multiplier <= 0:
+            raise ConfigError(
+                f"latency_multiplier must be positive, got {self.latency_multiplier}"
+            )
+
+
+class ActionMix:
+    """A normalized collection of :class:`ActionSpec`."""
+
+    def __init__(self, specs: Tuple[ActionSpec, ...]) -> None:
+        if not specs:
+            raise ConfigError("an action mix needs at least one action")
+        total = sum(s.share for s in specs)
+        if total <= 0:
+            raise ConfigError("action shares must sum to a positive value")
+        self.specs = tuple(specs)
+        self._probs = np.array([s.share / total for s in specs], dtype=float)
+
+    @classmethod
+    def from_mapping(cls, shares: Mapping[str, float],
+                     multipliers: Mapping[str, float] | None = None) -> "ActionMix":
+        multipliers = multipliers or {}
+        return cls(tuple(
+            ActionSpec(name, share, multipliers.get(name, 1.0))
+            for name, share in shares.items()
+        ))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.specs)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        return self._probs.copy()
+
+    @property
+    def latency_multipliers(self) -> np.ndarray:
+        return np.array([s.latency_multiplier for s in self.specs], dtype=float)
+
+    def sample(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``n`` action indices from the mix."""
+        generator = spawn_rng(rng)
+        return generator.choice(len(self.specs), size=n, p=self._probs)
+
+
+def owa_action_mix() -> ActionMix:
+    """The OWA action mix studied in the paper (Section 3.2).
+
+    Shares are plausible for an email service (most actions are opening
+    mail); multipliers make Search slower and ComposeSend's acknowledged
+    latency fast.
+    """
+    return ActionMix((
+        ActionSpec(ActionType.SELECT_MAIL.value, share=0.52, latency_multiplier=1.0),
+        ActionSpec(ActionType.SWITCH_FOLDER.value, share=0.22, latency_multiplier=0.9),
+        ActionSpec(ActionType.SEARCH.value, share=0.14, latency_multiplier=1.7),
+        ActionSpec(ActionType.COMPOSE_SEND.value, share=0.12, latency_multiplier=0.6),
+    ))
+
+
+def websearch_action_mix() -> ActionMix:
+    """A non-sticky web-search service (extension; Section 4 discussion)."""
+    return ActionMix((
+        ActionSpec("Query", share=0.62, latency_multiplier=1.0),
+        ActionSpec("ClickResult", share=0.30, latency_multiplier=0.5),
+        ActionSpec("NextPage", share=0.08, latency_multiplier=0.9),
+    ))

@@ -1,0 +1,99 @@
+"""The time-based activity model: how much users *want* to act, per hour.
+
+This is the ground truth behind the paper's time-based activity factor α
+(Section 2.4.1): the rate of candidate user actions, independent of latency.
+It is deliberately correlated with the latency diurnal curve — both peak in
+business hours — which is precisely the confounder AutoSens's α
+normalization must remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.types import DayPeriod, UserClass
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class ActivityCurve:
+    """Smooth 24-hour activity multiplier, normalized to peak 1.
+
+    A raised-cosine bump centered at ``peak_hour`` with a configurable
+    night floor. ``value(peak_hour) == 1``.
+    """
+
+    night_floor: float = 0.08
+    peak_hour: float = 13.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.night_floor <= 1.0:
+            raise ConfigError(f"night_floor must be in (0, 1], got {self.night_floor}")
+
+    def __call__(self, hours: np.ndarray) -> np.ndarray:
+        h = np.asarray(hours, dtype=float)
+        phase = 2.0 * np.pi * (h - self.peak_hour) / 24.0
+        shape = 0.5 + 0.5 * np.cos(phase)
+        return self.night_floor + (1.0 - self.night_floor) * shape
+
+    @property
+    def max_value(self) -> float:
+        return 1.0
+
+    def period_average(self, period: DayPeriod, n_steps: int = 600) -> float:
+        """Average multiplier over one of the four six-hour periods."""
+        bounds = {
+            DayPeriod.MORNING: (8.0, 14.0),
+            DayPeriod.AFTERNOON: (14.0, 20.0),
+            DayPeriod.NIGHT: (20.0, 26.0),
+            DayPeriod.LATE_NIGHT: (2.0, 8.0),
+        }[period]
+        hours = np.linspace(bounds[0], bounds[1], n_steps) % 24.0
+        return float(self(hours).mean())
+
+
+class ActivityModel:
+    """Per-class activity curves plus optional weekday/weekend factors."""
+
+    def __init__(
+        self,
+        curves: Optional[Mapping[str, ActivityCurve]] = None,
+        weekend_factor: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.curves = dict(curves or {})
+        self.default_curve = ActivityCurve()
+        self.weekend_factor = dict(weekend_factor or {})
+
+    def curve_for(self, user_class: str) -> ActivityCurve:
+        return self.curves.get(user_class, self.default_curve)
+
+    def factor(
+        self,
+        times: np.ndarray,
+        user_class: str = "",
+        tz_offset_hours: float = 0.0,
+    ) -> np.ndarray:
+        """Activity multiplier at each time for users of the given class."""
+        t = np.asarray(times, dtype=float)
+        local = t + 3600.0 * tz_offset_hours
+        hours = (local % SECONDS_PER_DAY) / 3600.0
+        out = self.curve_for(user_class)(hours)
+        factor = self.weekend_factor.get(user_class)
+        if factor is not None:
+            day = np.floor(local / SECONDS_PER_DAY).astype(np.int64)
+            is_weekend = (day % 7) >= 5
+            out = np.where(is_weekend, out * factor, out)
+        return out
+
+    def max_factor(self, user_class: str = "") -> float:
+        """Upper bound of the factor (for Poisson thinning)."""
+        bound = self.curve_for(user_class).max_value
+        factor = self.weekend_factor.get(user_class)
+        if factor is not None and factor > 1.0:
+            bound *= factor
+        return bound

@@ -1,0 +1,325 @@
+"""The telemetry generator: turns models into ``(T, A, L, M)`` logs.
+
+This is the reproduction's stand-in for two months of OWA traffic. It
+simulates the *causal* data-generating process that AutoSens assumes:
+
+1. A latency level path ``level(t)`` with diurnal shape and OU congestion
+   (:mod:`repro.workload.latency_model`).
+2. A candidate-action point process per user whose rate follows the
+   time-based activity curve α(t) (:mod:`repro.workload.activity_model`) —
+   candidates are moments a user *would* act if latency were ideal.
+3. Each candidate is **thinned** (accepted/rejected) with probability
+   proportional to the ground-truth latency preference evaluated at the
+   latency the action would experience. Accepted candidates become log rows.
+
+Thinning a non-homogeneous Poisson process is exact: the accepted stream is
+itself Poisson with rate ``α(t) · pref(L(t))``, which is precisely the
+"users do fewer actions when latency is high" behaviour the paper infers
+from. The generator therefore *knows* the true preference curve, and the
+evaluation asks whether AutoSens recovers it.
+
+Two response modes (Ablation A; see paper Section 3.5):
+
+- ``"realized"`` — preference acts on the realized per-request latency
+  (latency in the user's critical path mechanically throttles actions);
+- ``"level"`` — preference acts on the predictable level only (users react
+  to how fast the service *feels*, not to per-request noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.rng import RngFactory, SeedLike
+from repro.telemetry.log_store import LogStore
+from repro.workload.actions import ActionMix, owa_action_mix
+from repro.workload.activity_model import ActivityModel
+from repro.workload.latency_model import LatencyGrid, LatencyModel, LatencyModelConfig
+from repro.workload.population import Population, PopulationConfig, synthesize_population
+from repro.workload.preference import GroundTruth, PERIOD_EXPONENTS
+
+SECONDS_PER_DAY = 86400.0
+
+VALID_RESPONSE_MODES = ("realized", "level")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Top-level knobs of the telemetry generator."""
+
+    duration_days: float = 7.0
+    start: float = 0.0
+    candidates_per_user_day: float = 60.0
+    response_mode: str = "realized"
+    jitter_sigma: float = 0.08
+    error_rate: float = 0.01
+    chunk_size: int = 1_000_000
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    latency: LatencyModelConfig = field(default_factory=LatencyModelConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ConfigError(f"duration_days must be positive, got {self.duration_days}")
+        if self.candidates_per_user_day <= 0:
+            raise ConfigError(
+                f"candidates_per_user_day must be positive, got {self.candidates_per_user_day}"
+            )
+        if self.response_mode not in VALID_RESPONSE_MODES:
+            raise ConfigError(
+                f"response_mode must be one of {VALID_RESPONSE_MODES}, got {self.response_mode!r}"
+            )
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ConfigError(f"error_rate must be in [0, 1), got {self.error_rate}")
+        if self.chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+
+@dataclass
+class TelemetryResult:
+    """Logs plus everything needed to evaluate recovery against truth."""
+
+    logs: LogStore
+    grid: LatencyGrid
+    population: Population
+    ground_truth: GroundTruth
+    action_mix: ActionMix
+    activity_model: ActivityModel
+    config: GeneratorConfig
+    n_candidates: int
+    n_accepted: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.n_candidates == 0:
+            return 0.0
+        return self.n_accepted / self.n_candidates
+
+
+class TelemetryGenerator:
+    """Generates synthetic telemetry with known ground truth."""
+
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        ground_truth: Optional[GroundTruth] = None,
+        action_mix: Optional[ActionMix] = None,
+        activity_model: Optional[ActivityModel] = None,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.ground_truth = ground_truth or GroundTruth.paper_default()
+        self.action_mix = action_mix or owa_action_mix()
+        self.activity_model = activity_model or ActivityModel()
+
+    # -- internal helpers --------------------------------------------------
+
+    def _preference_bound(self, population: Population) -> float:
+        """Upper bound on the un-normalized preference over all samples."""
+        max_exponent = float(np.max(population.conditioning_exponents))
+        if self.ground_truth.period_exponents:
+            max_exponent *= max(self.ground_truth.period_exponents.values())
+        max_curve = max(curve.max_value for curve in self.ground_truth.curves.values())
+        # pref = curve ** e; for curve > 1 the bound grows with the exponent.
+        bound = max(max_curve, 1.0) ** max(max_exponent, 1.0)
+        return float(bound)
+
+    def _class_alpha_max(self, population: Population) -> Dict[str, float]:
+        return {
+            name: self.activity_model.max_factor(name)
+            for name in population.class_vocab
+        }
+
+    def _evaluate_preference(
+        self,
+        latency_for_response: np.ndarray,
+        action_idx: np.ndarray,
+        user_idx: np.ndarray,
+        hours: np.ndarray,
+        population: Population,
+    ) -> np.ndarray:
+        """Vectorized ground-truth preference per candidate."""
+        pref = np.empty(latency_for_response.shape, dtype=float)
+        user_exponent = population.conditioning_exponents[user_idx]
+        if self.ground_truth.period_exponents:
+            period_exponent = self.ground_truth.period_exponent(hours)
+        else:
+            period_exponent = 1.0
+        exponent = user_exponent * period_exponent
+        class_codes = population.classes[user_idx]
+        for a_idx, action_name in enumerate(self.action_mix.names):
+            for c_code, class_name in enumerate(population.class_vocab):
+                mask = (action_idx == a_idx) & (class_codes == c_code)
+                if not np.any(mask):
+                    continue
+                curve = self.ground_truth.curve_for(action_name, class_name)
+                pref[mask] = curve(latency_for_response[mask], exponent=1.0) ** exponent[mask]
+        return pref
+
+    def _make_grid(self, duration_s: float, factory: RngFactory) -> LatencyGrid:
+        """Sample the latency level path; subclasses may replay a trace."""
+        latency_model = LatencyModel(self.config.latency)
+        return latency_model.sample_grid(
+            duration_s, rng=factory.child("latency-grid"), start=self.config.start
+        )
+
+    # -- main entry point ----------------------------------------------------
+
+    def generate(self, rng: SeedLike = None) -> TelemetryResult:
+        """Run the simulation and return logs plus ground truth."""
+        cfg = self.config
+        if isinstance(rng, RngFactory):
+            factory = rng
+        elif isinstance(rng, np.random.Generator):
+            factory = RngFactory(int(rng.integers(0, 2**63 - 1)))
+        else:
+            factory = RngFactory(rng)
+        population = synthesize_population(cfg.population, rng=factory.child("population"))
+        duration_s = cfg.duration_days * SECONDS_PER_DAY
+
+        grid = self._make_grid(duration_s, factory)
+
+        # Total candidate intensity, bounded above for thinning.
+        weights = population.activity_weights
+        mean_weight = float(weights.mean())
+        base_rate_per_weight = cfg.candidates_per_user_day / (
+            SECONDS_PER_DAY * mean_weight
+        )
+        alpha_max_by_class = self._class_alpha_max(population)
+        alpha_max = max(alpha_max_by_class.values())
+        pref_bound = self._preference_bound(population)
+        total_max_rate = base_rate_per_weight * float(weights.sum()) * alpha_max * pref_bound
+
+        gen_counts = factory.child("candidate-count")
+        n_candidates = int(gen_counts.poisson(total_max_rate * duration_s))
+
+        user_probs = population.sampling_probabilities()
+        tz_by_user = population.tz_offsets
+
+        chunks = []
+        gen_times = factory.child("candidate-times")
+        gen_users = factory.child("candidate-users")
+        gen_actions = factory.child("candidate-actions")
+        gen_jitter = factory.child("request-jitter")
+        gen_accept = factory.child("acceptance")
+        gen_errors = factory.child("errors")
+
+        n_accepted = 0
+        remaining = n_candidates
+        while remaining > 0:
+            m = min(remaining, cfg.chunk_size)
+            remaining -= m
+
+            t = gen_times.uniform(cfg.start, cfg.start + duration_s, size=m)
+            user_idx = gen_users.choice(population.n_users, size=m, p=user_probs)
+            action_idx = self.action_mix.sample(m, rng=gen_actions)
+
+            level = grid.level_at(t)
+            action_mult = self.action_mix.latency_multipliers[action_idx]
+            user_mult = population.latency_multipliers[user_idx]
+            predictable = level * action_mult * user_mult
+            jitter = np.exp(
+                gen_jitter.normal(-0.5 * cfg.jitter_sigma**2, cfg.jitter_sigma, size=m)
+            )
+            realized = predictable * jitter
+
+            tz = tz_by_user[user_idx]
+            local_hours = ((t + 3600.0 * tz) % SECONDS_PER_DAY) / 3600.0
+
+            # Activity factor per candidate (class-dependent curves).
+            alpha = np.empty(m, dtype=float)
+            class_codes = population.classes[user_idx]
+            for c_code, class_name in enumerate(population.class_vocab):
+                mask = class_codes == c_code
+                if not np.any(mask):
+                    continue
+                curve = self.activity_model.curve_for(class_name)
+                alpha[mask] = curve(local_hours[mask])
+                weekend = self.activity_model.weekend_factor.get(class_name)
+                if weekend is not None:
+                    local = t[mask] + 3600.0 * tz[mask]
+                    day = np.floor(local / SECONDS_PER_DAY).astype(np.int64)
+                    is_weekend = (day % 7) >= 5
+                    alpha[mask] = np.where(is_weekend, alpha[mask] * weekend, alpha[mask])
+
+            response_latency = realized if cfg.response_mode == "realized" else predictable
+            pref = self._evaluate_preference(
+                response_latency, action_idx, user_idx, local_hours, population
+            )
+
+            accept_prob = (alpha / alpha_max) * (pref / pref_bound)
+            accepted = gen_accept.random(m) < accept_prob
+            if not np.any(accepted):
+                continue
+
+            idx = np.flatnonzero(accepted)
+            n_accepted += idx.size
+            success = gen_errors.random(idx.size) >= cfg.error_rate
+            chunks.append((
+                t[idx], realized[idx], action_idx[idx], user_idx[idx],
+                class_codes[idx], success, tz[idx],
+            ))
+
+        if chunks:
+            times = np.concatenate([c[0] for c in chunks])
+            latencies = np.concatenate([c[1] for c in chunks])
+            actions = np.concatenate([c[2] for c in chunks])
+            users = np.concatenate([c[3] for c in chunks])
+            classes = np.concatenate([c[4] for c in chunks])
+            success = np.concatenate([c[5] for c in chunks])
+            tz = np.concatenate([c[6] for c in chunks])
+            order = np.argsort(times, kind="mergesort")
+            logs = LogStore.from_coded_arrays(
+                times=times[order],
+                latencies_ms=latencies[order],
+                action_codes=actions[order],
+                action_vocab=list(self.action_mix.names),
+                user_codes=users[order],
+                user_vocab=list(population.user_ids),
+                class_codes=classes[order],
+                class_vocab=list(population.class_vocab),
+                success=success[order],
+                tz_offsets=tz[order],
+            )
+        else:
+            logs = LogStore.from_coded_arrays(
+                times=np.array([], dtype=float),
+                latencies_ms=np.array([], dtype=float),
+                action_codes=np.array([], dtype=np.int64),
+                action_vocab=list(self.action_mix.names),
+                user_codes=np.array([], dtype=np.int64),
+                user_vocab=list(population.user_ids),
+                class_codes=np.array([], dtype=np.int64),
+                class_vocab=list(population.class_vocab),
+            )
+
+        return TelemetryResult(
+            logs=logs,
+            grid=grid,
+            population=population,
+            ground_truth=self.ground_truth,
+            action_mix=self.action_mix,
+            activity_model=self.activity_model,
+            config=cfg,
+            n_candidates=n_candidates,
+            n_accepted=n_accepted,
+        )
+
+
+def generate_telemetry(
+    seed: Optional[int] = None,
+    config: Optional[GeneratorConfig] = None,
+    ground_truth: Optional[GroundTruth] = None,
+    action_mix: Optional[ActionMix] = None,
+    activity_model: Optional[ActivityModel] = None,
+) -> TelemetryResult:
+    """One-call convenience wrapper around :class:`TelemetryGenerator`."""
+    generator = TelemetryGenerator(
+        config=config,
+        ground_truth=ground_truth,
+        action_mix=action_mix,
+        activity_model=activity_model,
+    )
+    return generator.generate(rng=seed)

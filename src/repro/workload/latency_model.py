@@ -1,0 +1,223 @@
+"""The latency level process: the service's "weather".
+
+The paper's premise (Section 2.1) is that latency varies in a *locally
+predictable* way: slow periods and fast periods, each lasting minutes to
+hours, driven by load and congestion. We model the predictable level as
+
+``level(t) = base_ms * diurnal(hour(t)) * exp(OU(t))``
+
+- ``diurnal`` — a smooth daily load curve; busy hours mean queueing and
+  higher latency. This is exactly the time confounder of Section 2.4.1:
+  latency and user activity are both functions of the hour.
+- ``OU(t)`` — a mean-reverting Ornstein–Uhlenbeck process in log space with
+  a relaxation time of tens of minutes; this produces the interspersed
+  low/high-latency periods seen in the paper's Figure 2 and the low MSD/MAD
+  ratio of Figure 1.
+
+Individual requests then multiply on per-action, per-user and per-request
+lognormal factors (see :mod:`repro.workload.generator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.ou_process import OrnsteinUhlenbeck
+from repro.stats.rng import SeedLike, spawn_rng
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """A smooth 24-hour multiplier curve built from a raised cosine.
+
+    ``value(h) = floor + (peak - floor) * (0.5 - 0.5*cos(2*pi*(h - trough_hour)/24))``
+
+    so the multiplier bottoms out at ``trough_hour`` (default 4am) and peaks
+    12 hours later.
+    """
+
+    floor: float = 0.75
+    peak: float = 1.35
+    trough_hour: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.floor <= 0 or self.peak <= 0:
+            raise ConfigError("diurnal floor and peak must be positive")
+        if self.peak < self.floor:
+            raise ConfigError("diurnal peak must be >= floor")
+
+    def __call__(self, hours: np.ndarray) -> np.ndarray:
+        h = np.asarray(hours, dtype=float)
+        phase = 2.0 * np.pi * (h - self.trough_hour) / 24.0
+        shape = 0.5 - 0.5 * np.cos(phase)
+        return self.floor + (self.peak - self.floor) * shape
+
+    @property
+    def max_value(self) -> float:
+        return self.peak
+
+
+@dataclass(frozen=True)
+class IncidentConfig:
+    """Congestion incidents: occasional multi-minute latency spikes.
+
+    Real services see incident episodes (overload, failover, bad deploys)
+    on top of smooth load-driven variation. Incidents are what populate the
+    1-3 s latency range the paper's figures extend to; without them a
+    well-run service almost never serves 2 s responses.
+    """
+
+    rate_per_day: float = 3.5
+    duration_mean_s: float = 2700.0       # ~45 min episodes
+    severity_log_mean: float = 1.15       # e^1.15 ~ 3.2x median multiplier
+    severity_log_sigma: float = 0.50
+
+    def __post_init__(self) -> None:
+        if self.rate_per_day < 0:
+            raise ConfigError(f"rate_per_day must be >= 0, got {self.rate_per_day}")
+        if self.duration_mean_s <= 0:
+            raise ConfigError(
+                f"duration_mean_s must be positive, got {self.duration_mean_s}"
+            )
+
+
+@dataclass(frozen=True)
+class LatencyModelConfig:
+    """Knobs of the latency level process."""
+
+    base_ms: float = 300.0
+    diurnal: DiurnalCurve = field(default_factory=DiurnalCurve)
+    congestion_tau_s: float = 2400.0   # ~40 min excursions
+    congestion_sigma: float = 0.50     # log-scale stationary sd
+    incidents: Optional[IncidentConfig] = field(default_factory=IncidentConfig)
+    #: Level multiplier applied on weekends (days 5 and 6 of each week);
+    #: < 1 models the lighter weekend load of a business-heavy service.
+    weekend_level_factor: float = 1.0
+    grid_dt_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.base_ms <= 0:
+            raise ConfigError(f"base_ms must be positive, got {self.base_ms}")
+        if self.grid_dt_s <= 0:
+            raise ConfigError(f"grid_dt_s must be positive, got {self.grid_dt_s}")
+
+
+class LatencyGrid:
+    """A precomputed latency level path on a regular time grid.
+
+    Lookup by arbitrary time uses the grid cell containing the query
+    (zero-order hold), which matches how the path was sampled.
+    """
+
+    def __init__(self, start: float, dt: float, levels_ms: np.ndarray) -> None:
+        if dt <= 0:
+            raise ConfigError(f"dt must be positive, got {dt}")
+        self.start = float(start)
+        self.dt = float(dt)
+        self.levels_ms = np.asarray(levels_ms, dtype=float)
+        if self.levels_ms.ndim != 1 or self.levels_ms.size == 0:
+            raise ConfigError("levels_ms must be a non-empty 1-D array")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.dt * self.levels_ms.size
+
+    @property
+    def times(self) -> np.ndarray:
+        """Left edge of each grid cell."""
+        return self.start + self.dt * np.arange(self.levels_ms.size)
+
+    def level_at(self, times: np.ndarray) -> np.ndarray:
+        """Latency level for arbitrary times inside the grid span."""
+        t = np.asarray(times, dtype=float)
+        idx = np.floor((t - self.start) / self.dt).astype(np.int64)
+        idx = np.clip(idx, 0, self.levels_ms.size - 1)
+        return self.levels_ms[idx]
+
+
+class LatencyModel:
+    """Samples latency level paths and per-request latencies."""
+
+    def __init__(self, config: Optional[LatencyModelConfig] = None) -> None:
+        self.config = config or LatencyModelConfig()
+
+    def sample_grid(
+        self,
+        duration_s: float,
+        rng: SeedLike = None,
+        start: float = 0.0,
+    ) -> LatencyGrid:
+        """Sample the level process over ``[start, start + duration_s)``."""
+        if duration_s <= 0:
+            raise ConfigError(f"duration_s must be positive, got {duration_s}")
+        cfg = self.config
+        generator = spawn_rng(rng)
+        n = int(np.ceil(duration_s / cfg.grid_dt_s))
+        ou = OrnsteinUhlenbeck(mean=0.0, tau=cfg.congestion_tau_s, sigma=cfg.congestion_sigma)
+        log_congestion = ou.sample_path(n, cfg.grid_dt_s, rng=generator)
+        grid_times = start + cfg.grid_dt_s * np.arange(n)
+        hours = (grid_times % SECONDS_PER_DAY) / 3600.0
+        levels = cfg.base_ms * cfg.diurnal(hours) * np.exp(log_congestion)
+        if cfg.weekend_level_factor != 1.0:
+            day = np.floor(grid_times / SECONDS_PER_DAY).astype(np.int64)
+            is_weekend = (day % 7) >= 5
+            levels = np.where(is_weekend, levels * cfg.weekend_level_factor, levels)
+        if cfg.incidents is not None and cfg.incidents.rate_per_day > 0:
+            levels = levels * self._incident_multiplier(
+                grid_times, duration_s, cfg.incidents, generator
+            )
+        return LatencyGrid(start=start, dt=cfg.grid_dt_s, levels_ms=levels)
+
+    @staticmethod
+    def _incident_multiplier(
+        grid_times: np.ndarray,
+        duration_s: float,
+        incidents: "IncidentConfig",
+        generator: np.random.Generator,
+    ) -> np.ndarray:
+        """Multiplicative incident overlay on the level path.
+
+        Incident starts are Poisson in time; each incident has an
+        exponential duration and a lognormal severity with a smooth
+        (half-cosine) ramp in and out so levels stay locally predictable.
+        """
+        out = np.ones(grid_times.size, dtype=float)
+        n_incidents = int(generator.poisson(incidents.rate_per_day * duration_s / SECONDS_PER_DAY))
+        if n_incidents == 0:
+            return out
+        t0 = float(grid_times[0])
+        starts = t0 + generator.uniform(0.0, duration_s, size=n_incidents)
+        durations = generator.exponential(incidents.duration_mean_s, size=n_incidents)
+        severities = np.exp(generator.normal(
+            incidents.severity_log_mean, incidents.severity_log_sigma, size=n_incidents
+        ))
+        for s, d, sev in zip(starts, durations, severities):
+            inside = (grid_times >= s) & (grid_times < s + d)
+            if not np.any(inside):
+                continue
+            # Half-cosine envelope: 0 at the edges, 1 mid-incident.
+            phase = (grid_times[inside] - s) / d
+            envelope = 0.5 - 0.5 * np.cos(2.0 * np.pi * phase)
+            out[inside] *= 1.0 + (sev - 1.0) * envelope
+        return out
+
+    def request_latency(
+        self,
+        level_ms: np.ndarray,
+        multiplier: np.ndarray | float = 1.0,
+        jitter_sigma: float = 0.18,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Per-request latency: level x multiplier x lognormal jitter."""
+        generator = spawn_rng(rng)
+        level = np.asarray(level_ms, dtype=float)
+        jitter = np.exp(
+            generator.normal(-0.5 * jitter_sigma**2, jitter_sigma, size=level.shape)
+        )
+        return level * np.asarray(multiplier, dtype=float) * jitter

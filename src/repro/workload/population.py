@@ -1,0 +1,154 @@
+"""Synthetic user population.
+
+Each user gets:
+
+- an anonymized GUID-shaped id (via :mod:`repro.telemetry.anonymize`);
+- a subscription class (business / consumer, Section 3.3);
+- a *latency multiplier* — their personal network/device speed relative to
+  the service baseline, lognormally distributed. This is what spreads users
+  across the median-latency quartiles of Section 3.4;
+- a *base activity weight* — heavy and light users, lognormal;
+- a *conditioning exponent* — their individual latency sensitivity, tied to
+  the latency multiplier so that habitually-fast users are more sensitive
+  (the paper's Figure 6 finding, built in as ground truth);
+- a timezone offset (single-region default: 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.rng import SeedLike, spawn_rng
+from repro.telemetry.anonymize import anonymize_user_id
+from repro.types import UserClass
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs of the synthetic population."""
+
+    n_users: int = 400
+    business_fraction: float = 0.6
+    latency_mult_sigma: float = 0.12     # lognormal sd of per-user speed
+    activity_weight_sigma: float = 0.6   # lognormal sd of per-user volume
+    #: Strength of the conditioning-to-speed effect (Section 3.4):
+    #: per-user sensitivity exponent = latency_multiplier ** -gamma. The
+    #: default 0 keeps the baseline scenarios' pooled curves equal to the
+    #: per-(action, class) ground truth; the Figure 6 scenario turns it on.
+    conditioning_gamma: float = 0.0
+    conditioning_bounds: Tuple[float, float] = (0.45, 1.8)
+    tz_offset_hours: float = 0.0
+    #: Optional multi-region population: (tz_offset_hours, weight) pairs.
+    #: When set, each user is assigned a region by weight and takes its
+    #: timezone offset; ``tz_offset_hours`` above is ignored. Analyses
+    #: should segregate by region, as the paper does (US-only slices).
+    regions: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0:
+            raise ConfigError(f"n_users must be positive, got {self.n_users}")
+        if not 0.0 <= self.business_fraction <= 1.0:
+            raise ConfigError(
+                f"business_fraction must be in [0, 1], got {self.business_fraction}"
+            )
+        lo, hi = self.conditioning_bounds
+        if not 0 < lo <= hi:
+            raise ConfigError(f"bad conditioning bounds {self.conditioning_bounds}")
+        if self.regions is not None:
+            if not self.regions:
+                raise ConfigError("regions, if given, must be non-empty")
+            if any(w <= 0 for _, w in self.regions):
+                raise ConfigError("region weights must be positive")
+
+
+class Population:
+    """Arrays of per-user attributes plus the class vocabulary."""
+
+    def __init__(
+        self,
+        user_ids: list,
+        classes: np.ndarray,
+        class_vocab: list,
+        latency_multipliers: np.ndarray,
+        activity_weights: np.ndarray,
+        conditioning_exponents: np.ndarray,
+        tz_offsets: np.ndarray,
+    ) -> None:
+        self.user_ids = user_ids
+        self.classes = classes
+        self.class_vocab = class_vocab
+        self.latency_multipliers = latency_multipliers
+        self.activity_weights = activity_weights
+        self.conditioning_exponents = conditioning_exponents
+        self.tz_offsets = tz_offsets
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_ids)
+
+    def class_name(self, user_index: int) -> str:
+        return self.class_vocab[int(self.classes[user_index])]
+
+    def indices_of_class(self, user_class: UserClass | str) -> np.ndarray:
+        name = user_class.value if isinstance(user_class, UserClass) else str(user_class)
+        if name not in self.class_vocab:
+            return np.array([], dtype=np.int64)
+        code = self.class_vocab.index(name)
+        return np.flatnonzero(self.classes == code)
+
+    def sampling_probabilities(self) -> np.ndarray:
+        """Per-user probability of owning a candidate action."""
+        total = self.activity_weights.sum()
+        if total <= 0:
+            raise ConfigError("population has zero total activity weight")
+        return self.activity_weights / total
+
+
+def synthesize_population(
+    config: Optional[PopulationConfig] = None,
+    rng: SeedLike = None,
+) -> Population:
+    """Draw a population from :class:`PopulationConfig`."""
+    cfg = config or PopulationConfig()
+    generator = spawn_rng(rng)
+    n = cfg.n_users
+
+    user_ids = [anonymize_user_id(f"synthetic-user-{i}") for i in range(n)]
+
+    class_vocab = [UserClass.BUSINESS.value, UserClass.CONSUMER.value]
+    is_business = generator.random(n) < cfg.business_fraction
+    classes = np.where(is_business, 0, 1).astype(np.int64)
+
+    sigma = cfg.latency_mult_sigma
+    latency_multipliers = np.exp(generator.normal(-0.5 * sigma**2, sigma, size=n))
+
+    w_sigma = cfg.activity_weight_sigma
+    activity_weights = np.exp(generator.normal(-0.5 * w_sigma**2, w_sigma, size=n))
+
+    lo, hi = cfg.conditioning_bounds
+    conditioning = np.clip(
+        np.power(latency_multipliers, -cfg.conditioning_gamma), lo, hi
+    )
+
+    if cfg.regions is None:
+        tz = np.full(n, cfg.tz_offset_hours, dtype=float)
+    else:
+        offsets = np.array([off for off, _ in cfg.regions], dtype=float)
+        weights = np.array([w for _, w in cfg.regions], dtype=float)
+        weights = weights / weights.sum()
+        region_idx = generator.choice(len(offsets), size=n, p=weights)
+        tz = offsets[region_idx]
+
+    return Population(
+        user_ids=user_ids,
+        classes=classes,
+        class_vocab=class_vocab,
+        latency_multipliers=latency_multipliers,
+        activity_weights=activity_weights,
+        conditioning_exponents=conditioning,
+        tz_offsets=tz,
+    )

@@ -1,0 +1,132 @@
+"""Replaying recorded latency traces through the workload generator.
+
+The built-in latency model is synthetic (diurnal x OU x incidents). When a
+real service's latency history is available — even coarse per-minute
+medians from a monitoring system — the generator can replay it as the
+level process instead, so the simulated user behaviour runs against *your*
+service's actual weather:
+
+    trace = read_level_trace("service_latency.csv")   # time_s, level_ms
+    result = generate_from_trace(trace, seed=7)
+
+The trace format is two CSV columns (``time_s``, ``level_ms``), sorted by
+time; irregular spacing is fine (levels are held between points).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, SchemaError
+from repro.stats.rng import RngFactory, SeedLike
+from repro.workload.actions import ActionMix, owa_action_mix
+from repro.workload.activity_model import ActivityModel
+from repro.workload.generator import (
+    GeneratorConfig,
+    TelemetryGenerator,
+    TelemetryResult,
+)
+from repro.workload.latency_model import LatencyGrid
+from repro.workload.preference import GroundTruth
+
+PathLike = Union[str, Path]
+
+
+def read_level_trace(path: PathLike) -> LatencyGrid:
+    """Read a (time_s, level_ms) CSV into a :class:`LatencyGrid`.
+
+    Points are resampled onto a regular grid at the median spacing of the
+    input (zero-order hold), which is what :class:`LatencyGrid` assumes.
+    """
+    path = Path(path)
+    times, levels = [], []
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        required = {"time_s", "level_ms"}
+        if not required <= set(reader.fieldnames or []):
+            raise SchemaError(
+                f"{path}: trace needs columns {sorted(required)}, "
+                f"found {reader.fieldnames}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                times.append(float(row["time_s"]))
+                levels.append(float(row["level_ms"]))
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+    if len(times) < 2:
+        raise SchemaError(f"{path}: a trace needs at least two points")
+    t = np.asarray(times)
+    v = np.asarray(levels)
+    if np.any(np.diff(t) <= 0):
+        raise SchemaError(f"{path}: trace times must be strictly increasing")
+    if np.any(v <= 0):
+        raise SchemaError(f"{path}: levels must be positive")
+    dt = float(np.median(np.diff(t)))
+    grid_times = np.arange(t[0], t[-1], dt)
+    idx = np.clip(np.searchsorted(t, grid_times, side="right") - 1, 0, t.size - 1)
+    return LatencyGrid(start=float(t[0]), dt=dt, levels_ms=v[idx])
+
+
+def write_level_trace(grid: LatencyGrid, path: PathLike, stride: int = 1) -> int:
+    """Write a grid back to the trace CSV format; returns rows written."""
+    if stride < 1:
+        raise ConfigError(f"stride must be >= 1, got {stride}")
+    path = Path(path)
+    times = grid.times[::stride]
+    levels = grid.levels_ms[::stride]
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "level_ms"])
+        for t, v in zip(times, levels):
+            writer.writerow([f"{t:.3f}", f"{v:.3f}"])
+    return len(times)
+
+
+class TraceReplayGenerator(TelemetryGenerator):
+    """A :class:`TelemetryGenerator` whose level process is a fixed trace."""
+
+    def __init__(
+        self,
+        grid: LatencyGrid,
+        config: Optional[GeneratorConfig] = None,
+        ground_truth: Optional[GroundTruth] = None,
+        action_mix: Optional[ActionMix] = None,
+        activity_model: Optional[ActivityModel] = None,
+    ) -> None:
+        duration_days = (grid.end - grid.start) / 86400.0
+        if duration_days <= 0:
+            raise ConfigError("the trace spans no time")
+        base = config or GeneratorConfig()
+        super().__init__(
+            config=replace(base, duration_days=duration_days, start=grid.start),
+            ground_truth=ground_truth,
+            action_mix=action_mix,
+            activity_model=activity_model,
+        )
+        self._trace_grid = grid
+
+    def _make_grid(self, duration_s: float, factory: RngFactory) -> LatencyGrid:
+        """Return the fixed trace instead of sampling a synthetic path."""
+        return self._trace_grid
+
+
+def generate_from_trace(
+    grid: LatencyGrid,
+    seed: Optional[int] = None,
+    config: Optional[GeneratorConfig] = None,
+    ground_truth: Optional[GroundTruth] = None,
+    action_mix: Optional[ActionMix] = None,
+    activity_model: Optional[ActivityModel] = None,
+) -> TelemetryResult:
+    """One-call trace replay."""
+    generator = TraceReplayGenerator(
+        grid, config=config, ground_truth=ground_truth,
+        action_mix=action_mix, activity_model=activity_model,
+    )
+    return generator.generate(rng=seed)

@@ -1,0 +1,137 @@
+"""Tests for the experiment drivers and registry (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EXPERIMENTS, SMALL, Scale, run_experiment
+from repro.analysis.base import ExperimentOutcome, nlp_rows
+from repro.errors import ConfigError
+
+#: Slightly bigger than SMALL so qualitative checks are stable under seeds.
+TEST_SCALE = Scale(duration_days=4.0, n_users=250, candidates_per_user_day=100.0)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "table1", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "bottleneck", "sessions", "regions",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fig99")
+
+    def test_scale_by_name(self):
+        outcome = run_experiment("table1", scale="small")
+        assert outcome.passed
+
+    def test_bad_scale_name(self):
+        with pytest.raises(ConfigError):
+            run_experiment("table1", scale="galactic")
+
+
+class TestOutcomeRendering:
+    def test_render_contains_tables_and_checks(self):
+        outcome = run_experiment("table1")
+        text = outcome.render()
+        assert "table1" in text
+        assert "PASS" in text
+        assert "|" in text  # a rendered table
+
+    def test_nlp_rows_handles_nan(self):
+        class FakeCurve:
+            def at(self, latency):
+                return float("nan") if latency > 500 else 0.9
+
+        rows = nlp_rows({"x": FakeCurve()}, [400.0, 900.0])
+        assert rows[0][1] == 0.9
+        assert rows[0][2] is None
+
+    def test_outcome_passed_aggregates(self):
+        outcome = ExperimentOutcome(experiment_id="x", title="t")
+        outcome.add_check("good", True)
+        assert outcome.passed
+        outcome.add_check("bad", False)
+        assert not outcome.passed
+
+
+class TestTable1:
+    def test_deterministic_and_exact(self):
+        outcome = run_experiment("table1")
+        assert outcome.passed
+        assert len(outcome.checks) == 9
+
+
+class TestFig1:
+    def test_passes_at_small_scale(self):
+        outcome = run_experiment("fig1", seed=11, scale=TEST_SCALE)
+        assert outcome.passed, outcome.render(include_plots=False)
+        assert "fig1" in outcome.series
+
+
+class TestFig2:
+    def test_detrended_check(self):
+        outcome = run_experiment("fig2", seed=11, scale=TEST_SCALE)
+        assert outcome.passed, outcome.render(include_plots=False)
+
+
+class TestFig3:
+    def test_biased_shifted_left(self):
+        outcome = run_experiment("fig3", seed=11, scale=TEST_SCALE)
+        assert outcome.passed, outcome.render(include_plots=False)
+        assert {"fig3a", "fig3b", "fig3c"} <= set(outcome.series)
+
+
+class TestBottleneck:
+    def test_drop_factor_below_two(self):
+        outcome = run_experiment("bottleneck", seed=11, scale=TEST_SCALE)
+        assert outcome.passed, outcome.render(include_plots=False)
+
+
+class TestStructuralDrivers:
+    """Structure-only smoke runs for the heavier drivers.
+
+    Qualitative checks at this scale can be noisy, so these assert the
+    outcomes are complete (tables, series, checks present), not that every
+    check passes — the benchmarks assert checks at full scale.
+    """
+
+    def test_fig4_structure(self):
+        outcome = run_experiment("fig4", seed=11, scale=TEST_SCALE)
+        assert len(outcome.tables) == 2
+        assert any(k.startswith("fig4_") for k in outcome.series)
+        assert outcome.checks
+
+    def test_fig5_structure(self):
+        outcome = run_experiment("fig5", seed=11, scale=TEST_SCALE)
+        assert {"fig5_business", "fig5_consumer"} <= set(outcome.series)
+
+    def test_fig9_structure(self):
+        outcome = run_experiment("fig9", seed=21, scale=TEST_SCALE)
+        labels = [k for k in outcome.series if k.startswith("fig9_")]
+        assert len(labels) == 4  # 2 actions x 2 months
+
+    def test_sessions_structure(self):
+        outcome = run_experiment("sessions", seed=11, scale=TEST_SCALE)
+        assert len(outcome.tables) == 2
+        assert outcome.notes
+
+    def test_regions_structure(self):
+        outcome = run_experiment("regions", seed=77, scale=TEST_SCALE)
+        assert len(outcome.tables) == 2
+        assert outcome.notes
+
+
+class TestSummary:
+    def test_summarize_counts(self):
+        from repro.analysis.summary import failing_checks, summarize
+
+        good = run_experiment("table1")
+        bad = ExperimentOutcome(experiment_id="x", title="synthetic failure")
+        bad.add_check("never true", False, "by construction")
+        text = summarize([good, bad])
+        assert "table1" in text and "FAIL" in text
+        assert "1/2 experiments fully passing" in text
+        failures = failing_checks([good, bad])
+        assert failures == ["x: never true — by construction"]

@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+Telemetry generation is the expensive part of most tests, so moderately
+sized workloads are generated once per session and shared read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AutoSens, AutoSensConfig
+from repro.telemetry import ActionRecord, LogStore
+from repro.workload import conditioning_scenario, owa_scenario
+
+
+@pytest.fixture(scope="session")
+def owa_result():
+    """A medium OWA workload shared across the suite (read-only)."""
+    scenario = owa_scenario(seed=1234, duration_days=5.0, n_users=300,
+                            candidates_per_user_day=120.0)
+    return scenario.generate()
+
+
+@pytest.fixture(scope="session")
+def owa_logs(owa_result):
+    return owa_result.logs
+
+
+@pytest.fixture(scope="session")
+def conditioning_result():
+    scenario = conditioning_scenario(seed=4321, duration_days=6.0,
+                                     n_users=400,
+                                     candidates_per_user_day=100.0)
+    return scenario.generate()
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return AutoSens(AutoSensConfig(seed=99))
+
+
+@pytest.fixture()
+def tiny_logs():
+    """A deterministic 12-row store for unit tests of slicing/IO."""
+    records = []
+    for i in range(12):
+        records.append(ActionRecord(
+            time=float(i * 600),
+            action="SelectMail" if i % 2 == 0 else "Search",
+            latency_ms=100.0 + 10.0 * i,
+            user_id=f"user-{i % 3}",
+            user_class="business" if i % 3 else "consumer",
+            success=(i != 5),
+            tz_offset_hours=0.0,
+        ))
+    return LogStore.from_records(records)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,86 @@
+"""Tests for curve distances and stability reports."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, InsufficientDataError
+from repro.core.compare import curve_distance, stability_report
+from repro.core.result import PreferenceResult
+from repro.stats.histogram import HistogramBins
+
+
+def _curve(nlp_values):
+    nlp = np.asarray(nlp_values, dtype=float)
+    bins = HistogramBins(0.0, nlp.size * 100.0, 100.0)
+    counts = np.where(np.isnan(nlp), 0.0, 100.0)
+    return PreferenceResult(
+        bins=bins, biased_counts=counts, unbiased_counts=counts,
+        raw_ratio=nlp.copy(), smoothed_ratio=nlp.copy(), nlp=nlp,
+        reference_ms=150.0,
+    )
+
+
+class TestCurveDistance:
+    def test_identical_curves_zero(self):
+        a = _curve([1.0, 0.9, 0.8])
+        d = curve_distance(a, _curve([1.0, 0.9, 0.8]))
+        assert d.max_abs_gap == 0.0
+        assert d.mean_abs_gap == 0.0
+
+    def test_gap_located(self):
+        a = _curve([1.0, 0.9, 0.8, 0.7])
+        b = _curve([1.0, 0.9, 0.5, 0.7])
+        d = curve_distance(a, b)
+        assert d.max_abs_gap == pytest.approx(0.3)
+        assert d.worst_latency_ms == 250.0
+
+    def test_nan_bins_excluded(self):
+        a = _curve([1.0, np.nan, 0.8])
+        b = _curve([0.5, 0.9, 0.8])
+        d = curve_distance(a, b)
+        assert d.n_common_bins == 2
+        assert d.max_abs_gap == pytest.approx(0.5)
+
+    def test_disjoint_support_raises(self):
+        a = _curve([1.0, np.nan])
+        b = _curve([np.nan, 0.9])
+        with pytest.raises(InsufficientDataError):
+            curve_distance(a, b)
+
+    def test_grid_mismatch(self):
+        a = _curve([1.0, 0.9])
+        b = _curve([1.0, 0.9, 0.8])
+        with pytest.raises(ConfigError):
+            curve_distance(a, b)
+
+
+class TestStability:
+    def test_pairs(self):
+        report = stability_report({
+            "jan": _curve([1.0, 0.9, 0.8]),
+            "feb": _curve([1.0, 0.88, 0.79]),
+            "mar": _curve([1.0, 0.7, 0.6]),
+        })
+        assert len(report.pairwise) == 3
+        assert report.stable(0.25)
+        assert not report.stable(0.05)
+
+    def test_rows_shape(self):
+        report = stability_report({
+            "a": _curve([1.0, 0.9]),
+            "b": _curve([1.0, 0.8]),
+        })
+        rows = report.rows()
+        assert rows[0][0] == "a vs b"
+
+    def test_needs_two(self):
+        with pytest.raises(InsufficientDataError):
+            stability_report({"only": _curve([1.0])})
+
+    def test_on_real_months(self, engine, owa_logs):
+        curves = engine.curves_by_month(owa_logs, action="SelectMail",
+                                        days_per_month=3)
+        if len(curves) >= 2:
+            report = stability_report(
+                {f"m{k}": v for k, v in curves.items()})
+            assert report.mean_abs_gap < 0.3

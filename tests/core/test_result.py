@@ -1,0 +1,94 @@
+"""Tests for PreferenceResult: interpolation, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.core.result import PreferenceResult
+from repro.stats.histogram import HistogramBins
+
+
+@pytest.fixture()
+def result():
+    bins = HistogramBins(0.0, 500.0, 100.0)
+    nlp = np.array([1.2, 1.0, 0.8, np.nan, 0.5])
+    return PreferenceResult(
+        bins=bins,
+        biased_counts=np.array([10.0, 20, 30, 0, 5]),
+        unbiased_counts=np.array([10.0, 20, 30, 0, 10]),
+        raw_ratio=nlp.copy(),
+        smoothed_ratio=nlp.copy(),
+        nlp=nlp,
+        reference_ms=150.0,
+        slice_description="test slice",
+        n_actions=65,
+    )
+
+
+class TestAccessors:
+    def test_latencies_are_centers(self, result):
+        assert result.latencies.tolist() == [50.0, 150.0, 250.0, 350.0, 450.0]
+
+    def test_valid_mask(self, result):
+        assert result.valid.tolist() == [True, True, True, False, True]
+
+    def test_valid_range(self, result):
+        assert result.valid_range() == (50.0, 450.0)
+
+    def test_at_exact_center(self, result):
+        assert result.at(150.0) == pytest.approx(1.0)
+
+    def test_at_interpolates(self, result):
+        assert result.at(100.0) == pytest.approx(1.1)
+
+    def test_at_skips_nan_bins(self, result):
+        # 350 is NaN; interpolation bridges 250 -> 450
+        assert result.at(350.0) == pytest.approx((0.8 + 0.5) / 2.0)
+
+    def test_at_outside_range_nan(self, result):
+        assert np.isnan(result.at(2000.0))
+
+    def test_at_vectorized(self, result):
+        out = result.at(np.array([50.0, 450.0]))
+        assert np.allclose(out, [1.2, 0.5])
+
+    def test_drop_at(self, result):
+        assert result.drop_at(250.0) == pytest.approx(0.2)
+
+    def test_series_keys(self, result):
+        assert set(result.series()) == {
+            "latency_ms", "biased_count", "unbiased_count",
+            "raw_ratio", "smoothed_ratio", "nlp",
+        }
+
+    def test_empty_curve_raises(self):
+        bins = HistogramBins(0.0, 100.0, 100.0)
+        empty = PreferenceResult(
+            bins=bins, biased_counts=np.zeros(1), unbiased_counts=np.zeros(1),
+            raw_ratio=np.array([np.nan]), smoothed_ratio=np.array([np.nan]),
+            nlp=np.array([np.nan]), reference_ms=50.0,
+        )
+        with pytest.raises(InsufficientDataError):
+            empty.valid_range()
+
+
+class TestSerialization:
+    def test_json_round_trip(self, result, tmp_path):
+        path = tmp_path / "curve.json"
+        result.save_json(path)
+        clone = PreferenceResult.load_json(path)
+        assert clone.bins == result.bins
+        assert clone.reference_ms == result.reference_ms
+        assert clone.slice_description == "test slice"
+        assert clone.n_actions == 65
+        assert np.allclose(clone.nlp, result.nlp, equal_nan=True)
+        assert np.allclose(clone.biased_counts, result.biased_counts)
+
+    def test_nan_becomes_null(self, result, tmp_path):
+        path = tmp_path / "curve.json"
+        result.save_json(path)
+        assert "null" in path.read_text()
+        assert "NaN" not in path.read_text()
+
+    def test_repr_mentions_slice(self, result):
+        assert "test slice" in repr(result)

@@ -1,0 +1,173 @@
+"""Tests for streaming/chunked analysis and the aggregate exchange."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, EmptyDataError, InsufficientDataError, SchemaError
+from repro.core import AutoSens, AutoSensConfig
+from repro.core.aggregate import curve_from_counts, load_counts, save_counts
+from repro.core.alpha import slot_time_coverage, slotted_counts
+from repro.core.streaming import (
+    StreamingAutoSens,
+    iter_chunks_by_day,
+    merge_slotted_counts,
+)
+from repro.stats.histogram import latency_bins
+from repro.telemetry import LogStore
+
+
+@pytest.fixture(scope="module")
+def sliced_logs(owa_result):
+    return owa_result.logs.where(action="SelectMail", user_class="business")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AutoSensConfig(seed=3)
+
+
+class TestChunking:
+    def test_chunks_partition_rows(self, sliced_logs):
+        chunks = list(iter_chunks_by_day(sliced_logs, days_per_chunk=1.0))
+        assert sum(len(c) for c in chunks) == len(sliced_logs)
+        assert len(chunks) >= 4
+
+    def test_chunks_ordered_disjoint(self, sliced_logs):
+        chunks = list(iter_chunks_by_day(sliced_logs, days_per_chunk=1.0))
+        for a, b in zip(chunks, chunks[1:]):
+            assert a.times.max() < b.times.min() + 86400.0
+
+    def test_bad_width(self, sliced_logs):
+        with pytest.raises(ConfigError):
+            list(iter_chunks_by_day(sliced_logs, days_per_chunk=0.0))
+
+    def test_empty_logs_no_chunks(self):
+        assert list(iter_chunks_by_day(LogStore.from_records([]))) == []
+
+
+class TestSlotTimeCoverage:
+    def test_full_day_equal_hours(self):
+        seconds = slot_time_coverage(0.0, 86400.0, "hour-of-day",
+                                     np.arange(24))
+        assert np.allclose(seconds, 3600.0)
+
+    def test_partial_window(self):
+        seconds = slot_time_coverage(0.0, 7200.0, "hour-of-day",
+                                     np.arange(24))
+        assert seconds[0] == 3600.0
+        assert seconds[1] == 3600.0
+        assert seconds[2:].sum() == 0.0
+
+    def test_empty_window(self):
+        seconds = slot_time_coverage(10.0, 10.0, "hour-of-day", np.arange(24))
+        assert seconds.sum() == 0.0
+
+
+class TestMerge:
+    def test_merge_identity(self, sliced_logs, config):
+        counts = slotted_counts(sliced_logs, config.bins(), rng=1)
+        merged = merge_slotted_counts([counts])
+        assert np.allclose(merged.biased_counts, counts.biased_counts)
+        assert np.allclose(merged.time_fractions, counts.time_fractions)
+
+    def test_merge_adds_biased_counts(self, sliced_logs, config):
+        counts = slotted_counts(sliced_logs, config.bins(), rng=1)
+        merged = merge_slotted_counts([counts, counts])
+        assert np.allclose(merged.biased_counts, 2 * counts.biased_counts)
+
+    def test_merge_rejects_mixed_schemes(self, sliced_logs, config):
+        a = slotted_counts(sliced_logs, config.bins(), scheme="hour-of-day", rng=1)
+        b = slotted_counts(sliced_logs, config.bins(), scheme="period", rng=2)
+        with pytest.raises(ConfigError):
+            merge_slotted_counts([a, b])
+
+    def test_merge_empty(self):
+        with pytest.raises(EmptyDataError):
+            merge_slotted_counts([])
+
+
+class TestStreamingAutoSens:
+    def test_matches_batch(self, owa_result, sliced_logs, config):
+        batch = AutoSens(config).preference_curve(
+            owa_result.logs, action="SelectMail", user_class="business")
+        stream = StreamingAutoSens(AutoSensConfig(seed=3))
+        for chunk in iter_chunks_by_day(sliced_logs, days_per_chunk=1.0):
+            stream.consume(chunk.successful())
+        curve = stream.preference_curve()
+        for probe in (500.0, 900.0):
+            assert abs(float(curve.at(probe)) - float(batch.at(probe))) < 0.05
+
+    def test_n_rows_tracks(self, sliced_logs):
+        stream = StreamingAutoSens(AutoSensConfig(seed=3))
+        stream.consume(sliced_logs.successful())
+        assert stream.n_rows == int(sliced_logs.success.sum())
+
+    def test_empty_chunk_ignored(self, sliced_logs):
+        stream = StreamingAutoSens(AutoSensConfig(seed=3))
+        stream.consume(LogStore.from_records([]))
+        assert stream.n_rows == 0
+
+    def test_too_few_rows(self):
+        stream = StreamingAutoSens(AutoSensConfig(seed=3, min_actions=10**9))
+        with pytest.raises(InsufficientDataError):
+            stream.preference_curve()
+
+    def test_no_chunks(self):
+        with pytest.raises(EmptyDataError):
+            StreamingAutoSens().merged_counts()
+
+    def test_metadata(self, sliced_logs):
+        stream = StreamingAutoSens(AutoSensConfig(seed=3))
+        for chunk in iter_chunks_by_day(sliced_logs, days_per_chunk=2.0):
+            stream.consume(chunk.successful(), description="demo")
+        curve = stream.preference_curve()
+        assert curve.metadata["chunks"] >= 2
+        assert curve.slice_description == "demo"
+
+
+class TestAggregateExchange:
+    def test_round_trip(self, sliced_logs, config, tmp_path):
+        counts = slotted_counts(sliced_logs, config.bins(), rng=1)
+        path = tmp_path / "counts.json"
+        save_counts(counts, path)
+        clone = load_counts(path)
+        assert clone.scheme == counts.scheme
+        assert clone.bins == counts.bins
+        assert np.allclose(clone.biased_counts, counts.biased_counts)
+        assert np.allclose(clone.time_fractions, counts.time_fractions)
+        assert np.allclose(clone.slot_seconds, counts.slot_seconds)
+
+    def test_curve_from_counts_matches(self, sliced_logs, config, tmp_path):
+        counts = slotted_counts(
+            sliced_logs, config.bins(),
+            n_unbiased_samples=3 * len(sliced_logs), rng=1)
+        path = tmp_path / "counts.json"
+        save_counts(counts, path)
+        a = curve_from_counts(counts, config)
+        b = curve_from_counts(load_counts(path), config)
+        assert np.allclose(a.nlp, b.nlp, equal_nan=True)
+        assert a.metadata["from_aggregates"] is True
+
+    def test_no_user_data_in_file(self, sliced_logs, config, tmp_path):
+        """The exported file must contain no GUIDs or raw timestamps."""
+        counts = slotted_counts(sliced_logs, config.bins(), rng=1)
+        path = tmp_path / "counts.json"
+        save_counts(counts, path)
+        text = path.read_text()
+        for guid in sliced_logs.user_vocab[:20]:
+            if guid:
+                assert guid not in text
+
+    def test_bin_grid_mismatch(self, sliced_logs, config):
+        counts = slotted_counts(sliced_logs, latency_bins(2000.0, 10.0), rng=1)
+        with pytest.raises(ConfigError):
+            curve_from_counts(counts, config)
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SchemaError):
+            load_counts(path)
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(SchemaError):
+            load_counts(path)

@@ -1,0 +1,66 @@
+"""Tests for the day-block bootstrap confidence bands."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.core import AutoSensConfig
+from repro.core.uncertainty import BandedResult, nlp_confidence_band, _resample_days
+
+
+class TestResampleDays:
+    def test_same_span(self, owa_logs, rng):
+        replicate = _resample_days(owa_logs, rng)
+        orig_days = np.floor(owa_logs.duration() / 86400.0)
+        rep_days = np.floor(replicate.duration() / 86400.0)
+        assert abs(orig_days - rep_days) <= 1
+
+    def test_sorted(self, owa_logs, rng):
+        replicate = _resample_days(owa_logs, rng)
+        assert np.all(np.diff(replicate.times) >= 0)
+
+    def test_row_count_same_order(self, owa_logs, rng):
+        replicate = _resample_days(owa_logs, rng)
+        assert 0.4 * len(owa_logs) < len(replicate) < 2.0 * len(owa_logs)
+
+
+class TestBand:
+    @pytest.fixture(scope="class")
+    def band(self, owa_logs):
+        return nlp_confidence_band(
+            owa_logs, AutoSensConfig(seed=3), n_resamples=8, rng=1,
+            action="SelectMail", user_class="business",
+        )
+
+    def test_band_contains_point_mostly(self, band):
+        lo, hi = band.band_at(600.0)
+        point = float(band.point.at(600.0))
+        assert lo - 0.05 <= point <= hi + 0.05
+
+    def test_band_ordering(self, band):
+        lo, hi = band.band_at(500.0)
+        assert lo <= hi
+
+    def test_band_wider_in_tail(self, band):
+        assert band.halfwidth_at(1100.0) >= band.halfwidth_at(400.0) - 0.02
+
+    def test_separation_helper(self, band):
+        shifted = BandedResult(
+            point=band.point,
+            low=band.low + 0.5,
+            high=band.high + 0.5,
+            confidence=band.confidence,
+            n_resamples=band.n_resamples,
+        )
+        assert band.separated_from(shifted, 500.0)
+        assert not band.separated_from(band, 500.0)
+
+    def test_all_nan_rejected(self, band):
+        empty = BandedResult(
+            point=band.point,
+            low=np.full_like(band.low, np.nan),
+            high=np.full_like(band.high, np.nan),
+            confidence=0.9, n_resamples=1,
+        )
+        with pytest.raises(InsufficientDataError):
+            empty.band_at(500.0)

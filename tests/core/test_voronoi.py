@@ -1,0 +1,90 @@
+"""Tests for the deterministic Voronoi-weighted unbiased estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, EmptyDataError
+from repro.core import AutoSens, AutoSensConfig
+from repro.core.unbiased import unbiased_histogram, voronoi_weights
+from repro.stats.histogram import HistogramBins
+from repro.telemetry import LogStore
+
+
+class TestVoronoiWeights:
+    def test_uniform_spacing_equal_weights(self):
+        times = np.arange(10.0)
+        weights = voronoi_weights(times)
+        # interior points get 1.0; edges get 0.5 each
+        assert np.allclose(weights[1:-1], 1.0)
+        assert np.allclose(weights[[0, -1]], 0.5)
+
+    def test_weights_sum_to_window(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 100, 57))
+        weights = voronoi_weights(times, time_range=(0.0, 100.0))
+        assert np.isclose(weights.sum(), 100.0)
+
+    def test_isolated_sample_gets_big_cell(self):
+        times = np.array([0.0, 1.0, 2.0, 100.0])
+        weights = voronoi_weights(times)
+        assert weights[3] > 10 * weights[1]
+
+    def test_duplicates_split_evenly(self):
+        times = np.array([0.0, 5.0, 5.0, 10.0])
+        weights = voronoi_weights(times)
+        assert np.isclose(weights[1], weights[2])
+        # the two duplicates together own the middle cell
+        assert np.isclose(weights[1] + weights[2], 5.0)
+
+    def test_single_sample(self):
+        weights = voronoi_weights(np.array([3.0]), time_range=(0.0, 10.0))
+        assert np.isclose(weights[0], 10.0)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(EmptyDataError):
+            voronoi_weights(np.array([2.0, 1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDataError):
+            voronoi_weights(np.array([]))
+
+    def test_matches_monte_carlo_expectation(self):
+        """Voronoi is the infinite-draw limit of the sampling estimator."""
+        rng = np.random.default_rng(1)
+        # dense cluster of fast samples, sparse slow samples
+        fast = np.sort(rng.uniform(0, 100.0, 200))
+        slow = np.sort(rng.uniform(100.0, 200.0, 20))
+        times = np.concatenate([fast, slow])
+        latencies = np.concatenate([np.full(200, 50.0), np.full(20, 150.0)])
+        logs = LogStore.from_arrays(times=times, latencies_ms=latencies,
+                                    actions=["a"] * 220)
+        bins = HistogramBins(0.0, 200.0, 100.0)
+        voronoi = unbiased_histogram(logs, bins, estimator="voronoi")
+        sampled = unbiased_histogram(logs, bins, n_samples=200_000, rng=2)
+        assert np.allclose(voronoi.pmf(), sampled.pmf(), atol=0.01)
+
+
+class TestVoronoiPipeline:
+    def test_deterministic_across_seeds(self, owa_logs):
+        a = AutoSens(AutoSensConfig(seed=1, unbiased_estimator="voronoi")
+                     ).preference_curve(owa_logs, action="SelectMail")
+        b = AutoSens(AutoSensConfig(seed=99, unbiased_estimator="voronoi")
+                     ).preference_curve(owa_logs, action="SelectMail")
+        assert np.allclose(a.nlp, b.nlp, equal_nan=True)
+
+    def test_agrees_with_sampling(self, owa_logs):
+        voronoi = AutoSens(AutoSensConfig(seed=1, unbiased_estimator="voronoi")
+                           ).preference_curve(owa_logs, action="SelectMail")
+        sampling = AutoSens(AutoSensConfig(seed=1)
+                            ).preference_curve(owa_logs, action="SelectMail")
+        for probe in (500.0, 900.0):
+            assert abs(float(voronoi.at(probe)) - float(sampling.at(probe))) < 0.05
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ConfigError):
+            AutoSensConfig(unbiased_estimator="psychic")
+
+    def test_histogram_unknown_estimator(self, owa_logs):
+        bins = HistogramBins(0.0, 3000.0, 10.0)
+        with pytest.raises(EmptyDataError):
+            unbiased_histogram(owa_logs, bins, estimator="nope")

@@ -1,0 +1,90 @@
+"""Tests for the what-if activity-impact engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, InsufficientDataError
+from repro.core.result import PreferenceResult
+from repro.core.whatif import cap_ms, predict_activity_impact, scale, shift_ms
+from repro.stats.histogram import HistogramBins
+
+
+def _curve(nlp_values, u_counts):
+    bins = HistogramBins(0.0, len(nlp_values) * 100.0, 100.0)
+    nlp = np.asarray(nlp_values, dtype=float)
+    return PreferenceResult(
+        bins=bins,
+        biased_counts=np.asarray(u_counts, dtype=float),
+        unbiased_counts=np.asarray(u_counts, dtype=float),
+        raw_ratio=nlp.copy(),
+        smoothed_ratio=nlp.copy(),
+        nlp=nlp,
+        reference_ms=150.0,
+    )
+
+
+class TestTransforms:
+    def test_shift_floors_at_zero(self):
+        out = shift_ms(-500.0)(np.array([100.0, 800.0]))
+        assert out.tolist() == [0.0, 300.0]
+
+    def test_scale(self):
+        assert scale(0.5)(np.array([400.0]))[0] == 200.0
+
+    def test_cap(self):
+        out = cap_ms(500.0)(np.array([300.0, 900.0]))
+        assert out.tolist() == [300.0, 500.0]
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            scale(0.0)
+        with pytest.raises(ConfigError):
+            cap_ms(-1.0)
+
+
+class TestPrediction:
+    def test_flat_curve_no_change(self):
+        curve = _curve([1.0] * 8, [100] * 8)
+        report = predict_activity_impact(curve, scale(0.5))
+        assert report.activity_ratio == pytest.approx(1.0)
+        assert report.activity_change_pct == pytest.approx(0.0)
+
+    def test_declining_curve_speedup_helps(self):
+        curve = _curve(np.linspace(1.2, 0.5, 10), [100] * 10)
+        faster = predict_activity_impact(curve, shift_ms(-200.0))
+        slower = predict_activity_impact(curve, shift_ms(+200.0), min_coverage=0.5)
+        assert faster.activity_ratio > 1.0
+        assert slower.activity_ratio < 1.0
+
+    def test_exact_two_bin_case(self):
+        # U mass 50/50 on bins at 50 and 150 ms; rho = 1.0 and 0.5.
+        curve = _curve([1.0, 0.5], [100, 100])
+        # mapping everything to the fast bin doubles nothing for bin 0 and
+        # lifts bin 1 from 0.5 to 1.0 -> ratio (1+1)/(1+0.5) = 4/3
+        report = predict_activity_impact(curve, cap_ms(50.0))
+        assert report.activity_ratio == pytest.approx(4.0 / 3.0)
+
+    def test_coverage_guard(self):
+        curve = _curve([1.0, 0.9, 0.8, np.nan, np.nan, np.nan],
+                       [100, 100, 100, 100, 100, 100])
+        with pytest.raises(InsufficientDataError):
+            predict_activity_impact(curve, shift_ms(+250.0), min_coverage=0.9)
+
+    def test_mean_latencies_reported(self):
+        curve = _curve([1.0] * 6, [100] * 6)
+        report = predict_activity_impact(curve, scale(0.5))
+        assert report.mean_latency_after == pytest.approx(
+            0.5 * report.mean_latency_before)
+
+    def test_no_unbiased_mass(self):
+        curve = _curve([1.0, 1.0], [0, 0])
+        with pytest.raises(InsufficientDataError):
+            predict_activity_impact(curve, scale(0.9))
+
+    def test_on_real_curve(self, owa_logs, engine):
+        curve = engine.preference_curve(owa_logs, action="SelectMail",
+                                        user_class="business")
+        report = predict_activity_impact(curve, scale(0.8))
+        assert report.activity_ratio > 1.0       # speedup helps
+        assert 0.0 < report.activity_change_pct < 20.0
+        assert report.coverage > 0.9

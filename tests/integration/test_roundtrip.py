@@ -1,0 +1,40 @@
+"""End-to-end file round-trips: generate -> write -> read -> analyze."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoSens, AutoSensConfig
+from repro.telemetry import read_csv, read_jsonl, write_csv, write_jsonl
+
+
+class TestFileRoundTrip:
+    def test_jsonl_analysis_matches_in_memory(self, owa_result, tmp_path):
+        logs = owa_result.logs
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(logs.iter_records(), path)
+        reloaded = read_jsonl(path)
+
+        engine_a = AutoSens(AutoSensConfig(seed=5))
+        engine_b = AutoSens(AutoSensConfig(seed=5))
+        curve_a = engine_a.preference_curve(logs, action="SelectMail")
+        curve_b = engine_b.preference_curve(reloaded, action="SelectMail")
+        assert np.allclose(curve_a.nlp, curve_b.nlp, equal_nan=True)
+
+    def test_csv_preserves_analysis_columns(self, owa_result, tmp_path):
+        logs = owa_result.logs
+        path = tmp_path / "logs.csv"
+        write_csv(logs.iter_records(), path)
+        reloaded = read_csv(path)
+        assert len(reloaded) == len(logs)
+        assert np.allclose(reloaded.latencies_ms, logs.latencies_ms)
+        assert np.array_equal(reloaded.success, logs.success)
+
+    def test_curve_json_round_trip(self, owa_result, tmp_path, engine):
+        from repro.core.result import PreferenceResult
+
+        curve = engine.preference_curve(owa_result.logs, action="Search")
+        path = tmp_path / "curve.json"
+        curve.save_json(path)
+        clone = PreferenceResult.load_json(path)
+        assert np.allclose(clone.nlp, curve.nlp, equal_nan=True)
+        assert clone.slice_description == curve.slice_description

@@ -1,0 +1,202 @@
+"""Unit and property tests for the fixed-width histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, EmptyDataError
+from repro.stats.histogram import Histogram1D, HistogramBins, latency_bins
+
+
+class TestHistogramBins:
+    def test_count_and_edges(self):
+        bins = HistogramBins(0.0, 100.0, 10.0)
+        assert bins.count == 10
+        assert bins.edges[0] == 0.0
+        assert bins.edges[-1] == 100.0
+        assert len(bins.edges) == 11
+
+    def test_centers(self):
+        bins = HistogramBins(0.0, 30.0, 10.0)
+        assert np.allclose(bins.centers, [5.0, 15.0, 25.0])
+
+    def test_index_of_interior(self):
+        bins = HistogramBins(0.0, 100.0, 10.0)
+        assert bins.index_of(np.array([0.0, 9.99, 10.0, 99.9])).tolist() == [0, 0, 1, 9]
+
+    def test_index_of_out_of_range(self):
+        bins = HistogramBins(0.0, 100.0, 10.0)
+        assert bins.index_of(np.array([-1.0, 100.0, 150.0])).tolist() == [-1, -1, -1]
+
+    def test_clip_index(self):
+        bins = HistogramBins(0.0, 100.0, 10.0)
+        assert bins.clip_index_of(np.array([-5.0, 250.0])).tolist() == [0, 9]
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigError):
+            HistogramBins(10.0, 0.0, 1.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigError):
+            HistogramBins(0.0, 10.0, 0.0)
+
+    def test_rejects_uneven_width(self):
+        with pytest.raises(ConfigError):
+            HistogramBins(0.0, 10.0, 3.0)
+
+    def test_latency_bins_default(self):
+        bins = latency_bins()
+        assert bins.width == 10.0
+        assert bins.low == 0.0
+        assert bins.count == 300
+
+
+class TestHistogram1D:
+    def test_add_and_total(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add([5.0, 15.0, 15.0])
+        assert hist.total == 3.0
+        assert hist.counts[0] == 1.0
+        assert hist.counts[1] == 2.0
+
+    def test_add_with_weights(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add([5.0, 15.0], weights=[2.0, 0.5])
+        assert hist.counts[0] == 2.0
+        assert hist.counts[1] == 0.5
+
+    def test_dropped_out_of_range(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add([5.0, 500.0])
+        assert hist.total == 1.0
+        assert hist.dropped == 1.0
+
+    def test_clip_mode_keeps_everything(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0), clip=True)
+        hist.add([5.0, 500.0])
+        assert hist.total == 2.0
+        assert hist.counts[-1] == 1.0
+
+    def test_pdf_integrates_to_one(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add(np.linspace(1, 99, 57))
+        assert np.isclose(hist.pdf().sum() * 10.0, 1.0)
+
+    def test_pmf_sums_to_one(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add(np.linspace(1, 99, 33))
+        assert np.isclose(hist.pmf().sum(), 1.0)
+
+    def test_empty_pdf_raises(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        with pytest.raises(EmptyDataError):
+            hist.pdf()
+
+    def test_mean_matches_bin_centers(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add([5.0, 5.0, 25.0])
+        assert np.isclose(hist.mean(), (5 + 5 + 25) / 3.0)
+
+    def test_quantile_median(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add(np.full(100, 45.0))
+        assert 40.0 <= hist.quantile(0.5) <= 50.0
+
+    def test_quantile_range_validation(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add([5.0])
+        with pytest.raises(ConfigError):
+            hist.quantile(1.5)
+
+    def test_scaled(self):
+        hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        hist.add([5.0, 15.0])
+        doubled = hist.scaled(2.0)
+        assert doubled.total == 4.0
+        assert hist.total == 2.0  # original untouched
+
+    def test_merged(self):
+        bins = HistogramBins(0.0, 100.0, 10.0)
+        a = Histogram1D(bins)
+        a.add([5.0])
+        b = Histogram1D(bins)
+        b.add([15.0, 15.0])
+        merged = a.merged(b)
+        assert merged.total == 3.0
+        assert merged.counts[1] == 2.0
+
+    def test_merge_rejects_different_grids(self):
+        a = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+        b = Histogram1D(HistogramBins(0.0, 200.0, 10.0))
+        with pytest.raises(ConfigError):
+            a.merged(b)
+
+    def test_ratio_to(self):
+        bins = HistogramBins(0.0, 30.0, 10.0)
+        a = Histogram1D(bins)
+        a.add([5.0, 15.0, 15.0])
+        b = Histogram1D(bins)
+        b.add([5.0, 15.0, 25.0])
+        ratio = a.ratio_to(b)
+        assert np.isclose(ratio[0], 1.0)
+        assert np.isclose(ratio[1], 2.0)
+        # a has no mass at 25 -> ratio 0; b has mass so defined.
+        assert np.isclose(ratio[2], 0.0)
+
+    def test_ratio_nan_where_denominator_empty(self):
+        bins = HistogramBins(0.0, 30.0, 10.0)
+        a = Histogram1D(bins)
+        a.add([5.0, 25.0])
+        b = Histogram1D(bins)
+        b.add([5.0])
+        ratio = a.ratio_to(b)
+        assert np.isnan(ratio[2])
+
+    def test_add_counts_shape_check(self):
+        hist = Histogram1D(HistogramBins(0.0, 30.0, 10.0))
+        with pytest.raises(ConfigError):
+            hist.add_counts(np.ones(5))
+
+    def test_equality(self):
+        bins = HistogramBins(0.0, 30.0, 10.0)
+        a = Histogram1D(bins)
+        b = Histogram1D(bins)
+        a.add([5.0])
+        b.add([5.0])
+        assert a == b
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=99.0), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_mass_conservation(values):
+    """Property: total equals the number of in-range samples."""
+    hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+    hist.add(values)
+    assert hist.total == len(values)
+    assert hist.dropped == 0.0
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=99.0), min_size=1, max_size=100),
+    st.lists(st.floats(min_value=0.0, max_value=99.0), min_size=1, max_size=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_merge_commutes(a_vals, b_vals):
+    """Property: merge is commutative on counts."""
+    bins = HistogramBins(0.0, 100.0, 10.0)
+    a = Histogram1D(bins)
+    a.add(a_vals)
+    b = Histogram1D(bins)
+    b.add(b_vals)
+    assert np.allclose(a.merged(b).counts, b.merged(a).counts)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=99.0), min_size=2, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_quantiles_monotone(values):
+    """Property: the quantile function is non-decreasing."""
+    hist = Histogram1D(HistogramBins(0.0, 100.0, 10.0))
+    hist.add(values)
+    qs = [hist.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+    assert all(a <= b + 1e-9 for a, b in zip(qs, qs[1:]))

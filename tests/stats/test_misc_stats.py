@@ -1,0 +1,149 @@
+"""Tests for correlation, smoothing, bootstrap and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, EmptyDataError
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_curve_band
+from repro.stats.correlation import pearson, spearman
+from repro.stats.rng import RngFactory, spawn_rng
+from repro.stats.smoothing import ewma, moving_average
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert np.isclose(pearson(x, 2 * x + 1), 1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert np.isclose(pearson(x, -x), -1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_nan_pairs_dropped(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.isclose(pearson(x, y), 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EmptyDataError):
+            pearson(np.arange(3.0), np.arange(4.0))
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson(rng.normal(size=5000), rng.normal(size=5000))) < 0.05
+
+
+class TestSpearman:
+    def test_monotone_nonlinear(self):
+        x = np.arange(1.0, 20.0)
+        assert np.isclose(spearman(x, x**3), 1.0)
+
+    def test_ties_handled(self):
+        x = np.array([1.0, 1.0, 2.0, 3.0])
+        y = np.array([1.0, 1.0, 2.0, 3.0])
+        assert np.isclose(spearman(x, y), 1.0)
+
+    def test_anticorrelated(self):
+        x = np.arange(10.0)
+        assert np.isclose(spearman(x, -np.exp(x)), -1.0)
+
+
+class TestMovingAverage:
+    def test_constant(self):
+        assert np.allclose(moving_average(np.ones(10), 3), 1.0)
+
+    def test_window_one_is_identity(self):
+        values = np.arange(5.0)
+        assert np.allclose(moving_average(values, 1), values)
+
+    def test_nan_aware(self):
+        values = np.array([1.0, np.nan, 3.0])
+        out = moving_average(values, 3)
+        assert np.isclose(out[1], 2.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            moving_average(np.ones(3), 0)
+
+
+class TestEwma:
+    def test_converges_to_constant(self):
+        out = ewma(np.full(100, 5.0), alpha=0.3)
+        assert np.allclose(out, 5.0)
+
+    def test_nan_holds_state(self):
+        out = ewma(np.array([1.0, np.nan, np.nan]), alpha=0.5)
+        assert out[1] == 1.0 and out[2] == 1.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigError):
+            ewma(np.ones(3), alpha=0.0)
+
+
+class TestBootstrap:
+    def test_mean_ci_covers_truth(self):
+        rng = np.random.default_rng(1)
+        result = bootstrap_ci(rng.normal(10, 1, 500), np.mean, rng=2)
+        assert result.low < 10.0 < result.high
+        assert result.contains(result.estimate)
+
+    def test_tight_for_large_n(self):
+        rng = np.random.default_rng(3)
+        result = bootstrap_ci(rng.normal(0, 1, 5000), np.mean,
+                              n_resamples=300, rng=4)
+        assert result.halfwidth < 0.1
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDataError):
+            bootstrap_ci(np.array([]))
+
+    def test_curve_band_shapes(self):
+        point = np.zeros(10)
+        low, high = bootstrap_curve_band(
+            lambda gen: gen.normal(0, 1, 10), point, n_resamples=100, rng=5
+        )
+        assert low.shape == point.shape
+        assert np.all(low <= high)
+
+    def test_curve_band_rejects_bad_resample(self):
+        with pytest.raises(EmptyDataError):
+            bootstrap_curve_band(lambda gen: np.zeros(3), np.zeros(5),
+                                 n_resamples=2, rng=6)
+
+
+class TestRng:
+    def test_spawn_from_int_deterministic(self):
+        a = spawn_rng(1).integers(0, 1000, 10)
+        b = spawn_rng(1).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_spawn_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert spawn_rng(gen) is gen
+
+    def test_factory_children_independent(self):
+        factory = RngFactory(42)
+        a = factory.child("a").integers(0, 10**9, 20)
+        b = factory.child("b").integers(0, 10**9, 20)
+        assert not np.array_equal(a, b)
+
+    def test_factory_reproducible(self):
+        a = RngFactory(7).child("x").integers(0, 10**9, 20)
+        b = RngFactory(7).child("x").integers(0, 10**9, 20)
+        assert np.array_equal(a, b)
+
+    def test_same_name_advances(self):
+        factory = RngFactory(7)
+        a = factory.child("x").integers(0, 10**9, 20)
+        b = factory.child("x").integers(0, 10**9, 20)
+        assert not np.array_equal(a, b)
+
+    def test_fork_independent(self):
+        factory = RngFactory(7)
+        forked = factory.fork("sub")
+        a = factory.child("x").integers(0, 10**9, 10)
+        b = forked.child("x").integers(0, 10**9, 10)
+        assert not np.array_equal(a, b)

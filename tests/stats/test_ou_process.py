@@ -1,0 +1,74 @@
+"""Tests for Ornstein-Uhlenbeck / AR(1) processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.stats.ou_process import OrnsteinUhlenbeck, ar1_series
+
+
+class TestOU:
+    def test_stationary_moments(self):
+        ou = OrnsteinUhlenbeck(mean=5.0, tau=50.0, sigma=2.0)
+        path = ou.sample_path(200_000, dt=10.0, rng=1)
+        assert abs(path.mean() - 5.0) < 0.15
+        assert abs(path.std() - 2.0) < 0.15
+
+    def test_autocorrelation_decay(self):
+        ou = OrnsteinUhlenbeck(tau=100.0, sigma=1.0)
+        path = ou.sample_path(100_000, dt=10.0, rng=2)
+        lag = 10  # 100 s = tau -> expect exp(-1)
+        centered = path - path.mean()
+        rho = np.dot(centered[:-lag], centered[lag:]) / np.dot(centered, centered)
+        assert abs(rho - np.exp(-1.0)) < 0.1
+
+    def test_theoretical_autocorrelation(self):
+        ou = OrnsteinUhlenbeck(tau=100.0)
+        assert np.isclose(ou.autocorrelation(100.0), np.exp(-1.0))
+        assert ou.autocorrelation(0.0) == 1.0
+
+    def test_x0_respected(self):
+        ou = OrnsteinUhlenbeck(tau=1e9, sigma=0.0)
+        path = ou.sample_path(5, dt=1.0, rng=3, x0=7.0)
+        assert np.allclose(path, 7.0, atol=1e-6)
+
+    def test_zero_steps(self):
+        assert OrnsteinUhlenbeck().sample_path(0, dt=1.0, rng=4).size == 0
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ConfigError):
+            OrnsteinUhlenbeck(tau=0.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ConfigError):
+            OrnsteinUhlenbeck().sample_path(10, dt=0.0)
+
+    def test_deterministic_with_seed(self):
+        ou = OrnsteinUhlenbeck()
+        a = ou.sample_path(100, dt=1.0, rng=5)
+        b = ou.sample_path(100, dt=1.0, rng=5)
+        assert np.array_equal(a, b)
+
+
+class TestAR1:
+    def test_stationary_variance(self):
+        series = ar1_series(100_000, phi=0.8, sigma=3.0, rng=6)
+        assert abs(series.std() - 3.0) < 0.2
+
+    def test_mean(self):
+        series = ar1_series(50_000, phi=0.5, sigma=1.0, mean=-2.0, rng=7)
+        assert abs(series.mean() + 2.0) < 0.1
+
+    def test_lag1_correlation_is_phi(self):
+        series = ar1_series(100_000, phi=0.7, rng=8)
+        centered = series - series.mean()
+        rho = np.dot(centered[:-1], centered[1:]) / np.dot(centered, centered)
+        assert abs(rho - 0.7) < 0.05
+
+    def test_rejects_nonstationary_phi(self):
+        with pytest.raises(ConfigError):
+            ar1_series(10, phi=1.0)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ConfigError):
+            ar1_series(-1, phi=0.5)

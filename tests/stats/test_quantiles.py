@@ -1,0 +1,97 @@
+"""Tests for exact and streaming (P-squared) quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, EmptyDataError
+from repro.stats.quantiles import P2Quantile, exact_quantile
+
+
+class TestExactQuantile:
+    def test_median_odd(self):
+        assert exact_quantile(np.array([3.0, 1.0, 2.0]), 0.5) == 2.0
+
+    def test_extremes(self):
+        values = np.arange(10.0)
+        assert exact_quantile(values, 0.0) == 0.0
+        assert exact_quantile(values, 1.0) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDataError):
+            exact_quantile(np.array([]), 0.5)
+
+    def test_bad_q_raises(self):
+        with pytest.raises(ConfigError):
+            exact_quantile(np.array([1.0]), 1.5)
+
+
+class TestP2:
+    def test_first_five_exact(self):
+        est = P2Quantile(0.5)
+        for value in [5.0, 1.0, 4.0, 2.0, 3.0]:
+            est.add(value)
+        assert est.value() == 3.0
+
+    def test_before_five_exact(self):
+        est = P2Quantile(0.5)
+        est.add(10.0)
+        est.add(20.0)
+        assert est.value() == 15.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDataError):
+            P2Quantile(0.5).value()
+
+    def test_rejects_extreme_q(self):
+        with pytest.raises(ConfigError):
+            P2Quantile(0.0)
+
+    def test_median_of_normal(self):
+        rng = np.random.default_rng(1)
+        est = P2Quantile(0.5)
+        data = rng.normal(10.0, 2.0, 20_000)
+        for value in data:
+            est.add(value)
+        assert abs(est.value() - np.median(data)) < 0.1
+
+    def test_p90_of_uniform(self):
+        rng = np.random.default_rng(2)
+        est = P2Quantile(0.9)
+        data = rng.uniform(0, 1, 20_000)
+        for value in data:
+            est.add(value)
+        assert abs(est.value() - 0.9) < 0.02
+
+    def test_count_tracks(self):
+        est = P2Quantile(0.5)
+        for i in range(7):
+            est.add(float(i))
+        assert est.count == 7
+
+    def test_skewed_distribution(self):
+        rng = np.random.default_rng(3)
+        data = rng.lognormal(5.5, 0.6, 30_000)
+        est = P2Quantile(0.5)
+        for value in data:
+            est.add(value)
+        true = float(np.median(data))
+        assert abs(est.value() - true) / true < 0.05
+
+
+@given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=50, max_size=400),
+       st.sampled_from([0.25, 0.5, 0.75]))
+@settings(max_examples=40, deadline=None)
+def test_p2_close_to_exact(values, q):
+    """Property: P2 estimate lands inside the sample range and near exact."""
+    est = P2Quantile(q)
+    for value in values:
+        est.add(value)
+    result = est.value()
+    arr = np.asarray(values)
+    assert arr.min() <= result <= arr.max()
+    exact = exact_quantile(arr, q)
+    spread = arr.max() - arr.min()
+    if spread > 0:
+        assert abs(result - exact) <= 0.25 * spread

@@ -1,0 +1,122 @@
+"""Tests for the from-scratch Savitzky-Golay filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.stats.savgol import SavitzkyGolay, savgol_coefficients, savgol_smooth
+
+
+class TestCoefficients:
+    def test_sum_to_one(self):
+        """Smoothing coefficients reproduce a constant exactly."""
+        for window, degree in [(5, 2), (7, 3), (101, 3)]:
+            coeffs = savgol_coefficients(window, degree)
+            assert np.isclose(coeffs.sum(), 1.0)
+
+    def test_symmetric(self):
+        coeffs = savgol_coefficients(9, 2)
+        assert np.allclose(coeffs, coeffs[::-1])
+
+    def test_matches_scipy(self):
+        scipy_signal = pytest.importorskip("scipy.signal")
+        ours = savgol_coefficients(11, 3)
+        theirs = scipy_signal.savgol_coeffs(11, 3)[::-1]
+        assert np.allclose(ours, theirs)
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ConfigError):
+            savgol_coefficients(10, 2)
+
+    def test_rejects_degree_ge_window(self):
+        with pytest.raises(ConfigError):
+            savgol_coefficients(5, 5)
+
+    def test_first_derivative(self):
+        coeffs = savgol_coefficients(7, 2, deriv=1)
+        x = np.arange(7, dtype=float)
+        # derivative of y = 3x at center should be 3
+        assert np.isclose(np.dot(coeffs, 3.0 * x), 3.0)
+
+
+class TestSmooth:
+    def test_exact_on_polynomial(self):
+        """SG with degree d reproduces any polynomial of degree <= d exactly."""
+        x = np.arange(50, dtype=float)
+        y = 2.0 + 3.0 * x - 0.5 * x**2 + 0.01 * x**3
+        smoothed = savgol_smooth(y, window=11, degree=3)
+        assert np.allclose(smoothed, y, atol=1e-6)
+
+    def test_edges_handled(self):
+        y = np.arange(20, dtype=float) ** 2
+        smoothed = savgol_smooth(y, window=7, degree=2)
+        assert np.allclose(smoothed, y, atol=1e-6)  # includes first/last points
+
+    def test_matches_scipy_interior(self):
+        scipy_signal = pytest.importorskip("scipy.signal")
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=200)
+        ours = savgol_smooth(y, window=21, degree=3)
+        theirs = scipy_signal.savgol_filter(y, 21, 3)
+        assert np.allclose(ours[10:-10], theirs[10:-10], atol=1e-9)
+
+    def test_reduces_noise(self):
+        rng = np.random.default_rng(1)
+        y = np.sin(np.linspace(0, 3, 400)) + rng.normal(0, 0.3, 400)
+        smoothed = savgol_smooth(y, window=31, degree=3)
+        truth = np.sin(np.linspace(0, 3, 400))
+        assert np.abs(smoothed - truth).mean() < np.abs(y - truth).mean()
+
+    def test_nan_gap_filled_from_neighbours(self):
+        y = np.arange(40, dtype=float)
+        y[20] = np.nan
+        smoothed = savgol_smooth(y, window=9, degree=2)
+        assert np.isclose(smoothed[20], 20.0, atol=1e-6)
+
+    def test_all_nan_window_stays_nan(self):
+        y = np.full(30, np.nan)
+        y[0] = 1.0
+        smoothed = savgol_smooth(y, window=5, degree=2)
+        assert np.isnan(smoothed[20])
+
+    def test_short_input_degrades_gracefully(self):
+        y = np.array([1.0, 2.0, 3.0])
+        smoothed = savgol_smooth(y, window=101, degree=3)
+        assert np.allclose(smoothed, y, atol=1e-8)
+
+    def test_empty_input(self):
+        assert savgol_smooth(np.array([]), 5, 2).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            savgol_smooth(np.ones((3, 3)), 3, 1)
+
+    def test_callable_wrapper(self):
+        smoother = SavitzkyGolay(window=5, degree=2)
+        y = np.arange(10, dtype=float)
+        assert np.allclose(smoother(y), y, atol=1e-8)
+
+    def test_wrapper_validates(self):
+        with pytest.raises(ConfigError):
+            SavitzkyGolay(window=4, degree=2)
+
+
+@given(
+    coeffs=st.tuples(
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=-0.05, max_value=0.05),
+    ),
+    window=st.sampled_from([5, 9, 15, 21]),
+)
+@settings(max_examples=40, deadline=None)
+def test_polynomial_exactness_property(coeffs, window):
+    """Property: degree-3 SG is an identity on cubics, any window size."""
+    a, b, c, d = coeffs
+    x = np.linspace(0, 3, 60)
+    y = a + b * x + c * x**2 + d * x**3
+    smoothed = savgol_smooth(y, window=window, degree=3)
+    assert np.allclose(smoothed, y, atol=1e-6 * max(1.0, np.abs(y).max()))

@@ -1,0 +1,72 @@
+"""Tests for composable predicates."""
+
+import numpy as np
+
+from repro.telemetry import filters
+from repro.types import ActionType, DayPeriod, UserClass
+
+
+class TestAtoms:
+    def test_action_is(self, tiny_logs):
+        selected = filters.action_is("Search").apply(tiny_logs)
+        assert all(a == "Search" for a in selected.actions)
+
+    def test_action_enum(self, tiny_logs):
+        predicate = filters.action_is(ActionType.SELECT_MAIL)
+        assert len(predicate.apply(tiny_logs)) == 6
+
+    def test_unknown_action_empty_mask(self, tiny_logs):
+        assert len(filters.action_is("Nope").apply(tiny_logs)) == 0
+
+    def test_user_class(self, tiny_logs):
+        selected = filters.user_class_is(UserClass.BUSINESS).apply(tiny_logs)
+        assert all(c == "business" for c in selected.user_classes)
+
+    def test_latency_between(self, tiny_logs):
+        selected = filters.latency_between(100.0, 150.0).apply(tiny_logs)
+        assert all(100.0 <= v < 150.0 for v in selected.latencies_ms)
+
+    def test_time_between(self, tiny_logs):
+        selected = filters.time_between(0.0, 1201.0).apply(tiny_logs)
+        assert len(selected) == 3
+
+    def test_successful(self, tiny_logs):
+        assert len(filters.successful().apply(tiny_logs)) == 11
+
+    def test_everything(self, tiny_logs):
+        assert len(filters.everything().apply(tiny_logs)) == len(tiny_logs)
+
+    def test_in_period_wrapping(self, tiny_logs):
+        mask = filters.in_period(DayPeriod.NIGHT).mask(tiny_logs)
+        # tiny logs all start at time 0..6600s = midnight..1:50am -> NIGHT
+        assert mask.all()
+
+    def test_in_month(self, tiny_logs):
+        assert filters.in_month(0).mask(tiny_logs).all()
+        assert not filters.in_month(1).mask(tiny_logs).any()
+
+
+class TestCombinators:
+    def test_and(self, tiny_logs):
+        predicate = filters.action_is("Search") & filters.successful()
+        selected = predicate.apply(tiny_logs)
+        assert all(a == "Search" for a in selected.actions)
+        assert selected.success.all()
+
+    def test_or(self, tiny_logs):
+        predicate = filters.action_is("Search") | filters.action_is("SelectMail")
+        assert len(predicate.apply(tiny_logs)) == len(tiny_logs)
+
+    def test_not(self, tiny_logs):
+        predicate = ~filters.action_is("Search")
+        assert all(a != "Search" for a in predicate.apply(tiny_logs).actions)
+
+    def test_name_composition(self):
+        predicate = filters.action_is("a") & ~filters.successful()
+        assert "action=a" in predicate.name
+        assert "~success" in predicate.name
+
+    def test_demorgan(self, tiny_logs):
+        lhs = ~(filters.action_is("Search") | filters.successful())
+        rhs = ~filters.action_is("Search") & ~filters.successful()
+        assert np.array_equal(lhs.mask(tiny_logs), rhs.mask(tiny_logs))

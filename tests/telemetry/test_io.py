@@ -1,0 +1,115 @@
+"""Tests for JSONL and CSV telemetry IO."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.telemetry import (
+    ActionRecord,
+    iter_jsonl,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+
+
+@pytest.fixture()
+def records():
+    return [
+        ActionRecord(time=float(i), action="SelectMail", latency_ms=100.0 + i,
+                     user_id=f"u{i % 2}", user_class="business",
+                     success=(i != 3), tz_offset_hours=-5.0)
+        for i in range(6)
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        assert write_jsonl(records, path) == 6
+        store = read_jsonl(path)
+        assert len(store) == 6
+        assert np.allclose(store.latencies_ms, [100.0 + i for i in range(6)])
+        assert store.success.sum() == 5
+        assert (store.tz_offsets == -5.0).all()
+
+    def test_gzip_round_trip(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl.gz"
+        write_jsonl(records, path)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("{")
+        store = read_jsonl(path)
+        assert len(store) == 6
+
+    def test_blank_lines_skipped(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records, path)
+        content = path.read_text()
+        path.write_text(content.replace("\n", "\n\n"))
+        assert len(read_jsonl(path)) == 6
+
+    def test_strict_raises_with_line_number(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records[:2], path)
+        with open(path, "a") as fh:
+            fh.write("{not json}\n")
+        with pytest.raises(SchemaError, match=":3"):
+            read_jsonl(path)
+
+    def test_lenient_skips_bad_lines(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records[:2], path)
+        with open(path, "a") as fh:
+            fh.write("{not json}\n")
+        assert len(read_jsonl(path, strict=False)) == 2
+
+    def test_iter_is_lazy(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records, path)
+        iterator = iter_jsonl(path)
+        first = next(iterator)
+        assert first.time == 0.0
+
+
+class TestCsv:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "logs.csv"
+        assert write_csv(records, path) == 6
+        store = read_csv(path)
+        assert len(store) == 6
+        assert store.success.sum() == 5
+        assert store.actions.tolist() == ["SelectMail"] * 6
+
+    def test_missing_required_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,action\n1.0,a\n")
+        with pytest.raises(SchemaError, match="latency_ms"):
+            read_csv(path)
+
+    def test_strict_bad_row(self, records, tmp_path):
+        path = tmp_path / "logs.csv"
+        write_csv(records[:1], path)
+        with open(path, "a") as fh:
+            fh.write("oops,SelectMail,xyz,,,1,0\n")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_lenient_bad_row(self, records, tmp_path):
+        path = tmp_path / "logs.csv"
+        write_csv(records[:1], path)
+        with open(path, "a") as fh:
+            fh.write("oops,SelectMail,xyz,,,1,0\n")
+        assert len(read_csv(path, strict=False)) == 1
+
+    def test_jsonl_csv_agree(self, records, tmp_path):
+        jsonl_store = read_jsonl(
+            (lambda p: (write_jsonl(records, p), p)[1])(tmp_path / "a.jsonl")
+        )
+        csv_store = read_csv(
+            (lambda p: (write_csv(records, p), p)[1])(tmp_path / "a.csv")
+        )
+        assert np.allclose(jsonl_store.latencies_ms, csv_store.latencies_ms)
+        assert np.allclose(jsonl_store.times, csv_store.times)

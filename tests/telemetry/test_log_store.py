@@ -1,0 +1,167 @@
+"""Tests for the columnar LogStore."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDataError, SchemaError
+from repro.telemetry import ActionRecord, LogStore
+from repro.types import DayPeriod
+
+
+class TestConstruction:
+    def test_from_records(self, tiny_logs):
+        assert len(tiny_logs) == 12
+        assert set(tiny_logs.action_names()) == {"SelectMail", "Search"}
+        assert tiny_logs.n_users() == 3
+
+    def test_from_arrays_defaults(self):
+        store = LogStore.from_arrays(
+            times=[0.0, 1.0], latencies_ms=[10.0, 20.0],
+            actions=["a", "b"],
+        )
+        assert len(store) == 2
+        assert store.success.all()
+        assert (store.tz_offsets == 0).all()
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            LogStore.from_arrays(times=[0.0], latencies_ms=[1.0, 2.0],
+                                 actions=["a"])
+
+    def test_empty_store(self):
+        store = LogStore.from_records([])
+        assert store.is_empty
+        with pytest.raises(EmptyDataError):
+            store.time_range()
+
+    def test_decoded_columns(self, tiny_logs):
+        assert tiny_logs.actions[0] == "SelectMail"
+        assert tiny_logs.user_classes[0] == "consumer"
+
+
+class TestFiltering:
+    def test_where_action(self, tiny_logs):
+        selected = tiny_logs.where(action="Search")
+        assert len(selected) > 0
+        assert all(a == "Search" for a in selected.actions)
+
+    def test_where_unknown_action_empty(self, tiny_logs):
+        assert len(tiny_logs.where(action="Nope")) == 0
+
+    def test_where_class(self, tiny_logs):
+        selected = tiny_logs.where(user_class="business")
+        assert len(selected) > 0
+        assert all(c == "business" for c in selected.user_classes)
+
+    def test_success_filter_default(self, tiny_logs):
+        # record 5 is a failure; where() drops it by default
+        assert len(tiny_logs.where()) == 11
+        assert len(tiny_logs.where(success_only=False)) == 12
+
+    def test_where_time_range(self, tiny_logs):
+        selected = tiny_logs.where(time_range=(0.0, 1800.0))
+        assert all(t < 1800.0 for t in selected.times)
+
+    def test_where_user_codes(self, tiny_logs):
+        code = tiny_logs.user_vocab.index("user-0")
+        selected = tiny_logs.where(user_codes=np.array([code]))
+        assert selected.n_users() == 1
+
+    def test_where_period(self):
+        # actions at 9am and 3am local
+        records = [
+            ActionRecord(time=9 * 3600.0, action="a", latency_ms=1.0),
+            ActionRecord(time=3 * 3600.0, action="a", latency_ms=1.0),
+        ]
+        store = LogStore.from_records(records)
+        morning = store.where(period=DayPeriod.MORNING)
+        assert len(morning) == 1
+        assert morning.times[0] == 9 * 3600.0
+
+    def test_where_period_respects_tz(self):
+        # 9am UTC with -6h offset = 3am local -> LATE_NIGHT
+        record = ActionRecord(time=9 * 3600.0, action="a", latency_ms=1.0,
+                              tz_offset_hours=-6.0)
+        store = LogStore.from_records([record])
+        assert len(store.where(period=DayPeriod.MORNING)) == 0
+        assert len(store.where(period=DayPeriod.LATE_NIGHT)) == 1
+
+    def test_where_month(self):
+        records = [
+            ActionRecord(time=5 * 86400.0, action="a", latency_ms=1.0),
+            ActionRecord(time=45 * 86400.0, action="a", latency_ms=1.0),
+        ]
+        store = LogStore.from_records(records)
+        assert len(store.where(month=0)) == 1
+        assert len(store.where(month=1)) == 1
+
+    def test_filter_mask_shape_check(self, tiny_logs):
+        with pytest.raises(SchemaError):
+            tiny_logs.filter(np.ones(3, dtype=bool))
+
+    def test_filter_shares_vocab(self, tiny_logs):
+        selected = tiny_logs.filter(np.ones(len(tiny_logs), dtype=bool))
+        assert selected.action_vocab is tiny_logs.action_vocab
+
+
+class TestOrderingAndConcat:
+    def test_sorted_by_time(self):
+        records = [
+            ActionRecord(time=5.0, action="a", latency_ms=1.0),
+            ActionRecord(time=1.0, action="b", latency_ms=2.0),
+        ]
+        store = LogStore.from_records(records).sorted_by_time()
+        assert store.times.tolist() == [1.0, 5.0]
+        assert store.actions.tolist() == ["b", "a"]
+
+    def test_concat_re_encodes_vocab(self):
+        a = LogStore.from_arrays([0.0], [1.0], ["x"], ["u1"], ["c1"])
+        b = LogStore.from_arrays([1.0], [2.0], ["y"], ["u2"], ["c2"])
+        merged = a.concat(b)
+        assert len(merged) == 2
+        assert set(merged.action_names()) == {"x", "y"}
+        assert merged.n_users() == 2
+
+    def test_concat_shared_names_merge(self):
+        a = LogStore.from_arrays([0.0], [1.0], ["x"], ["u"], ["c"])
+        b = LogStore.from_arrays([1.0], [2.0], ["x"], ["u"], ["c"])
+        merged = a.concat(b)
+        assert merged.n_users() == 1
+        assert merged.action_names() == ["x"]
+
+
+class TestAggregation:
+    def test_per_user_median(self):
+        records = [
+            ActionRecord(time=0.0, action="a", latency_ms=100.0, user_id="u1"),
+            ActionRecord(time=1.0, action="a", latency_ms=300.0, user_id="u1"),
+            ActionRecord(time=2.0, action="a", latency_ms=50.0, user_id="u2"),
+        ]
+        store = LogStore.from_records(records)
+        codes, medians = store.per_user_median_latency()
+        by_code = dict(zip(codes.tolist(), medians.tolist()))
+        u1 = store.user_vocab.index("u1")
+        u2 = store.user_vocab.index("u2")
+        assert by_code[u1] == 200.0
+        assert by_code[u2] == 50.0
+
+    def test_per_user_counts(self, tiny_logs):
+        codes, counts = tiny_logs.per_user_action_count()
+        assert counts.sum() == len(tiny_logs)
+
+    def test_per_user_median_empty(self):
+        with pytest.raises(EmptyDataError):
+            LogStore.from_records([]).per_user_median_latency()
+
+
+class TestRoundTrip:
+    def test_records_round_trip(self, tiny_logs):
+        records = tiny_logs.to_records()
+        clone = LogStore.from_records(records)
+        assert np.allclose(clone.times, tiny_logs.times)
+        assert np.allclose(clone.latencies_ms, tiny_logs.latencies_ms)
+        assert clone.actions.tolist() == tiny_logs.actions.tolist()
+        assert np.array_equal(clone.success, tiny_logs.success)
+
+    def test_duration(self, tiny_logs):
+        assert tiny_logs.duration() == tiny_logs.times.max() - tiny_logs.times.min()

@@ -1,0 +1,90 @@
+"""Tests for the telemetry quality report."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDataError
+from repro.telemetry import ActionRecord, LogStore, quality_report
+
+
+def _logs(n=2000, span_days=2.0, error_share=0.0, gap_hours=0.0):
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0, span_days * 86400.0, n))
+    if gap_hours > 0:
+        # carve a silence in the middle
+        mid = span_days * 43200.0
+        half_gap = gap_hours * 1800.0
+        times = times[(times < mid - half_gap) | (times > mid + half_gap)]
+    success = rng.random(times.size) >= error_share
+    return LogStore.from_arrays(
+        times=times,
+        latencies_ms=rng.lognormal(5.7, 0.4, times.size),
+        actions=["A" if i % 2 else "B" for i in range(times.size)],
+        user_ids=[f"u{i % 60}" for i in range(times.size)],
+        success=success,
+    )
+
+
+class TestQualityReport:
+    def test_clean_logs_no_flags(self, owa_logs):
+        report = quality_report(owa_logs)
+        assert report.ok
+        assert report.n_rows == len(owa_logs)
+        assert report.coverage_share > 0.95
+        assert report.latency_percentiles["p50"] > 0
+
+    def test_low_volume_error(self):
+        report = quality_report(_logs(n=200), min_rows=1000)
+        assert not report.ok
+        assert any("rows" in f.message for f in report.flags
+                   if f.severity == "error")
+
+    def test_error_storm_flagged(self):
+        report = quality_report(_logs(error_share=0.5))
+        assert any("failed" in f.message for f in report.flags)
+
+    def test_short_span_flagged(self):
+        report = quality_report(_logs(span_days=0.3))
+        assert any("span" in f.message for f in report.flags)
+
+    def test_gap_flagged(self):
+        report = quality_report(_logs(span_days=3.0, gap_hours=14.0))
+        assert any("silence" in f.message for f in report.flags)
+        assert report.largest_gap_s > 6 * 3600.0
+
+    def test_per_action_counts(self):
+        report = quality_report(_logs())
+        assert set(report.rows_per_action) == {"A", "B"}
+        assert sum(report.rows_per_action.values()) == report.n_rows
+
+    def test_duplicate_timestamps_info(self):
+        times = np.repeat(np.arange(0.0, 90_000.0, 60.0), 3)
+        logs = LogStore.from_arrays(
+            times=times, latencies_ms=np.full(times.size, 300.0),
+            actions=["A"] * times.size,
+        )
+        report = quality_report(logs)
+        assert report.duplicate_time_share > 0.5
+        assert any("timestamp" in f.message for f in report.flags)
+
+    def test_rows_render(self):
+        rows = quality_report(_logs()).rows()
+        keys = [k for k, _ in rows]
+        assert "rows" in keys and "latency p99 (ms)" in keys
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDataError):
+            quality_report(LogStore.from_records([]))
+
+
+class TestQualityCli:
+    def test_cli_quality(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        path = tmp_path / "logs.jsonl"
+        main(["generate", "--scenario", "owa", "--seed", "3",
+              "--days", "2", "--users", "120", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["quality", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "distinct users" in out

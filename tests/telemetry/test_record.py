@@ -1,0 +1,73 @@
+"""Tests for the ActionRecord schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.telemetry.record import ActionRecord
+
+
+class TestValidation:
+    def test_minimal_record(self):
+        record = ActionRecord(time=0.0, action="SelectMail", latency_ms=120.0)
+        assert record.success
+        assert record.user_id == ""
+
+    def test_rejects_empty_action(self):
+        with pytest.raises(SchemaError):
+            ActionRecord(time=0.0, action="", latency_ms=1.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SchemaError):
+            ActionRecord(time=0.0, action="a", latency_ms=-1.0)
+
+    def test_rejects_absurd_tz(self):
+        with pytest.raises(SchemaError):
+            ActionRecord(time=0.0, action="a", latency_ms=1.0, tz_offset_hours=30.0)
+
+    def test_local_time(self):
+        record = ActionRecord(time=3600.0, action="a", latency_ms=1.0,
+                              tz_offset_hours=-2.0)
+        assert record.local_time() == 3600.0 - 7200.0
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        record = ActionRecord(
+            time=12.5, action="Search", latency_ms=432.1,
+            user_id="guid", user_class="consumer", success=False,
+            tz_offset_hours=5.5, extra={"region": "us"},
+        )
+        clone = ActionRecord.from_dict(record.to_dict())
+        assert clone.time == record.time
+        assert clone.action == record.action
+        assert clone.latency_ms == record.latency_ms
+        assert clone.user_id == record.user_id
+        assert clone.user_class == record.user_class
+        assert clone.success is False
+        assert clone.tz_offset_hours == 5.5
+        assert clone.extra == {"region": "us"}
+
+    def test_extra_omitted_when_empty(self):
+        record = ActionRecord(time=0.0, action="a", latency_ms=1.0)
+        assert "extra" not in record.to_dict()
+
+    def test_from_dict_defaults(self):
+        clone = ActionRecord.from_dict(
+            {"time": 1, "action": "a", "latency_ms": 2}
+        )
+        assert clone.success is True
+        assert clone.tz_offset_hours == 0.0
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(SchemaError):
+            ActionRecord.from_dict({"action": "a", "latency_ms": 2})
+
+    def test_from_dict_bad_type(self):
+        with pytest.raises(SchemaError):
+            ActionRecord.from_dict({"time": "not-a-number", "action": "a",
+                                    "latency_ms": 2})
+
+    def test_frozen(self):
+        record = ActionRecord(time=0.0, action="a", latency_ms=1.0)
+        with pytest.raises(AttributeError):
+            record.time = 5.0

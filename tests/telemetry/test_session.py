@@ -1,0 +1,81 @@
+"""Tests for sessionization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, EmptyDataError
+from repro.telemetry import (
+    ActionRecord,
+    LogStore,
+    session_length_vs_latency,
+    sessionize,
+)
+
+
+def _store(rows):
+    return LogStore.from_records([
+        ActionRecord(time=t, action="a", latency_ms=lat, user_id=user)
+        for t, lat, user in rows
+    ])
+
+
+class TestSessionize:
+    def test_single_session(self):
+        store = _store([(0.0, 100.0, "u"), (10.0, 120.0, "u"), (20.0, 110.0, "u")])
+        sessions = sessionize(store, gap_seconds=60.0)
+        assert len(sessions) == 1
+        assert sessions[0].n_actions == 3
+        assert np.isclose(sessions[0].mean_latency_ms, 110.0)
+
+    def test_gap_splits(self):
+        store = _store([(0.0, 100.0, "u"), (10.0, 100.0, "u"), (10_000.0, 100.0, "u")])
+        sessions = sessionize(store, gap_seconds=60.0)
+        assert [s.n_actions for s in sessions] == [2, 1]
+
+    def test_users_never_share_sessions(self):
+        store = _store([(0.0, 100.0, "a"), (1.0, 100.0, "b"), (2.0, 100.0, "a")])
+        sessions = sessionize(store, gap_seconds=1e6)
+        assert len(sessions) == 2
+        assert sorted(s.n_actions for s in sessions) == [1, 2]
+
+    def test_unsorted_input_ok(self):
+        store = _store([(20.0, 100.0, "u"), (0.0, 100.0, "u"), (10.0, 100.0, "u")])
+        sessions = sessionize(store, gap_seconds=60.0)
+        assert len(sessions) == 1
+        assert sessions[0].start == 0.0 and sessions[0].end == 20.0
+
+    def test_empty_logs(self):
+        assert sessionize(LogStore.from_records([])) == []
+
+    def test_bad_gap(self):
+        with pytest.raises(ConfigError):
+            sessionize(_store([(0.0, 1.0, "u")]), gap_seconds=0.0)
+
+    def test_duration_property(self):
+        store = _store([(5.0, 100.0, "u"), (25.0, 100.0, "u")])
+        session = sessionize(store, gap_seconds=60.0)[0]
+        assert session.duration == 20.0
+
+
+class TestSessionLatencySplit:
+    def test_fast_sessions_longer(self):
+        rows = []
+        # fast user does long sessions, slow user short ones
+        for day in range(20):
+            base = day * 86400.0
+            for i in range(8):
+                rows.append((base + i * 30.0, 100.0, "fast"))
+            for i in range(2):
+                rows.append((base + 40_000.0 + i * 30.0, 900.0, "slow"))
+        sessions = sessionize(_store(rows), gap_seconds=600.0)
+        fast_mean, slow_mean = session_length_vs_latency(sessions, 500.0)
+        assert fast_mean > slow_mean
+
+    def test_empty_side_raises(self):
+        sessions = sessionize(_store([(0.0, 100.0, "u")]), gap_seconds=60.0)
+        with pytest.raises(EmptyDataError):
+            session_length_vs_latency(sessions, 1.0)
+
+    def test_no_sessions_raises(self):
+        with pytest.raises(EmptyDataError):
+            session_length_vs_latency([], 100.0)

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli.main import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "owa" in out
+        assert "fig4" in out
+        assert "websearch" in out
+
+
+class TestGenerate:
+    def test_jsonl_output(self, tmp_path, capsys):
+        out_path = tmp_path / "logs.jsonl"
+        status = main(["generate", "--scenario", "owa", "--seed", "3",
+                       "--days", "0.5", "--users", "40",
+                       "--out", str(out_path)])
+        assert status == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path):
+        out_path = tmp_path / "logs.csv"
+        assert main(["generate", "--scenario", "owa-flat", "--seed", "3",
+                     "--days", "0.5", "--users", "40",
+                     "--out", str(out_path)]) == 0
+        header = out_path.read_text().splitlines()[0]
+        assert header.startswith("time,action,latency_ms")
+
+    def test_unknown_scenario(self, tmp_path, capsys):
+        assert main(["generate", "--scenario", "nope",
+                     "--out", str(tmp_path / "x.jsonl")]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    @pytest.fixture()
+    def log_file(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        main(["generate", "--scenario", "owa", "--seed", "5",
+              "--days", "2", "--users", "150", "--out", str(path)])
+        return path
+
+    def test_analyze_prints_table(self, log_file, capsys):
+        assert main(["analyze", str(log_file), "--action", "SelectMail"]) == 0
+        out = capsys.readouterr().out
+        assert "NLP" in out
+        assert "action=SelectMail" in out
+
+    def test_analyze_exports(self, log_file, tmp_path, capsys):
+        export = tmp_path / "curve.csv"
+        assert main(["analyze", str(log_file), "--action", "SelectMail",
+                     "--export", str(export)]) == 0
+        assert export.exists()
+        assert export.read_text().startswith("latency_ms")
+
+    def test_no_time_correction_flag(self, log_file):
+        assert main(["analyze", str(log_file), "--action", "SelectMail",
+                     "--no-time-correction"]) == 0
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--no-plots"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestExportCounts:
+    @pytest.fixture()
+    def log_file(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        main(["generate", "--scenario", "owa", "--seed", "5",
+              "--days", "2", "--users", "150", "--out", str(path)])
+        return path
+
+    def test_export_and_analyze_counts(self, log_file, tmp_path, capsys):
+        counts_path = tmp_path / "counts.json"
+        assert main(["export-counts", str(log_file),
+                     "--action", "SelectMail", "--out", str(counts_path)]) == 0
+        assert counts_path.exists()
+        out = capsys.readouterr().out
+        assert "sufficient statistics" in out
+        assert main(["analyze", str(counts_path)]) == 0
+        out = capsys.readouterr().out
+        assert "NLP" in out
+
+    def test_counts_file_has_no_user_ids(self, log_file, tmp_path):
+        counts_path = tmp_path / "counts.json"
+        main(["export-counts", str(log_file), "--out", str(counts_path)])
+        text = counts_path.read_text()
+        # GUID-shaped tokens must not appear
+        import re
+        assert not re.search(r"[0-9a-f]{8}-[0-9a-f]{4}-", text)
+
+    def test_empty_slice(self, log_file, tmp_path, capsys):
+        status = main(["export-counts", str(log_file),
+                       "--action", "NoSuchAction",
+                       "--out", str(tmp_path / "x.json")])
+        assert status == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_hour_of_week_scheme(self, log_file, tmp_path):
+        counts_path = tmp_path / "counts.json"
+        assert main(["export-counts", str(log_file),
+                     "--scheme", "hour-of-week",
+                     "--out", str(counts_path)]) == 0
+        from repro.core.aggregate import load_counts
+        assert load_counts(counts_path).scheme == "hour-of-week"

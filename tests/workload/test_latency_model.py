@@ -1,0 +1,124 @@
+"""Tests for the latency level process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.latency_model import (
+    DiurnalCurve,
+    IncidentConfig,
+    LatencyGrid,
+    LatencyModel,
+    LatencyModelConfig,
+)
+
+
+class TestDiurnalCurve:
+    def test_trough_and_peak(self):
+        curve = DiurnalCurve(floor=0.5, peak=1.5, trough_hour=4.0)
+        assert np.isclose(curve(np.array([4.0]))[0], 0.5)
+        assert np.isclose(curve(np.array([16.0]))[0], 1.5)
+
+    def test_periodic(self):
+        curve = DiurnalCurve()
+        assert np.isclose(curve(np.array([1.0]))[0], curve(np.array([25.0]))[0])
+
+    def test_range_bounded(self):
+        curve = DiurnalCurve(floor=0.75, peak=1.35)
+        values = curve(np.linspace(0, 24, 200))
+        assert values.min() >= 0.75 - 1e-9
+        assert values.max() <= 1.35 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DiurnalCurve(floor=-1.0)
+        with pytest.raises(ConfigError):
+            DiurnalCurve(floor=2.0, peak=1.0)
+
+
+class TestLatencyGrid:
+    def test_level_lookup(self):
+        grid = LatencyGrid(start=0.0, dt=10.0, levels_ms=np.array([100.0, 200.0]))
+        levels = grid.level_at(np.array([0.0, 9.9, 10.0, 100.0, -5.0]))
+        assert levels.tolist() == [100.0, 100.0, 200.0, 200.0, 100.0]
+
+    def test_end(self):
+        grid = LatencyGrid(0.0, 10.0, np.ones(5))
+        assert grid.end == 50.0
+
+    def test_times(self):
+        grid = LatencyGrid(100.0, 10.0, np.ones(3))
+        assert grid.times.tolist() == [100.0, 110.0, 120.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyGrid(0.0, 0.0, np.ones(3))
+        with pytest.raises(ConfigError):
+            LatencyGrid(0.0, 1.0, np.array([]))
+
+
+class TestLatencyModel:
+    def test_grid_positive(self):
+        model = LatencyModel()
+        grid = model.sample_grid(86400.0, rng=1)
+        assert np.all(grid.levels_ms > 0)
+        assert grid.levels_ms.size == 8640
+
+    def test_diurnal_shape_visible(self):
+        config = LatencyModelConfig(congestion_sigma=0.05, incidents=None)
+        model = LatencyModel(config)
+        grid = model.sample_grid(10 * 86400.0, rng=2)
+        hours = (grid.times % 86400.0) / 3600.0
+        trough = grid.levels_ms[(hours >= 3) & (hours < 5)].mean()
+        peak = grid.levels_ms[(hours >= 15) & (hours < 17)].mean()
+        assert peak > 1.4 * trough
+
+    def test_deterministic(self):
+        model = LatencyModel()
+        a = model.sample_grid(3600.0, rng=3)
+        b = model.sample_grid(3600.0, rng=3)
+        assert np.array_equal(a.levels_ms, b.levels_ms)
+
+    def test_locality_present(self):
+        from repro.stats.msd import msd_mad_ratio
+
+        model = LatencyModel(LatencyModelConfig(incidents=None))
+        grid = model.sample_grid(2 * 86400.0, rng=4)
+        assert msd_mad_ratio(grid.levels_ms) < 0.3
+
+    def test_incidents_add_tail(self):
+        quiet = LatencyModel(LatencyModelConfig(incidents=None))
+        spiky = LatencyModel(LatencyModelConfig(
+            incidents=IncidentConfig(rate_per_day=10.0, severity_log_mean=1.5)
+        ))
+        q99_quiet = np.percentile(quiet.sample_grid(5 * 86400.0, rng=5).levels_ms, 99)
+        q99_spiky = np.percentile(spiky.sample_grid(5 * 86400.0, rng=5).levels_ms, 99)
+        assert q99_spiky > 1.5 * q99_quiet
+
+    def test_incident_rate_zero_noop(self):
+        config = LatencyModelConfig(incidents=IncidentConfig(rate_per_day=0.0))
+        grid_a = LatencyModel(config).sample_grid(86400.0, rng=6)
+        grid_b = LatencyModel(LatencyModelConfig(incidents=None)).sample_grid(86400.0, rng=6)
+        assert np.allclose(grid_a.levels_ms, grid_b.levels_ms)
+
+    def test_request_latency_jitter(self):
+        model = LatencyModel()
+        levels = np.full(20_000, 100.0)
+        latencies = model.request_latency(levels, jitter_sigma=0.2, rng=7)
+        # lognormal with mean-correcting drift: mean stays ~100
+        assert abs(latencies.mean() - 100.0) < 2.0
+        assert latencies.std() > 10.0
+
+    def test_request_latency_multiplier(self):
+        model = LatencyModel()
+        out = model.request_latency(np.array([100.0]), multiplier=2.0,
+                                    jitter_sigma=0.0, rng=8)
+        assert np.isclose(out[0], 200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyModelConfig(base_ms=0.0)
+        with pytest.raises(ConfigError):
+            LatencyModel().sample_grid(0.0)
+        with pytest.raises(ConfigError):
+            IncidentConfig(rate_per_day=-1.0)

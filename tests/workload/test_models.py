@@ -1,0 +1,164 @@
+"""Tests for the activity model, population and action mixes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.types import DayPeriod, UserClass
+from repro.workload.actions import (
+    ActionMix,
+    ActionSpec,
+    owa_action_mix,
+    websearch_action_mix,
+)
+from repro.workload.activity_model import ActivityCurve, ActivityModel
+from repro.workload.population import PopulationConfig, synthesize_population
+from repro.telemetry.anonymize import is_guid_shaped
+
+
+class TestActivityCurve:
+    def test_peak_is_one(self):
+        curve = ActivityCurve(peak_hour=13.0)
+        assert np.isclose(curve(np.array([13.0]))[0], 1.0)
+
+    def test_floor_opposite_peak(self):
+        curve = ActivityCurve(night_floor=0.1, peak_hour=13.0)
+        assert np.isclose(curve(np.array([1.0]))[0], 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ActivityCurve(night_floor=0.0)
+
+    def test_period_average_ordering(self):
+        curve = ActivityCurve(night_floor=0.05, peak_hour=13.0)
+        morning = curve.period_average(DayPeriod.MORNING)
+        late_night = curve.period_average(DayPeriod.LATE_NIGHT)
+        assert morning > 2 * late_night
+
+
+class TestActivityModel:
+    def test_class_specific_curves(self):
+        model = ActivityModel(curves={
+            "business": ActivityCurve(night_floor=0.05),
+            "consumer": ActivityCurve(night_floor=0.3),
+        })
+        t = np.array([2 * 3600.0])  # 2am
+        assert model.factor(t, "business")[0] < model.factor(t, "consumer")[0]
+
+    def test_default_curve_for_unknown_class(self):
+        model = ActivityModel()
+        assert model.factor(np.array([0.0]), "mystery").size == 1
+
+    def test_weekend_factor(self):
+        model = ActivityModel(weekend_factor={"business": 0.5})
+        weekday = model.factor(np.array([12 * 3600.0]), "business")  # day 0
+        weekend = model.factor(np.array([5 * 86400.0 + 12 * 3600.0]), "business")
+        assert np.isclose(weekend[0], 0.5 * weekday[0])
+
+    def test_max_factor_includes_weekend_boost(self):
+        model = ActivityModel(weekend_factor={"consumer": 1.5})
+        assert model.max_factor("consumer") == 1.5
+        assert model.max_factor("business") == 1.0
+
+    def test_tz_shift(self):
+        model = ActivityModel(curves={"c": ActivityCurve(night_floor=0.05,
+                                                         peak_hour=12.0)})
+        t = np.array([0.0])
+        at_utc = model.factor(t, "c", tz_offset_hours=0.0)[0]
+        at_noon_local = model.factor(t, "c", tz_offset_hours=12.0)[0]
+        assert at_noon_local > at_utc
+
+
+class TestPopulation:
+    def test_sizes_and_ids(self):
+        population = synthesize_population(PopulationConfig(n_users=50), rng=1)
+        assert population.n_users == 50
+        assert len(set(population.user_ids)) == 50
+        assert all(is_guid_shaped(uid) for uid in population.user_ids)
+
+    def test_class_fraction(self):
+        population = synthesize_population(
+            PopulationConfig(n_users=4000, business_fraction=0.7), rng=2
+        )
+        share = (population.classes == 0).mean()
+        assert 0.65 < share < 0.75
+
+    def test_conditioning_disabled_by_default(self):
+        population = synthesize_population(PopulationConfig(n_users=100), rng=3)
+        assert np.allclose(population.conditioning_exponents, 1.0)
+
+    def test_conditioning_anticorrelates_with_speed(self):
+        population = synthesize_population(
+            PopulationConfig(n_users=2000, conditioning_gamma=2.0,
+                             latency_mult_sigma=0.3), rng=4
+        )
+        fast = population.latency_multipliers < np.median(population.latency_multipliers)
+        assert (population.conditioning_exponents[fast].mean()
+                > population.conditioning_exponents[~fast].mean())
+
+    def test_conditioning_bounds_respected(self):
+        config = PopulationConfig(n_users=1000, conditioning_gamma=5.0,
+                                  latency_mult_sigma=0.5,
+                                  conditioning_bounds=(0.5, 1.5))
+        population = synthesize_population(config, rng=5)
+        assert population.conditioning_exponents.min() >= 0.5
+        assert population.conditioning_exponents.max() <= 1.5
+
+    def test_sampling_probabilities_normalized(self):
+        population = synthesize_population(PopulationConfig(n_users=64), rng=6)
+        assert np.isclose(population.sampling_probabilities().sum(), 1.0)
+
+    def test_indices_of_class(self):
+        population = synthesize_population(PopulationConfig(n_users=100), rng=7)
+        business = population.indices_of_class(UserClass.BUSINESS)
+        consumer = population.indices_of_class(UserClass.CONSUMER)
+        assert business.size + consumer.size == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(n_users=0)
+        with pytest.raises(ConfigError):
+            PopulationConfig(business_fraction=1.5)
+        with pytest.raises(ConfigError):
+            PopulationConfig(conditioning_bounds=(2.0, 1.0))
+
+
+class TestActionMix:
+    def test_probabilities_normalized(self):
+        mix = owa_action_mix()
+        assert np.isclose(mix.probabilities.sum(), 1.0)
+
+    def test_sample_respects_shares(self):
+        mix = ActionMix((ActionSpec("a", 0.9), ActionSpec("b", 0.1)))
+        draws = mix.sample(10_000, rng=1)
+        assert 0.87 < (draws == 0).mean() < 0.93
+
+    def test_from_mapping(self):
+        mix = ActionMix.from_mapping({"x": 1.0, "y": 3.0},
+                                     multipliers={"y": 2.0})
+        assert mix.names == ("x", "y")
+        assert np.isclose(mix.probabilities[1], 0.75)
+        assert mix.latency_multipliers[1] == 2.0
+
+    def test_owa_mix_has_paper_actions(self):
+        assert set(owa_action_mix().names) == {
+            "SelectMail", "SwitchFolder", "Search", "ComposeSend"
+        }
+
+    def test_search_slower_compose_faster(self):
+        mix = owa_action_mix()
+        mult = dict(zip(mix.names, mix.latency_multipliers))
+        assert mult["Search"] > mult["SelectMail"] > mult["ComposeSend"]
+
+    def test_websearch_mix(self):
+        assert "Query" in websearch_action_mix().names
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ActionMix(())
+        with pytest.raises(ConfigError):
+            ActionSpec("", 1.0)
+        with pytest.raises(ConfigError):
+            ActionSpec("a", -1.0)
+        with pytest.raises(ConfigError):
+            ActionSpec("a", 1.0, latency_multiplier=0.0)

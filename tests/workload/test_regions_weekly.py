@@ -1,0 +1,89 @@
+"""Tests for multi-region populations and the weekly scenario."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.alpha import slot_of_times
+from repro.workload import (
+    PopulationConfig,
+    global_scenario,
+    synthesize_population,
+    weekly_scenario,
+)
+
+
+class TestRegions:
+    def test_region_assignment_weights(self):
+        config = PopulationConfig(
+            n_users=3000, regions=((-5.0, 0.5), (3.0, 0.5)),
+        )
+        population = synthesize_population(config, rng=1)
+        share = (population.tz_offsets == -5.0).mean()
+        assert 0.45 < share < 0.55
+        assert set(np.unique(population.tz_offsets)) == {-5.0, 3.0}
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(regions=())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(regions=((0.0, 0.0),))
+
+    def test_global_scenario_logs_carry_tz(self):
+        result = global_scenario(seed=2, duration_days=1.0, n_users=120,
+                                 candidates_per_user_day=60.0).generate()
+        offsets = result.logs.tz_offsets_present()
+        assert set(offsets) <= {-5.0, 0.0, 8.0}
+        assert len(offsets) >= 2
+
+    def test_tz_slice(self):
+        result = global_scenario(seed=2, duration_days=1.0, n_users=120,
+                                 candidates_per_user_day=60.0).generate()
+        tz = result.logs.tz_offsets_present()[0]
+        sliced = result.logs.where(tz_offset=tz)
+        assert (sliced.tz_offsets == tz).all()
+
+    def test_activity_follows_local_time(self):
+        """Each region's actions peak in *its* local daytime."""
+        result = global_scenario(seed=3, duration_days=4.0, n_users=300,
+                                 candidates_per_user_day=100.0).generate()
+        logs = result.logs
+        for tz in logs.tz_offsets_present():
+            region = logs.where(tz_offset=tz, success_only=False)
+            local_hours = (region.times / 3600.0 + tz) % 24.0
+            day = ((local_hours >= 9) & (local_hours < 17)).mean()
+            night = ((local_hours >= 1) & (local_hours < 7)).mean()
+            assert day > 2 * night, f"tz={tz}"
+
+
+class TestHourOfWeek:
+    def test_slot_ids_span_week(self):
+        times = np.array([0.0, 86400.0 * 6 + 3600.0 * 23])
+        slots = slot_of_times(times, "hour-of-week")
+        assert slots.tolist() == [0, 167]
+
+    def test_tz_shifts_weekday(self):
+        # 23:00 Sunday UTC with +2 offset is 01:00 Monday local
+        t = np.array([86400.0 * 6 + 23 * 3600.0])
+        assert slot_of_times(t, "hour-of-week", 2.0).tolist() == [1]
+
+
+class TestWeeklyScenario:
+    def test_weekend_latency_lower(self):
+        result = weekly_scenario(seed=5, duration_days=14.0, n_users=200,
+                                 candidates_per_user_day=60.0).generate()
+        grid = result.grid
+        day = np.floor(grid.times / 86400.0).astype(np.int64)
+        weekend = (day % 7) >= 5
+        assert grid.levels_ms[weekend].mean() < grid.levels_ms[~weekend].mean()
+
+    def test_business_quieter_on_weekends(self):
+        result = weekly_scenario(seed=5, duration_days=14.0, n_users=200,
+                                 candidates_per_user_day=60.0).generate()
+        logs = result.logs.where(user_class="business", success_only=False)
+        day = np.floor(logs.times / 86400.0).astype(np.int64)
+        weekend_rate = ((day % 7) >= 5).sum() / 4.0   # 4 weekend days in 14
+        weekday_rate = ((day % 7) < 5).sum() / 10.0
+        assert weekend_rate < 0.6 * weekday_rate

@@ -1,0 +1,94 @@
+"""Regenerate EXPERIMENTS.md from the experiment registry.
+
+Runs every registered experiment at full scale with its default seed and
+writes the paper-vs-measured record. Usage:
+
+    python tools/make_experiments_md.py [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from pathlib import Path
+
+warnings.filterwarnings("ignore")
+
+from repro.analysis import EXPERIMENTS, run_experiment  # noqa: E402
+
+PREAMBLE = """\
+# EXPERIMENTS — paper vs measured
+
+Every figure and table from the evaluation of *AutoSens: Inferring Latency
+Sensitivity of User Activity through Natural Experiments* (IMC 2021),
+regenerated on the synthetic OWA-like workload described in DESIGN.md.
+
+**How to read this file.** The paper's substrate is two months of real OWA
+telemetry; ours is a simulator whose ground-truth preference curves are
+anchored at the values the paper itself reports. Absolute agreement is
+therefore expected only where the paper gives numbers (SelectMail anchors,
+Table 1); everywhere else the comparison is of *shape*: who is more
+sensitive than whom, where curves flatten, what the confounder correction
+changes. Checks below are machine-verified on every benchmark run
+(`pytest benchmarks/ --benchmark-only`).
+
+**Known, quantified deviations** (see DESIGN.md §5 and the ablation
+benches):
+
+- the measured NLP is attenuated toward 1 by the share of latency variance
+  that is *not* temporal (per-user speed differences, per-request jitter):
+  the nearest-sample estimator of U carries no natural-experiment signal
+  for those components. At the paper's anchors this costs ≲ 0.03-0.06;
+- bins above ~1.5-2 s have thin unbiased support for the faster action
+  types and night periods; curves are reported NaN there rather than
+  extrapolated;
+- the Savitzky-Golay window of 101 x 10 ms bins (the paper's setting)
+  slightly rounds the knee of steep curves (Ablation C2).
+
+Regenerate with `python tools/make_experiments_md.py`.
+
+---
+"""
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
+    sections = [PREAMBLE]
+    for experiment_id in EXPERIMENTS:
+        print(f"running {experiment_id} ...", flush=True)
+        outcome = run_experiment(experiment_id)
+        sections.append(f"## {experiment_id}: {outcome.title}\n")
+        if outcome.description:
+            sections.append(outcome.description + "\n")
+        for caption, headers, rows in outcome.tables:
+            sections.append(f"**{caption}**\n")
+            sections.append("| " + " | ".join(headers) + " |")
+            sections.append("|" + "---|" * len(headers))
+            for row in rows:
+                cells = []
+                for cell in row:
+                    if cell is None:
+                        cells.append("—")
+                    elif isinstance(cell, float):
+                        cells.append(f"{cell:.3f}")
+                    else:
+                        cells.append(str(cell))
+                sections.append("| " + " | ".join(cells) + " |")
+            sections.append("")
+        if outcome.checks:
+            sections.append("**Checks**\n")
+            for check in outcome.checks:
+                status = "✅" if check.passed else "❌"
+                detail = f" — {check.detail}" if check.detail else ""
+                sections.append(f"- {status} {check.name}{detail}")
+            sections.append("")
+        for note in outcome.notes:
+            sections.append(f"> {note}\n")
+        sections.append("")
+    out_path.write_text("\n".join(sections))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
