@@ -1,5 +1,38 @@
-"""Benchmark: the Section 3.5 preference-vs-bottleneck analysis."""
+"""Benchmark: the Section 3.5 preference-vs-bottleneck analysis, plus the
+perf-regression stage suite behind ``BENCH_pipeline.json``."""
+
+import json
+
+from repro.analysis.perf import run_perf_suite
 
 
 def test_bottleneck(run_paper_experiment):
     run_paper_experiment("bottleneck")
+
+
+def test_perf_stages(benchmark, output_dir):
+    """Time generator → pipeline → sweep at full scale, old vs new.
+
+    Asserts the acceptance criterion of the tensor refactor: the
+    time-corrected multi-reference path runs at least 2x faster than the
+    per-slot/per-sample reference implementation, while agreeing with it
+    numerically. The stage report is exported next to the other benchmark
+    artifacts; ``tools/bench_report.py`` maintains the committed
+    ``BENCH_pipeline.json`` trajectory.
+    """
+    report = benchmark.pedantic(
+        lambda: run_perf_suite(scale="full", seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    (output_dir / "BENCH_pipeline.json").write_text(
+        json.dumps({"schema": 1, "scales": {"full": report.to_dict()}}, indent=2) + "\n"
+    )
+
+    corrected = report.stage("corrected_multi_reference")
+    assert corrected.speedup is not None and corrected.speedup >= 2.0, (
+        f"corrected multi-reference path speedup {corrected.speedup}, expected >= 2x"
+    )
+    assert corrected.max_abs_diff is not None and corrected.max_abs_diff < 1e-9
+    counts = report.stage("slotted_counts")
+    assert counts.max_abs_diff == 0.0, "tensorized counts diverged from the legacy loops"

@@ -18,7 +18,7 @@ from repro.types import ActionType, UserClass
 from repro.workload import owa_scenario
 
 
-def run_bottleneck(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
+def run_bottleneck(seed: int = 11, scale: Scale = FULL, executor=None) -> ExperimentOutcome:
     """Quantify NLP drop factors per latency doubling (paper Section 3.5)."""
     result = owa_scenario(
         seed=seed,
@@ -26,7 +26,7 @@ def run_bottleneck(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
         n_users=scale.n_users,
         candidates_per_user_day=scale.candidates_per_user_day,
     ).generate()
-    engine = AutoSens(AutoSensConfig(seed=seed))
+    engine = AutoSens(AutoSensConfig(seed=seed), executor=executor)
     select_mail = engine.preference_curve(
         result.logs, action=ActionType.SELECT_MAIL, user_class=UserClass.BUSINESS
     )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.analysis.base import FULL, SMALL, ExperimentOutcome, Scale
@@ -33,12 +34,25 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentOutcome]] = {
 }
 
 
+def _accepts_executor(driver: Callable[..., ExperimentOutcome]) -> bool:
+    try:
+        return "executor" in inspect.signature(driver).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return False
+
+
 def run_experiment(
     experiment_id: str,
     seed: int | None = None,
     scale: Scale | str = FULL,
+    executor=None,
 ) -> ExperimentOutcome:
-    """Run one experiment by id (e.g. ``"fig4"``)."""
+    """Run one experiment by id (e.g. ``"fig4"``).
+
+    ``executor`` (see :mod:`repro.parallel`) is forwarded to drivers whose
+    sweeps can fan out; drivers without an ``executor`` parameter run as
+    before. Results are backend-independent either way.
+    """
     if experiment_id not in EXPERIMENTS:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; "
@@ -48,13 +62,23 @@ def run_experiment(
         scale = {"small": SMALL, "full": FULL}.get(scale)
         if scale is None:
             raise ConfigError("scale must be 'small', 'full', or a Scale")
+    driver = EXPERIMENTS[experiment_id]
     kwargs = {}
     if seed is not None:
         kwargs["seed"] = seed
     kwargs["scale"] = scale
-    return EXPERIMENTS[experiment_id](**kwargs)
+    if executor is not None and _accepts_executor(driver):
+        kwargs["executor"] = executor
+    return driver(**kwargs)
 
 
-def run_all(seed: int | None = None, scale: Scale | str = FULL) -> List[ExperimentOutcome]:
+def run_all(
+    seed: int | None = None,
+    scale: Scale | str = FULL,
+    executor=None,
+) -> List[ExperimentOutcome]:
     """Run every registered experiment in order."""
-    return [run_experiment(eid, seed=seed, scale=scale) for eid in EXPERIMENTS]
+    return [
+        run_experiment(eid, seed=seed, scale=scale, executor=executor)
+        for eid in EXPERIMENTS
+    ]

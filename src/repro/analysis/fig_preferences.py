@@ -26,7 +26,7 @@ def _curve_plot(curves: Dict[str, "PreferenceResult"], title: str) -> str:
                      y_label="normalized latency preference")
 
 
-def run_fig4(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
+def run_fig4(seed: int = 11, scale: Scale = FULL, executor=None) -> ExperimentOutcome:
     """Figure 4: NLP per action type, business users, reference 300 ms.
 
     Paper expectation: SelectMail drops most sharply, then SwitchFolder;
@@ -40,7 +40,7 @@ def run_fig4(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
         n_users=scale.n_users,
         candidates_per_user_day=scale.candidates_per_user_day,
     ).generate()
-    engine = AutoSens(AutoSensConfig(seed=seed))
+    engine = AutoSens(AutoSensConfig(seed=seed), executor=executor)
     curves = engine.curves_by_action(
         result.logs,
         actions=list(ALL_ACTION_TYPES),
@@ -104,7 +104,7 @@ def run_fig4(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
     return outcome
 
 
-def run_fig5(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
+def run_fig5(seed: int = 11, scale: Scale = FULL, executor=None) -> ExperimentOutcome:
     """Figure 5: SelectMail NLP for business vs consumer users.
 
     Paper expectation: the drop-off is sharper for (paying) business users.
@@ -115,7 +115,7 @@ def run_fig5(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
         n_users=scale.n_users,
         candidates_per_user_day=scale.candidates_per_user_day,
     ).generate()
-    engine = AutoSens(AutoSensConfig(seed=seed))
+    engine = AutoSens(AutoSensConfig(seed=seed), executor=executor)
     curves = engine.curves_by_user_class(result.logs, action=ActionType.SELECT_MAIL)
 
     outcome = ExperimentOutcome(
@@ -158,7 +158,7 @@ def run_fig5(seed: int = 11, scale: Scale = FULL) -> ExperimentOutcome:
     return outcome
 
 
-def run_fig6(seed: int = 31, scale: Scale = FULL) -> ExperimentOutcome:
+def run_fig6(seed: int = 31, scale: Scale = FULL, executor=None) -> ExperimentOutcome:
     """Figure 6: NLP by per-user median-latency quartile.
 
     Paper expectation: sensitivity decreases monotonically from Q1
@@ -171,7 +171,7 @@ def run_fig6(seed: int = 31, scale: Scale = FULL) -> ExperimentOutcome:
         candidates_per_user_day=scale.candidates_per_user_day,
     )
     result = scenario.generate()
-    engine = AutoSens(AutoSensConfig(seed=seed))
+    engine = AutoSens(AutoSensConfig(seed=seed), executor=executor)
     curves = engine.curves_by_quartile(result.logs, action=ActionType.SELECT_MAIL)
 
     outcome = ExperimentOutcome(

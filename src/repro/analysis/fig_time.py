@@ -14,7 +14,7 @@ from repro.workload.preference import PERIOD_EXPONENTS, paper_curve
 PROBE_LATENCIES = (500.0, 1000.0, 1500.0)
 
 
-def run_fig7(seed: int = 41, scale: Scale = FULL) -> ExperimentOutcome:
+def run_fig7(seed: int = 41, scale: Scale = FULL, executor=None) -> ExperimentOutcome:
     """Figure 7: SelectMail NLP for business users across 6-hour periods.
 
     Paper expectation: preference decreases with latency in every period,
@@ -27,7 +27,7 @@ def run_fig7(seed: int = 41, scale: Scale = FULL) -> ExperimentOutcome:
         candidates_per_user_day=scale.candidates_per_user_day,
     )
     result = scenario.generate()
-    engine = AutoSens(AutoSensConfig(seed=seed))
+    engine = AutoSens(AutoSensConfig(seed=seed), executor=executor)
     curves = engine.curves_by_period(
         result.logs, action=ActionType.SELECT_MAIL, user_class=UserClass.BUSINESS
     )
@@ -176,7 +176,7 @@ def run_fig8(seed: int = 41, scale: Scale = FULL) -> ExperimentOutcome:
     return outcome
 
 
-def run_fig9(seed: int = 21, scale: Scale = FULL) -> ExperimentOutcome:
+def run_fig9(seed: int = 21, scale: Scale = FULL, executor=None) -> ExperimentOutcome:
     """Figure 9: NLP stability across two consecutive months.
 
     Paper expectation: SelectMail and SwitchFolder curves nearly coincide
@@ -188,7 +188,7 @@ def run_fig9(seed: int = 21, scale: Scale = FULL) -> ExperimentOutcome:
         candidates_per_user_day=scale.candidates_per_user_day / 2.0,
     )
     result = scenario.generate()
-    engine = AutoSens(AutoSensConfig(seed=seed))
+    engine = AutoSens(AutoSensConfig(seed=seed), executor=executor)
 
     outcome = ExperimentOutcome(
         experiment_id="fig9",

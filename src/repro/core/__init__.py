@@ -21,6 +21,7 @@ from repro.core.alpha import (
     WorkedExample,
     alpha_from_counts,
     corrected_histograms,
+    corrected_histograms_from_counts,
     estimate_alpha,
     slot_labels,
     slot_of_times,
@@ -41,6 +42,7 @@ from repro.core.locality import (
     locality_report,
 )
 from repro.core.pipeline import AutoSens, AutoSensConfig
+from repro.core.slice_cache import SliceCache
 from repro.core.preference import PreferenceComputer, average_results
 from repro.core.preflight import PreflightReport, preflight
 from repro.core.quartiles import (
@@ -111,6 +113,8 @@ __all__ = [
     "slotted_counts",
     "estimate_alpha",
     "corrected_histograms",
+    "corrected_histograms_from_counts",
+    "SliceCache",
     "worked_example",
     "slot_labels",
     "slot_of_times",

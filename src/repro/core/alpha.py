@@ -31,7 +31,7 @@ import numpy as np
 from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
 from repro.stats.histogram import Histogram1D, HistogramBins
 from repro.stats.rng import SeedLike, spawn_rng
-from repro.core.unbiased import draw_unbiased_samples
+from repro.core.unbiased import draw_from_sorted
 from repro.telemetry.log_store import LogStore
 from repro.telemetry import timeutil
 from repro.types import DayPeriod, ALL_DAY_PERIODS
@@ -42,6 +42,16 @@ from repro.types import DayPeriod, ALL_DAY_PERIODS
 SLOT_SCHEMES = ("hour-of-day", "hour-of-week", "period", "absolute-hour")
 
 _DAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+#: Period index for each integer hour of day. Period boundaries all fall on
+#: whole hours, so looking up ``floor(hour)`` is exact for any float hour.
+_PERIOD_OF_HOUR = np.array(
+    [
+        {p: i for i, p in enumerate(ALL_DAY_PERIODS)}[DayPeriod.of_hour(float(h))]
+        for h in range(24)
+    ],
+    dtype=np.int64,
+)
 
 
 def slot_of_times(
@@ -57,13 +67,8 @@ def slot_of_times(
         hour = timeutil.hour_slot(times, tz_offset_hours)
         return day * 24 + hour
     if scheme == "period":
-        hours = timeutil.hour_of_day(times, tz_offset_hours)
-        period_index = {p: i for i, p in enumerate(ALL_DAY_PERIODS)}
-        out = np.empty(hours.shape, dtype=np.int64)
-        flat = out.ravel()
-        for i, h in enumerate(hours.ravel()):
-            flat[i] = period_index[DayPeriod.of_hour(float(h))]
-        return out
+        hours = timeutil.hour_slot(times, tz_offset_hours)
+        return _PERIOD_OF_HOUR[np.clip(hours, 0, 23)]
     if scheme == "absolute-hour":
         return timeutil.absolute_hour_slot(times)
     raise ConfigError(f"unknown slot scheme {scheme!r}; pick one of {SLOT_SCHEMES}")
@@ -144,6 +149,39 @@ class SlottedCounts:
         return [int(self.slot_ids[i]) for i in order[:k]]
 
 
+def _rows_in_slots(slot_ids: np.ndarray, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(row_index, member_mask): position of each slot id in sorted ``slot_ids``.
+
+    ``row_index`` is only meaningful where ``member_mask`` is true; slots
+    not present in ``slot_ids`` are masked out (they get row 0, masked).
+    """
+    n = slot_ids.size
+    pos = np.searchsorted(slot_ids, slots)
+    pos_clipped = np.minimum(pos, n - 1)
+    member = (pos < n) & (slot_ids[pos_clipped] == slots)
+    return pos_clipped, member
+
+
+def _count_tensor(
+    rows: np.ndarray,
+    bin_idx: np.ndarray,
+    n_slots: int,
+    n_bins: int,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Dense ``(n_slots, n_bins)`` count tensor in one vectorized pass.
+
+    Fuses (slot row, latency bin) into a single flat index and lets
+    ``np.bincount`` do one sweep over all samples — replacing the former
+    per-slot Python loop (one full-array mask per slot). Accumulation
+    order per cell equals input order, so weighted sums are bit-identical
+    to the masked ``np.add.at`` formulation it replaces.
+    """
+    flat = rows * n_bins + bin_idx
+    counts = np.bincount(flat, weights=weights, minlength=n_slots * n_bins)
+    return counts.astype(float, copy=False).reshape(n_slots, n_bins)
+
+
 def slot_time_coverage(
     start: float,
     end: float,
@@ -157,13 +195,16 @@ def slot_time_coverage(
     Evaluated on a fixed grid (default 1 minute), which is exact for the
     hour-aligned schemes whenever the span is a multiple of the resolution.
     """
+    slot_ids = np.asarray(slot_ids, dtype=np.int64)
     if end <= start:
         return np.zeros(len(slot_ids), dtype=float)
     grid = np.arange(start, end, resolution_s)
     grid_slots = slot_of_times(grid, scheme, tz_offset_hours)
-    out = np.zeros(len(slot_ids), dtype=float)
-    for i, slot in enumerate(slot_ids):
-        out[i] = float((grid_slots == slot).sum()) * resolution_s
+    order = np.argsort(slot_ids, kind="mergesort")
+    rows, member = _rows_in_slots(slot_ids[order], grid_slots)
+    counts = np.bincount(rows[member], minlength=slot_ids.size)
+    out = np.zeros(slot_ids.size, dtype=float)
+    out[order] = counts.astype(float) * resolution_s
     return out
 
 
@@ -195,13 +236,12 @@ def slotted_counts(
     slot_ids = np.unique(action_slots)
     n_slots = slot_ids.size
 
-    # c[T, L] — biased counts per slot.
-    c = np.zeros((n_slots, bins.count), dtype=float)
+    # c[T, L] — biased counts per slot, one fused-index bincount pass over
+    # all actions (every action's slot is in slot_ids by construction).
     bin_idx = bins.index_of(logs.latencies_ms)
     in_grid = bin_idx >= 0
-    for row, slot in enumerate(slot_ids):
-        mask = (action_slots == slot) & in_grid
-        np.add.at(c[row], bin_idx[mask], 1.0)
+    action_rows = np.searchsorted(slot_ids, action_slots)
+    c = _count_tensor(action_rows[in_grid], bin_idx[in_grid], n_slots, bins.count)
 
     # f[T, L] — time fraction per slot from that slot's unbiased draw. Each
     # query is assigned to its slot, so every slot's sample share is
@@ -209,7 +249,6 @@ def slotted_counts(
     # (e.g. daytime hours when analyzing a night-period slice) are dropped
     # and redrawn, so sparse slices still get a full-size unbiased draw.
     tz = float(np.median(logs.tz_offsets)) if len(logs) else 0.0
-    u = np.zeros((n_slots, bins.count), dtype=float)
     if estimator == "voronoi":
         from repro.core.unbiased import voronoi_weights
 
@@ -221,21 +260,29 @@ def slotted_counts(
         sample_slots = slot_of_times(sorted_times, scheme, sorted_tz)
         v_bin_idx = bins.index_of(sorted_latencies)
         v_in_grid = v_bin_idx >= 0
-        for row, slot in enumerate(slot_ids):
-            mask = (sample_slots == slot) & v_in_grid
-            np.add.at(u[row], v_bin_idx[mask], weights[mask])
+        sample_rows = np.searchsorted(slot_ids, sample_slots)
+        u = _count_tensor(
+            sample_rows[v_in_grid], v_bin_idx[v_in_grid], n_slots, bins.count,
+            weights=weights[v_in_grid],
+        )
     else:
+        u = np.zeros((n_slots, bins.count), dtype=float)
         target = n_unbiased_samples if n_unbiased_samples is not None else 2 * len(logs)
         accepted = 0
+        # Sort once; every redraw batch reuses the sorted view.
+        order = np.argsort(logs.times, kind="mergesort")
+        sorted_times = logs.times[order]
+        sorted_latencies = logs.latencies_ms[order]
         for _ in range(12):  # bounded redraw: 12 batches cover >90% waste
-            draw = draw_unbiased_samples(logs, n_samples=target, rng=generator)
+            draw = draw_from_sorted(
+                sorted_times, sorted_latencies, n_samples=target, rng=generator
+            )
             query_slots = slot_of_times(draw.query_times, scheme, tz)
             u_bin_idx = bins.index_of(draw.selected_latencies)
-            u_in_grid = u_bin_idx >= 0
-            for row, slot in enumerate(slot_ids):
-                mask = (query_slots == slot) & u_in_grid
-                accepted += int(mask.sum())
-                np.add.at(u[row], u_bin_idx[mask], 1.0)
+            query_rows, member = _rows_in_slots(slot_ids, query_slots)
+            keep = member & (u_bin_idx >= 0)
+            accepted += int(keep.sum())
+            u += _count_tensor(query_rows[keep], u_bin_idx[keep], n_slots, bins.count)
             if accepted >= target:
                 break
     slot_totals = u.sum(axis=1, keepdims=True)
@@ -346,6 +393,47 @@ def estimate_alpha(
     )
 
 
+def _inverse_alpha(alpha_by_slot: np.ndarray) -> np.ndarray:
+    """Per-slot weight ``1/α`` (0 where α is non-positive or undefined)."""
+    out = np.zeros(alpha_by_slot.shape, dtype=float)
+    ok = np.isfinite(alpha_by_slot) & (alpha_by_slot > 0)
+    out[ok] = 1.0 / alpha_by_slot[ok]
+    return out
+
+
+def corrected_histograms_from_counts(
+    counts: SlottedCounts,
+    alpha: AlphaEstimate,
+) -> Tuple[Histogram1D, Histogram1D]:
+    """(B, U) with α-normalized counts, derived purely from the count tensor.
+
+    ``B[L] = Σ_T c[T, L] / α[T]`` — an ``O(n_slots × n_bins)`` contraction
+    of the :class:`SlottedCounts` tensor, with no access to raw actions.
+    This is what lets :meth:`repro.core.pipeline.AutoSens.preference_curve`
+    evaluate *any* reference slot without rescanning the telemetry: the
+    tensor is computed once and every reference is a cheap reweighting.
+
+    Numerically equivalent to :func:`corrected_histograms` on the rows the
+    tensor was built from (the tensor is the sufficient statistic; only
+    float summation order differs).
+    """
+    if counts.bins != alpha.bins:
+        raise ConfigError("counts and alpha must share one bin grid")
+    if not np.array_equal(counts.slot_ids, alpha.slot_ids):
+        raise ConfigError("counts and alpha must cover the same slots")
+    inv = _inverse_alpha(alpha.alpha_by_slot)
+    pooled_biased = inv @ counts.biased_counts  # Σ_T c[T, :] / α[T]
+
+    biased = Histogram1D(counts.bins)
+    biased.add_counts(pooled_biased)
+    unbiased = Histogram1D(counts.bins)
+    # Equal-time pooling of per-slot fractions. Each slot contributes its
+    # fraction profile once; scale is irrelevant because U is normalized.
+    pooled = alpha.time_fractions.sum(axis=0)
+    unbiased.add_counts(pooled * 10_000.0)  # arbitrary mass, density-normalized later
+    return biased, unbiased
+
+
 def corrected_histograms(
     logs: LogStore,
     bins: HistogramBins,
@@ -356,15 +444,17 @@ def corrected_histograms(
     ``B`` gets each action weighted by ``1/α[slot]``; ``U`` pools the
     per-slot time fractions with equal slot weights (slots cover equal
     time under the hour-of-day and period schemes).
+
+    This is the per-sample formulation — it rescans every action. The
+    pipeline's hot path uses :func:`corrected_histograms_from_counts`
+    instead; this version remains the reference for equivalence tests and
+    for callers holding raw rows but no tensor.
     """
     if logs.is_empty:
         raise EmptyDataError("cannot build corrected histograms from empty logs")
-    slot_index = {int(s): i for i, s in enumerate(alpha.slot_ids)}
     action_slots = slot_of_times(logs.times, alpha.scheme, logs.tz_offsets)
-    weights = np.empty(len(logs), dtype=float)
-    for slot, row in slot_index.items():
-        a = alpha.alpha_by_slot[row]
-        weights[action_slots == slot] = 1.0 / a if a > 0 else 0.0
+    rows, member = _rows_in_slots(alpha.slot_ids, action_slots)
+    weights = np.where(member, _inverse_alpha(alpha.alpha_by_slot)[rows], 0.0)
 
     biased = Histogram1D(bins)
     biased.add(logs.latencies_ms, weights=weights)

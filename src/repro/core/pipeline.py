@@ -15,20 +15,22 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
+from repro.parallel import SerialExecutor, resolve_executor
 from repro.stats.histogram import Histogram1D, HistogramBins, latency_bins
 from repro.stats.rng import RngFactory, SeedLike
 from repro.core.alpha import (
     AlphaEstimate,
     alpha_from_counts,
-    corrected_histograms,
+    corrected_histograms_from_counts,
     slotted_counts,
 )
+from repro.core.slice_cache import SliceCache
 from repro.core.biased import biased_histogram
 from repro.core.locality import (
     DensityLatencySeries,
@@ -84,6 +86,15 @@ class AutoSensConfig:
     def bins(self) -> HistogramBins:
         return latency_bins(self.max_latency_ms, self.bin_width_ms)
 
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of every methodology knob.
+
+        Used as a :class:`~repro.core.slice_cache.SliceCache` key component
+        so cached intermediates are never reused across configs that would
+        compute them differently.
+        """
+        return tuple((f.name, getattr(self, f.name)) for f in fields(self))
+
     def computer(self) -> PreferenceComputer:
         return PreferenceComputer(
             smoothing_window=self.smoothing_window,
@@ -93,17 +104,78 @@ class AutoSensConfig:
         )
 
 
+def _slice_key(
+    action: Any,
+    user_class: Any,
+    period: Optional[DayPeriod],
+    month: Optional[int],
+    days_per_month: int,
+) -> Tuple:
+    """Normalize a slice predicate to a hashable cache-key tuple."""
+
+    def norm(value: Any) -> Optional[str]:
+        if value is None:
+            return None
+        if isinstance(value, (ActionType, UserClass, DayPeriod)):
+            return str(value.value)
+        return str(value)
+
+    return (norm(action), norm(user_class), norm(period), month, days_per_month)
+
+
+def _curve_task(payload: Tuple) -> PreferenceResult:
+    """Top-level (picklable) sweep task: one preference curve per item.
+
+    Workers rebuild the engine from the config alone; because the pipeline
+    draws its randomness from pure named streams, a fresh engine in another
+    process produces bit-identical results to the serial path.
+    """
+    config, logs, kwargs = payload
+    return AutoSens(config, cache=False).preference_curve(logs, **kwargs)
+
+
 class AutoSens:
     """The AutoSens analysis engine.
 
     >>> engine = AutoSens()
     >>> curve = engine.preference_curve(logs, action="SelectMail")
     >>> curve.at(1000.0)    # e.g. 0.68: 32 % less activity than at 300 ms
+
+    ``executor`` selects how the ``curves_by_*`` sweeps fan out
+    (``None``/``"serial"``, ``"process"``, a worker count, or any object
+    with ``map_ordered`` — see :mod:`repro.parallel`). ``cache`` enables
+    memoization of per-slice intermediates (pass a
+    :class:`~repro.core.slice_cache.SliceCache` to share one across
+    engines, or ``False`` to disable). Both are pure plumbing: every
+    combination yields bit-identical results.
     """
 
-    def __init__(self, config: Optional[AutoSensConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[AutoSensConfig] = None,
+        executor: Any = None,
+        cache: Union[bool, SliceCache] = True,
+    ) -> None:
         self.config = config or AutoSensConfig()
         self._rng = RngFactory(self.config.seed)
+        self.executor = resolve_executor(executor)
+        if cache is True:
+            self._cache: Optional[SliceCache] = SliceCache()
+        elif cache is False or cache is None:
+            self._cache = None
+        else:
+            self._cache = cache
+
+    @property
+    def cache(self) -> Optional[SliceCache]:
+        """The engine's slice cache (``None`` when caching is disabled)."""
+        return self._cache
+
+    def _memo(self, kind: str, logs: LogStore, key: Tuple, compute: Callable[[], Any]) -> Any:
+        if self._cache is None:
+            return compute()
+        full_key = (kind, self._cache.token(logs), key, self.config.fingerprint())
+        return self._cache.get_or_compute(full_key, compute)
 
     # -- slicing ------------------------------------------------------------
 
@@ -116,12 +188,16 @@ class AutoSens:
         month: Optional[int] = None,
         days_per_month: int = 30,
     ) -> tuple:
-        sliced = logs.where(
-            action=action,
-            user_class=user_class,
-            period=period,
-            month=month,
-            days_per_month=days_per_month,
+        key = _slice_key(action, user_class, period, month, days_per_month)
+        sliced = self._memo(
+            "slice", logs, key,
+            lambda: logs.where(
+                action=action,
+                user_class=user_class,
+                period=period,
+                month=month,
+                days_per_month=days_per_month,
+            ),
         )
         parts = []
         if action is not None:
@@ -169,7 +245,7 @@ class AutoSens:
             bin_average=cfg.alpha_bin_average,
             min_bin_count=cfg.alpha_min_bin_count,
         )
-        return corrected_histograms(logs, bins, alpha)
+        return corrected_histograms_from_counts(counts, alpha)
 
     # -- the main entry point ---------------------------------------------------
 
@@ -187,26 +263,39 @@ class AutoSens:
         sliced, description = self._slice(
             logs, action, user_class, period, month, days_per_month
         )
+        key = _slice_key(action, user_class, period, month, days_per_month)
         bins = cfg.bins()
         computer = cfg.computer()
-        generator = self._rng.child("preference")
         n_unbiased = int(np.ceil(cfg.unbiased_oversample * len(sliced)))
+        # A *pure* stream keyed by the slice: serial, process-pool and cached
+        # evaluations of the same slice all see identical randomness.
+        make_rng = lambda: self._rng.stream(f"curve/{description}")
 
         if not cfg.time_correction:
-            biased = biased_histogram(sliced, bins)
-            unbiased = unbiased_histogram(
-                sliced, bins, n_samples=n_unbiased, rng=generator,
-                estimator=cfg.unbiased_estimator,
-            )
+            def compute_plain() -> Tuple[Histogram1D, Histogram1D]:
+                biased = biased_histogram(sliced, bins)
+                unbiased = unbiased_histogram(
+                    sliced, bins, n_samples=n_unbiased, rng=make_rng(),
+                    estimator=cfg.unbiased_estimator,
+                )
+                return biased, unbiased
+
+            biased, unbiased = self._memo("histograms", logs, key, compute_plain)
             return computer.compute(
                 biased, unbiased,
                 slice_description=description, n_actions=len(sliced),
             )
 
-        counts = slotted_counts(
-            sliced, bins, scheme=cfg.slot_scheme,
-            n_unbiased_samples=n_unbiased, rng=generator,
-            estimator=cfg.unbiased_estimator,
+        # The expensive part — one pass over the actions plus the unbiased
+        # draw — happens exactly once per slice; every reference slot below
+        # is then an O(n_slots × n_bins) contraction of the tensor.
+        counts = self._memo(
+            "counts", logs, key,
+            lambda: slotted_counts(
+                sliced, bins, scheme=cfg.slot_scheme,
+                n_unbiased_samples=n_unbiased, rng=make_rng(),
+                estimator=cfg.unbiased_estimator,
+            ),
         )
         references = counts.busiest_slots(cfg.n_reference_slots)
         per_reference = []
@@ -217,7 +306,7 @@ class AutoSens:
                 bin_average=cfg.alpha_bin_average,
                 min_bin_count=cfg.alpha_min_bin_count,
             )
-            biased, unbiased = corrected_histograms(sliced, bins, alpha)
+            biased, unbiased = corrected_histograms_from_counts(counts, alpha)
             per_reference.append(
                 computer.compute(
                     biased, unbiased,
@@ -230,6 +319,19 @@ class AutoSens:
 
     # -- segmentations (the paper's figures) ------------------------------------
 
+    def _sweep(self, tasks: List[Tuple[LogStore, Dict[str, Any]]]) -> List[PreferenceResult]:
+        """Fan a list of ``(logs, preference_curve kwargs)`` over the executor.
+
+        The serial backend runs through ``self`` (sharing the slice cache);
+        other backends ship ``(config, logs, kwargs)`` payloads to
+        :func:`_curve_task` workers. Pure stream seeding makes the two
+        paths bit-identical.
+        """
+        if isinstance(self.executor, SerialExecutor):
+            return [self.preference_curve(lg, **kw) for lg, kw in tasks]
+        payloads = [(self.config, lg, kw) for lg, kw in tasks]
+        return self.executor.map_ordered(_curve_task, payloads)
+
     def curves_by_action(
         self,
         logs: LogStore,
@@ -238,11 +340,11 @@ class AutoSens:
     ) -> Dict[str, PreferenceResult]:
         """Figure 4: one curve per action type."""
         names = actions if actions is not None else logs.action_names()
-        out: Dict[str, PreferenceResult] = {}
-        for name in names:
-            key = name.value if isinstance(name, ActionType) else str(name)
-            out[key] = self.preference_curve(logs, action=key, user_class=user_class)
-        return out
+        keys = [name.value if isinstance(name, ActionType) else str(name) for name in names]
+        curves = self._sweep(
+            [(logs, {"action": key, "user_class": user_class}) for key in keys]
+        )
+        return dict(zip(keys, curves))
 
     def curves_by_user_class(
         self,
@@ -250,12 +352,11 @@ class AutoSens:
         action: Union[str, ActionType, None] = None,
     ) -> Dict[str, PreferenceResult]:
         """Figure 5: one curve per subscription class."""
-        out: Dict[str, PreferenceResult] = {}
-        for name in logs.class_names():
-            if not name:
-                continue
-            out[name] = self.preference_curve(logs, action=action, user_class=name)
-        return out
+        names = [name for name in logs.class_names() if name]
+        curves = self._sweep(
+            [(logs, {"action": action, "user_class": name}) for name in names]
+        )
+        return dict(zip(names, curves))
 
     def curves_by_quartile(
         self,
@@ -271,9 +372,9 @@ class AutoSens:
         base = logs.where(action=action) if action is not None else logs.successful()
         assignment = assign_quartiles(base, min_actions_per_user=min_actions_per_user)
         slices = quartile_slices(base, assignment)
+        curves = self._sweep([(slices[name], {}) for name in QUARTILE_NAMES])
         out: Dict[str, PreferenceResult] = {}
-        for name in QUARTILE_NAMES:
-            curve = self.preference_curve(slices[name])
+        for name, curve in zip(QUARTILE_NAMES, curves):
             curve.slice_description = f"quartile={name}" + (
                 f", action={action}" if action is not None else ""
             )
@@ -291,12 +392,13 @@ class AutoSens:
         Within a single period the hour-of-day α correction still applies
         across the period's hours.
         """
-        out: Dict[str, PreferenceResult] = {}
-        for period in ALL_DAY_PERIODS:
-            out[period.value] = self.preference_curve(
-                logs, action=action, user_class=user_class, period=period
-            )
-        return out
+        curves = self._sweep(
+            [
+                (logs, {"action": action, "user_class": user_class, "period": period})
+                for period in ALL_DAY_PERIODS
+            ]
+        )
+        return {period.value: curve for period, curve in zip(ALL_DAY_PERIODS, curves)}
 
     def curves_by_month(
         self,
@@ -312,12 +414,13 @@ class AutoSens:
             months = sorted(
                 int(m) for m in np.unique(timeutil.month_index(logs.times, days_per_month))
             )
-        return {
-            m: self.preference_curve(
-                logs, action=action, month=m, days_per_month=days_per_month
-            )
-            for m in months
-        }
+        curves = self._sweep(
+            [
+                (logs, {"action": action, "month": m, "days_per_month": days_per_month})
+                for m in months
+            ]
+        )
+        return dict(zip(months, curves))
 
     # -- diagnostics --------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import EmptyDataError
+from repro.errors import ConfigError, EmptyDataError
 from repro.stats.histogram import Histogram1D, HistogramBins
 from repro.stats.rng import SeedLike, spawn_rng
 from repro.stats.sampling import nearest_time_sample, random_times
@@ -48,19 +48,24 @@ class UnbiasedDraw:
         return self.sample_latencies[self.selected_indices]
 
 
-def draw_unbiased_samples(
-    logs: LogStore,
+def draw_from_sorted(
+    sorted_times: np.ndarray,
+    sorted_latencies: np.ndarray,
     n_samples: Optional[int] = None,
     rng: SeedLike = None,
     time_range: Optional[Tuple[float, float]] = None,
 ) -> UnbiasedDraw:
-    """Run the random-time / nearest-sample procedure and keep the pieces."""
-    if logs.is_empty:
+    """The draw procedure over an already time-sorted sample view.
+
+    Callers that redraw repeatedly from one log slice (the bounded-redraw
+    loop in :func:`repro.core.alpha.slotted_counts`) sort once and come
+    here per batch instead of re-sorting inside
+    :func:`draw_unbiased_samples` every time.
+    """
+    times = np.asarray(sorted_times, dtype=float)
+    if times.size == 0:
         raise EmptyDataError("cannot estimate the unbiased distribution from empty logs")
     generator = spawn_rng(rng)
-    order = np.argsort(logs.times, kind="mergesort")
-    times = logs.times[order]
-    latencies = logs.latencies_ms[order]
     if time_range is None:
         lo, hi = float(times[0]), float(times[-1])
         if hi <= lo:  # all samples at one instant
@@ -75,7 +80,26 @@ def draw_unbiased_samples(
         query_times=queries,
         selected_indices=selected,
         sample_times=times,
-        sample_latencies=latencies,
+        sample_latencies=np.asarray(sorted_latencies),
+    )
+
+
+def draw_unbiased_samples(
+    logs: LogStore,
+    n_samples: Optional[int] = None,
+    rng: SeedLike = None,
+    time_range: Optional[Tuple[float, float]] = None,
+) -> UnbiasedDraw:
+    """Run the random-time / nearest-sample procedure and keep the pieces."""
+    if logs.is_empty:
+        raise EmptyDataError("cannot estimate the unbiased distribution from empty logs")
+    order = np.argsort(logs.times, kind="mergesort")
+    return draw_from_sorted(
+        logs.times[order],
+        logs.latencies_ms[order],
+        n_samples=n_samples,
+        rng=rng,
+        time_range=time_range,
     )
 
 
@@ -108,7 +132,7 @@ def unbiased_histogram(
         hist.add(latencies, weights=weights)
         return hist
     if estimator != "sampling":
-        raise EmptyDataError(
+        raise ConfigError(
             f"unknown unbiased estimator {estimator!r}; "
             "use 'sampling' or 'voronoi'"
         )

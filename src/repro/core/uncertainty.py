@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import EmptyDataError, InsufficientDataError
 from repro.core.pipeline import AutoSens, AutoSensConfig
 from repro.core.result import PreferenceResult
+from repro.parallel import resolve_executor
 from repro.stats.rng import SeedLike, spawn_rng
 from repro.telemetry.log_store import LogStore
 
@@ -97,32 +98,51 @@ def _resample_days(logs: LogStore, rng: np.random.Generator) -> LogStore:
     return out.sorted_by_time()
 
 
+def _replicate_task(payload: tuple) -> Optional[np.ndarray]:
+    """Top-level (picklable) bootstrap task: one day-resampled NLP curve.
+
+    Each replicate carries its own integer seed, pre-spawned by the caller,
+    so the result is a pure function of the payload — independent of which
+    worker runs it and in what order.
+    """
+    logs, cfg, seed, slice_kwargs = payload
+    replicate_rng = np.random.default_rng(seed)
+    replicate_logs = _resample_days(logs, replicate_rng)
+    try:
+        curve = AutoSens(cfg, cache=False).preference_curve(replicate_logs, **slice_kwargs)
+    except (EmptyDataError, InsufficientDataError):
+        return None
+    return curve.nlp
+
+
 def nlp_confidence_band(
     logs: LogStore,
     config: Optional[AutoSensConfig] = None,
     confidence: float = 0.9,
     n_resamples: int = 20,
     rng: SeedLike = None,
+    executor=None,
     **slice_kwargs,
 ) -> BandedResult:
     """Point curve + day-block-bootstrap percentile band.
 
     ``slice_kwargs`` are forwarded to :meth:`AutoSens.preference_curve`
     (``action=``, ``user_class=``, ...). 20 resamples give a usable 90 %
-    band; increase for smoother band edges.
+    band; increase for smoother band edges. ``executor`` fans the
+    replicates out (see :mod:`repro.parallel`); the band is bit-identical
+    for every backend because each replicate owns a pre-spawned seed.
     """
     cfg = config or AutoSensConfig()
     generator = spawn_rng(rng)
     point = AutoSens(cfg).preference_curve(logs, **slice_kwargs)
 
+    seeds = generator.integers(0, 2**63 - 1, size=n_resamples)
+    payloads = [(logs, cfg, int(seed), slice_kwargs) for seed in seeds]
+    rows = resolve_executor(executor).map_ordered(_replicate_task, payloads)
     replicates = np.full((n_resamples, point.nlp.size), np.nan)
-    for i in range(n_resamples):
-        replicate_logs = _resample_days(logs, generator)
-        try:
-            curve = AutoSens(cfg).preference_curve(replicate_logs, **slice_kwargs)
-        except (EmptyDataError, InsufficientDataError):
-            continue
-        replicates[i] = curve.nlp
+    for i, row in enumerate(rows):
+        if row is not None:
+            replicates[i] = row
     if np.all(np.isnan(replicates)):
         raise InsufficientDataError("every bootstrap replicate failed")
 

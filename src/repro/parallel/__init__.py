@@ -1,0 +1,28 @@
+"""Cross-slice parallel execution for the analysis layer.
+
+The AutoSens sweeps (``curves_by_*``), the bootstrap uncertainty bands, the
+experiment registry and the workload generator all fan out over independent
+work items. :mod:`repro.parallel` gives them one executor protocol with
+interchangeable backends (serial, process pool) plus deterministic per-task
+seeding, with the invariant that **every backend produces bit-identical
+results to the serial reference**.
+"""
+
+from repro.parallel.executor import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.parallel.seeding import task_seeds, task_streams
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "resolve_executor",
+    "task_seeds",
+    "task_streams",
+]

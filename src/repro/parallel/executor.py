@@ -1,0 +1,158 @@
+"""Executor backends: ordered, chunked parallel map over independent tasks.
+
+Every fan-out point in the analysis layer (the ``curves_by_*`` sweeps, the
+bootstrap replicates, the experiment registry, the workload generator's
+candidate chunks) reduces to the same primitive: *map a pure function over
+independent items and collect the results in input order*. This module
+provides that primitive behind a tiny protocol so callers never care which
+backend runs underneath:
+
+- :class:`SerialExecutor` — in-process, zero overhead; the reference
+  backend every other backend must match bit-for-bit.
+- :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``
+  fan-out for CPU-bound NumPy work that does not release the GIL.
+
+Determinism is a hard requirement: results must not depend on the backend
+or on scheduling order. Tasks therefore never share RNG state — each task
+derives its own stream from a root seed and a stable task name (see
+:mod:`repro.parallel.seeding`), and ``map_ordered`` always returns results
+in input order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterable, List, Optional, Protocol, Sequence, Union
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "EXECUTOR_BACKENDS",
+]
+
+#: Names accepted by :func:`resolve_executor`.
+EXECUTOR_BACKENDS = ("serial", "process")
+
+
+class Executor(Protocol):
+    """The executor protocol: an ordered map over independent items."""
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item; return results in input order.
+
+        The first task exception propagates to the caller (remaining tasks
+        may or may not run, as with the serial backend's fail-fast loop).
+        """
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """Run tasks inline, one after another (the reference backend)."""
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+def _apply_chunk(payload: tuple) -> List[Any]:
+    """Top-level (picklable) helper: apply ``fn`` to one chunk of items."""
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
+class ProcessExecutor:
+    """Fan tasks out over worker processes, preserving input order.
+
+    Items are grouped into chunks (amortizing pickling and process
+    round-trips), submitted to a ``ProcessPoolExecutor``, and re-assembled
+    in input order regardless of completion order. ``fn`` and the items
+    must be picklable — use module-level task functions.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.max_workers = max_workers or max(1, os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+
+    def _chunks(self, items: Sequence[Any], chunk_size: Optional[int]) -> List[Sequence[Any]]:
+        size = chunk_size or self.chunk_size
+        if size is None:
+            # Default: just enough chunks to keep every worker busy without
+            # oversized pickles; at least one item per chunk.
+            size = max(1, -(-len(items) // (4 * self.max_workers)))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = self._chunks(items, chunk_size)
+        out: List[Any] = []
+        with ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks))) as pool:
+            futures = [pool.submit(_apply_chunk, (fn, chunk)) for chunk in chunks]
+            for future in futures:  # input order, not completion order
+                out.extend(future.result())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+ExecutorSpec = Union[None, str, int, Executor]
+
+
+def resolve_executor(spec: ExecutorSpec) -> Executor:
+    """Turn a user-facing executor spec into an :class:`Executor`.
+
+    ``None`` or ``"serial"`` → :class:`SerialExecutor`; ``"process"`` →
+    :class:`ProcessExecutor` with default workers; an integer ``n`` →
+    :class:`ProcessExecutor` with ``n`` workers; an object implementing
+    ``map_ordered`` is returned as-is.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialExecutor()
+        if spec == "process":
+            return ProcessExecutor()
+        raise ConfigError(
+            f"unknown executor backend {spec!r}; pick one of {EXECUTOR_BACKENDS}"
+        )
+    if isinstance(spec, int):
+        return ProcessExecutor(max_workers=spec)
+    if hasattr(spec, "map_ordered"):
+        return spec
+    raise ConfigError(f"cannot interpret executor spec {spec!r}")

@@ -70,6 +70,23 @@ class RngFactory:
         )
         return np.random.default_rng(seq)
 
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the *pure* generator for ``name`` (no counter advance).
+
+        Unlike :meth:`child`, repeated calls with the same name return
+        generators producing the *same* stream: the seed is a pure function
+        of ``(root_seed, name)`` and nothing else. This is what makes work
+        distributable — any worker process that knows the root seed and the
+        task's name reconstructs exactly the stream the serial code would
+        have used, independent of scheduling order (see
+        :mod:`repro.parallel.seeding`).
+        """
+        key = np.frombuffer(f"stream:{name}".encode("utf-8"), dtype=np.uint8)
+        seq = np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=tuple(int(b) for b in key)
+        )
+        return np.random.default_rng(seq)
+
     def fork(self, name: str) -> "RngFactory":
         """Return a child *factory* whose streams are independent of ours."""
         child_seed = int(self.child(f"fork:{name}").integers(0, 2**63 - 1))

@@ -76,11 +76,21 @@ def nearest_time_sample(
         nearest[tied_lr] = chosen
 
     # Duplicate timestamps: several samples share the winning time; pick one
-    # uniformly among the run of equal times.
-    winning_times = times[nearest]
-    run_start = np.searchsorted(times, winning_times, side="left")
-    run_end = np.searchsorted(times, winning_times, side="right")
-    run_len = run_end - run_start
+    # uniformly among the run of equal times. Runs depend only on the sorted
+    # sample times, so one linear boundary pass replaces two per-query
+    # searchsorted calls (the dominant cost at production query counts).
+    if times.size > 1:
+        change = np.empty(times.size, dtype=bool)
+        change[0] = True
+        np.not_equal(times[1:], times[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        lengths = np.diff(np.append(starts, times.size))
+        rid = (np.cumsum(change) - 1)[nearest]
+        run_start = starts[rid]
+        run_len = lengths[rid]
+    else:
+        run_start = np.zeros(nearest.shape, dtype=np.int64)
+        run_len = np.ones(nearest.shape, dtype=np.int64)
     multi = run_len > 1
     if np.any(multi):
         offsets = (generator.random(int(multi.sum())) * run_len[multi]).astype(np.int64)

@@ -34,6 +34,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.parallel import resolve_executor
+from repro.parallel.seeding import task_seeds
 from repro.stats.rng import RngFactory, SeedLike
 from repro.telemetry.log_store import LogStore
 from repro.workload.actions import ActionMix, owa_action_mix
@@ -97,6 +99,45 @@ class TelemetryResult:
         if self.n_candidates == 0:
             return 0.0
         return self.n_accepted / self.n_candidates
+
+
+@dataclass
+class _ChunkRngs:
+    """The six per-purpose generators one chunk simulation consumes."""
+
+    times: np.random.Generator
+    users: np.random.Generator
+    actions: np.random.Generator
+    jitter: np.random.Generator
+    accept: np.random.Generator
+    errors: np.random.Generator
+
+    @classmethod
+    def from_factory(cls, factory: RngFactory) -> "_ChunkRngs":
+        # Child names and creation order match the original inline loop, so
+        # the serial path reproduces historical outputs byte-for-byte.
+        return cls(
+            times=factory.child("candidate-times"),
+            users=factory.child("candidate-users"),
+            actions=factory.child("candidate-actions"),
+            jitter=factory.child("request-jitter"),
+            accept=factory.child("acceptance"),
+            errors=factory.child("errors"),
+        )
+
+
+def _chunk_task(payload: tuple) -> Tuple[int, Optional[tuple]]:
+    """Top-level (picklable) task: simulate one candidate chunk.
+
+    Each chunk derives its generators from its own pre-spawned seed, making
+    the result a pure function of the payload — identical on any backend.
+    """
+    (generator, m, duration_s, population, grid, user_probs,
+     alpha_max, pref_bound, seed) = payload
+    rngs = _ChunkRngs.from_factory(RngFactory(seed))
+    return generator._simulate_chunk(
+        m, duration_s, population, grid, user_probs, alpha_max, pref_bound, rngs
+    )
 
 
 class TelemetryGenerator:
@@ -165,10 +206,87 @@ class TelemetryGenerator:
             duration_s, rng=factory.child("latency-grid"), start=self.config.start
         )
 
+    def _simulate_chunk(
+        self,
+        m: int,
+        duration_s: float,
+        population: Population,
+        grid: LatencyGrid,
+        user_probs: np.ndarray,
+        alpha_max: float,
+        pref_bound: float,
+        rngs: "_ChunkRngs",
+    ) -> Tuple[int, Optional[tuple]]:
+        """Simulate ``m`` candidates; return (accepted count, row arrays).
+
+        Consumes the per-purpose generators in the exact order of the
+        original inline loop, so running chunks sequentially through one
+        shared :class:`_ChunkRngs` reproduces the legacy byte stream.
+        """
+        cfg = self.config
+        tz_by_user = population.tz_offsets
+
+        t = rngs.times.uniform(cfg.start, cfg.start + duration_s, size=m)
+        user_idx = rngs.users.choice(population.n_users, size=m, p=user_probs)
+        action_idx = self.action_mix.sample(m, rng=rngs.actions)
+
+        level = grid.level_at(t)
+        action_mult = self.action_mix.latency_multipliers[action_idx]
+        user_mult = population.latency_multipliers[user_idx]
+        predictable = level * action_mult * user_mult
+        jitter = np.exp(
+            rngs.jitter.normal(-0.5 * cfg.jitter_sigma**2, cfg.jitter_sigma, size=m)
+        )
+        realized = predictable * jitter
+
+        tz = tz_by_user[user_idx]
+        local_hours = ((t + 3600.0 * tz) % SECONDS_PER_DAY) / 3600.0
+
+        # Activity factor per candidate (class-dependent curves).
+        alpha = np.empty(m, dtype=float)
+        class_codes = population.classes[user_idx]
+        for c_code, class_name in enumerate(population.class_vocab):
+            mask = class_codes == c_code
+            if not np.any(mask):
+                continue
+            curve = self.activity_model.curve_for(class_name)
+            alpha[mask] = curve(local_hours[mask])
+            weekend = self.activity_model.weekend_factor.get(class_name)
+            if weekend is not None:
+                local = t[mask] + 3600.0 * tz[mask]
+                day = np.floor(local / SECONDS_PER_DAY).astype(np.int64)
+                is_weekend = (day % 7) >= 5
+                alpha[mask] = np.where(is_weekend, alpha[mask] * weekend, alpha[mask])
+
+        response_latency = realized if cfg.response_mode == "realized" else predictable
+        pref = self._evaluate_preference(
+            response_latency, action_idx, user_idx, local_hours, population
+        )
+
+        accept_prob = (alpha / alpha_max) * (pref / pref_bound)
+        accepted = rngs.accept.random(m) < accept_prob
+        if not np.any(accepted):
+            return 0, None
+
+        idx = np.flatnonzero(accepted)
+        success = rngs.errors.random(idx.size) >= cfg.error_rate
+        return idx.size, (
+            t[idx], realized[idx], action_idx[idx], user_idx[idx],
+            class_codes[idx], success, tz[idx],
+        )
+
     # -- main entry point ----------------------------------------------------
 
-    def generate(self, rng: SeedLike = None) -> TelemetryResult:
-        """Run the simulation and return logs plus ground truth."""
+    def generate(self, rng: SeedLike = None, executor=None) -> TelemetryResult:
+        """Run the simulation and return logs plus ground truth.
+
+        With ``executor=None`` (the default) chunks are simulated serially
+        through one shared set of generators — byte-identical to the
+        historical output for a given seed. Passing an executor spec (see
+        :mod:`repro.parallel`) fans chunks out with independent per-chunk
+        streams; the result is deterministic for a given seed and identical
+        across backends, but differs from the serial-default stream.
+        """
         cfg = self.config
         if isinstance(rng, RngFactory):
             factory = rng
@@ -196,71 +314,34 @@ class TelemetryGenerator:
         n_candidates = int(gen_counts.poisson(total_max_rate * duration_s))
 
         user_probs = population.sampling_probabilities()
-        tz_by_user = population.tz_offsets
 
-        chunks = []
-        gen_times = factory.child("candidate-times")
-        gen_users = factory.child("candidate-users")
-        gen_actions = factory.child("candidate-actions")
-        gen_jitter = factory.child("request-jitter")
-        gen_accept = factory.child("acceptance")
-        gen_errors = factory.child("errors")
-
-        n_accepted = 0
+        sizes = []
         remaining = n_candidates
         while remaining > 0:
             m = min(remaining, cfg.chunk_size)
             remaining -= m
+            sizes.append(m)
 
-            t = gen_times.uniform(cfg.start, cfg.start + duration_s, size=m)
-            user_idx = gen_users.choice(population.n_users, size=m, p=user_probs)
-            action_idx = self.action_mix.sample(m, rng=gen_actions)
+        if executor is None:
+            rngs = _ChunkRngs.from_factory(factory)
+            results = [
+                self._simulate_chunk(
+                    m, duration_s, population, grid, user_probs,
+                    alpha_max, pref_bound, rngs,
+                )
+                for m in sizes
+            ]
+        else:
+            seeds = task_seeds(factory, "generator-chunk", len(sizes))
+            payloads = [
+                (self, m, duration_s, population, grid, user_probs,
+                 alpha_max, pref_bound, seed)
+                for m, seed in zip(sizes, seeds)
+            ]
+            results = resolve_executor(executor).map_ordered(_chunk_task, payloads)
 
-            level = grid.level_at(t)
-            action_mult = self.action_mix.latency_multipliers[action_idx]
-            user_mult = population.latency_multipliers[user_idx]
-            predictable = level * action_mult * user_mult
-            jitter = np.exp(
-                gen_jitter.normal(-0.5 * cfg.jitter_sigma**2, cfg.jitter_sigma, size=m)
-            )
-            realized = predictable * jitter
-
-            tz = tz_by_user[user_idx]
-            local_hours = ((t + 3600.0 * tz) % SECONDS_PER_DAY) / 3600.0
-
-            # Activity factor per candidate (class-dependent curves).
-            alpha = np.empty(m, dtype=float)
-            class_codes = population.classes[user_idx]
-            for c_code, class_name in enumerate(population.class_vocab):
-                mask = class_codes == c_code
-                if not np.any(mask):
-                    continue
-                curve = self.activity_model.curve_for(class_name)
-                alpha[mask] = curve(local_hours[mask])
-                weekend = self.activity_model.weekend_factor.get(class_name)
-                if weekend is not None:
-                    local = t[mask] + 3600.0 * tz[mask]
-                    day = np.floor(local / SECONDS_PER_DAY).astype(np.int64)
-                    is_weekend = (day % 7) >= 5
-                    alpha[mask] = np.where(is_weekend, alpha[mask] * weekend, alpha[mask])
-
-            response_latency = realized if cfg.response_mode == "realized" else predictable
-            pref = self._evaluate_preference(
-                response_latency, action_idx, user_idx, local_hours, population
-            )
-
-            accept_prob = (alpha / alpha_max) * (pref / pref_bound)
-            accepted = gen_accept.random(m) < accept_prob
-            if not np.any(accepted):
-                continue
-
-            idx = np.flatnonzero(accepted)
-            n_accepted += idx.size
-            success = gen_errors.random(idx.size) >= cfg.error_rate
-            chunks.append((
-                t[idx], realized[idx], action_idx[idx], user_idx[idx],
-                class_codes[idx], success, tz[idx],
-            ))
+        n_accepted = sum(r[0] for r in results)
+        chunks = [r[1] for r in results if r[1] is not None]
 
         if chunks:
             times = np.concatenate([c[0] for c in chunks])

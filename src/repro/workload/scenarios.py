@@ -40,15 +40,21 @@ class Scenario:
     activity_model: ActivityModel
     seed: Optional[int] = None
 
-    def generate(self, seed: Optional[int] = None) -> TelemetryResult:
-        """Generate the scenario's telemetry (seed overrides the default)."""
+    def generate(self, seed: Optional[int] = None, executor=None) -> TelemetryResult:
+        """Generate the scenario's telemetry (seed overrides the default).
+
+        ``executor`` is forwarded to :meth:`TelemetryGenerator.generate`
+        to fan candidate chunks out over workers.
+        """
         generator = TelemetryGenerator(
             config=self.config,
             ground_truth=self.ground_truth,
             action_mix=self.action_mix,
             activity_model=self.activity_model,
         )
-        return generator.generate(rng=seed if seed is not None else self.seed)
+        return generator.generate(
+            rng=seed if seed is not None else self.seed, executor=executor
+        )
 
     def scaled(self, duration_days: Optional[float] = None,
                n_users: Optional[int] = None,

@@ -1,0 +1,141 @@
+"""Equivalence guarantees of the tensorized/cached/parallel fast paths.
+
+The refactor's contract: the count tensor, the per-reference contraction,
+the slice cache and the executor backends are *pure plumbing* — every fast
+path must reproduce the reference path numerically (bit-identically where
+the accumulation order is unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import (
+    _legacy_corrected_histograms,
+    _legacy_period_slots,
+    _legacy_slotted_counts,
+)
+from repro.core import AutoSens, AutoSensConfig
+from repro.core.alpha import (
+    alpha_from_counts,
+    corrected_histograms,
+    corrected_histograms_from_counts,
+    slot_of_times,
+    slotted_counts,
+)
+from repro.errors import ConfigError
+from repro.parallel import ProcessExecutor
+from repro.stats.histogram import latency_bins
+
+BINS = latency_bins(3000.0, 10.0)
+ESTIMATORS = ("sampling", "voronoi")
+
+
+def _counts_and_alpha(logs, estimator, seed=5):
+    counts = slotted_counts(
+        logs, BINS, n_unbiased_samples=2 * len(logs), rng=seed, estimator=estimator
+    )
+    return counts, alpha_from_counts(counts)
+
+
+def _assert_curves_identical(result_a, result_b):
+    assert np.array_equal(result_a.nlp, result_b.nlp, equal_nan=True)
+    assert np.array_equal(result_a.raw_ratio, result_b.raw_ratio, equal_nan=True)
+    assert result_a.n_actions == result_b.n_actions
+
+
+class TestCountTensor:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_matches_per_slot_loops_bitwise(self, owa_logs, estimator):
+        """Same seed → the fused-bincount tensor equals the masked loops."""
+        new = slotted_counts(
+            owa_logs, BINS, n_unbiased_samples=len(owa_logs), rng=3,
+            estimator=estimator,
+        )
+        old = _legacy_slotted_counts(
+            owa_logs, BINS, n_unbiased_samples=len(owa_logs), rng=3,
+            estimator=estimator,
+        )
+        assert np.array_equal(new.slot_ids, old.slot_ids)
+        assert np.array_equal(new.biased_counts, old.biased_counts)
+        assert np.array_equal(new.time_fractions, old.time_fractions)
+        assert np.array_equal(new.slot_seconds, old.slot_seconds)
+
+    def test_period_lookup_matches_python_loop(self, owa_logs):
+        new = slot_of_times(owa_logs.times, "period", owa_logs.tz_offsets)
+        old = _legacy_period_slots(owa_logs.times, owa_logs.tz_offsets)
+        assert np.array_equal(new, old)
+
+
+class TestCorrectedHistograms:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_contraction_matches_per_sample_rescan(self, owa_logs, estimator):
+        """B from the tensor contraction == B from rescanning every action."""
+        counts, alpha = _counts_and_alpha(owa_logs, estimator)
+        b_new, u_new = corrected_histograms_from_counts(counts, alpha)
+        b_old, u_old = _legacy_corrected_histograms(owa_logs, BINS, alpha)
+        np.testing.assert_allclose(b_new.counts, b_old.counts, rtol=1e-9, atol=1e-9)
+        assert np.array_equal(u_new.counts, u_old.counts)
+
+    def test_contraction_matches_kept_reference_impl(self, owa_logs):
+        """The in-tree per-sample reference stayed equivalent too."""
+        counts, alpha = _counts_and_alpha(owa_logs, "voronoi")
+        b_new, u_new = corrected_histograms_from_counts(counts, alpha)
+        b_ref, u_ref = corrected_histograms(owa_logs, BINS, alpha)
+        np.testing.assert_allclose(b_new.counts, b_ref.counts, rtol=1e-9, atol=1e-9)
+        assert np.array_equal(u_new.counts, u_ref.counts)
+
+    def test_every_reference_slot_agrees(self, owa_logs):
+        counts, _ = _counts_and_alpha(owa_logs, "voronoi")
+        for reference in counts.busiest_slots(3):
+            alpha = alpha_from_counts(counts, reference_slot=reference)
+            b_new, _ = corrected_histograms_from_counts(counts, alpha)
+            b_old, _ = _legacy_corrected_histograms(owa_logs, BINS, alpha)
+            np.testing.assert_allclose(b_new.counts, b_old.counts, rtol=1e-9, atol=1e-9)
+
+    def test_mismatched_grids_rejected(self, owa_logs):
+        counts, alpha = _counts_and_alpha(owa_logs, "voronoi")
+        other = slotted_counts(
+            owa_logs, latency_bins(2000.0, 10.0),
+            n_unbiased_samples=len(owa_logs), rng=5, estimator="voronoi",
+        )
+        with pytest.raises(ConfigError):
+            corrected_histograms_from_counts(other, alpha)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_cached_curve_is_bit_identical(self, owa_logs, estimator):
+        config = AutoSensConfig(seed=17, unbiased_estimator=estimator)
+        cached = AutoSens(config, cache=True)
+        uncached = AutoSens(config, cache=False)
+        first = cached.preference_curve(owa_logs, action="SelectMail")
+        hit = cached.preference_curve(owa_logs, action="SelectMail")
+        cold = uncached.preference_curve(owa_logs, action="SelectMail")
+        assert cached.cache.hits > 0
+        _assert_curves_identical(first, hit)
+        _assert_curves_identical(first, cold)
+
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_process_sweep_matches_serial_bitwise(self, owa_logs, estimator):
+        config = AutoSensConfig(seed=17, unbiased_estimator=estimator)
+        serial = AutoSens(config, executor="serial")
+        process = AutoSens(config, executor=ProcessExecutor(max_workers=2))
+        serial_curves = serial.curves_by_action(owa_logs)
+        process_curves = process.curves_by_action(owa_logs)
+        assert serial_curves.keys() == process_curves.keys()
+        for name in serial_curves:
+            _assert_curves_identical(serial_curves[name], process_curves[name])
+
+    def test_period_sweep_matches_serial_bitwise(self, owa_logs):
+        config = AutoSensConfig(seed=23)
+        serial_curves = AutoSens(config, executor="serial").curves_by_period(
+            owa_logs, action="SelectMail"
+        )
+        process_curves = AutoSens(
+            config, executor=ProcessExecutor(max_workers=2)
+        ).curves_by_period(owa_logs, action="SelectMail")
+        assert serial_curves.keys() == process_curves.keys()
+        for name in serial_curves:
+            _assert_curves_identical(serial_curves[name], process_curves[name])

@@ -86,5 +86,5 @@ class TestVoronoiPipeline:
 
     def test_histogram_unknown_estimator(self, owa_logs):
         bins = HistogramBins(0.0, 3000.0, 10.0)
-        with pytest.raises(EmptyDataError):
+        with pytest.raises(ConfigError):
             unbiased_histogram(owa_logs, bins, estimator="nope")

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Run the perf-regression suite and maintain ``BENCH_pipeline.json``.
+
+Two modes:
+
+``--output`` (default)
+    Run the suite at ``--scale`` and write/update that scale's entry in the
+    report file, e.g.::
+
+        PYTHONPATH=src python tools/bench_report.py --scale full
+        PYTHONPATH=src python tools/bench_report.py --scale smoke
+
+    The file keeps one entry per scale (``{"schema": 1, "scales": {...}}``),
+    so a full-scale record survives smoke-scale refreshes and vice versa.
+
+``--check BASELINE``
+    Run the suite and compare against a committed baseline (CI mode)::
+
+        PYTHONPATH=src python tools/bench_report.py --scale smoke \\
+            --check BENCH_pipeline.json
+
+    The comparison is *ratio-based* so it is robust across machines: for
+    every stage with a legacy reference, the measured speedup must not fall
+    below ``baseline_speedup / max_regression`` (default 2.0). A genuine
+    reversion of the tensor/sampling optimizations shows up as a collapsed
+    speedup regardless of how fast the CI runner is; raw wall-clock is
+    reported but never gated on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf import PERF_SCALES, run_perf_suite  # noqa: E402
+
+DEFAULT_REPORT = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def load_report(path: Path) -> dict:
+    if path.exists():
+        data = json.loads(path.read_text())
+        if data.get("schema") == 1 and isinstance(data.get("scales"), dict):
+            return data
+    return {"schema": 1, "scales": {}}
+
+
+def check_against(measured: dict, baseline: dict, max_regression: float) -> list:
+    """Stage names whose speedup regressed more than ``max_regression``×."""
+    failures = []
+    for name, stage in baseline.get("stages", {}).items():
+        base_speedup = stage.get("speedup")
+        if base_speedup is None:
+            continue
+        now = measured["stages"].get(name)
+        if now is None or now.get("speedup") is None:
+            failures.append(f"{name}: stage missing from measured report")
+            continue
+        floor = base_speedup / max_regression
+        if now["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {now['speedup']:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base_speedup:.2f}x / allowed {max_regression:g}x regression)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(PERF_SCALES), default="full")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="best-of-N timing for stages with a legacy reference",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_REPORT,
+        help=f"report file to update (default {DEFAULT_REPORT.name})",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="BASELINE",
+        help="compare against a committed report instead of writing one",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="fail --check when a stage speedup drops below baseline/this (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_perf_suite(scale=args.scale, seed=args.seed, repeats=args.repeats)
+    print(report.render())
+
+    if args.check is not None:
+        baseline = load_report(args.check)
+        entry = baseline["scales"].get(args.scale)
+        if entry is None:
+            print(f"error: {args.check} has no {args.scale!r} entry", file=sys.stderr)
+            return 2
+        failures = check_against(report.to_dict(), entry, args.max_regression)
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nOK: no stage regressed more than {args.max_regression:g}x "
+              f"vs {args.check} [{args.scale}]")
+        return 0
+
+    data = load_report(args.output)
+    data["scales"][args.scale] = report.to_dict()
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nwrote {args.output} [{args.scale}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
