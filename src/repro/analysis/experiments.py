@@ -1,9 +1,18 @@
-"""The experiment registry: every paper figure/table, runnable by id."""
+"""The experiment registry: every paper figure/table, runnable by id.
+
+Experiments are also *resumable*: pass ``checkpoint_dir`` and every
+completed sweep task (and each finished experiment outcome) is journaled to
+disk through :class:`~repro.parallel.checkpoint.CheckpointJournal`. A rerun
+after a crash serves journaled work from disk and computes only what is
+missing — bit-identical to an uninterrupted run, because every task draws
+its randomness purely from its payload.
+"""
 
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict, List
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.analysis.base import FULL, SMALL, ExperimentOutcome, Scale
 from repro.analysis.bottleneck import run_bottleneck
@@ -14,6 +23,12 @@ from repro.analysis.fig_time import run_fig7, run_fig8, run_fig9
 from repro.analysis.regions_ext import run_regions
 from repro.analysis.sessions_ext import run_sessions
 from repro.errors import ConfigError
+from repro.parallel import (
+    CheckpointJournal,
+    ResilientExecutor,
+    RetryPolicy,
+    resolve_executor,
+)
 
 #: Every experiment, in the paper's presentation order. Values take
 #: ``(seed, scale)`` keyword arguments except table1 (deterministic).
@@ -41,44 +56,87 @@ def _accepts_executor(driver: Callable[..., ExperimentOutcome]) -> bool:
         return False
 
 
+def _resolve_scale(scale: Union[Scale, str]) -> Scale:
+    if isinstance(scale, str):
+        resolved = {"small": SMALL, "full": FULL}.get(scale)
+        if resolved is None:
+            raise ConfigError("scale must be 'small', 'full', or a Scale")
+        return resolved
+    return scale
+
+
 def run_experiment(
     experiment_id: str,
     seed: int | None = None,
     scale: Scale | str = FULL,
     executor=None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ExperimentOutcome:
     """Run one experiment by id (e.g. ``"fig4"``).
 
     ``executor`` (see :mod:`repro.parallel`) is forwarded to drivers whose
     sweeps can fan out; drivers without an ``executor`` parameter run as
     before. Results are backend-independent either way.
+
+    ``checkpoint_dir`` enables resume: each completed sweep task is
+    journaled there as the driver runs, and the finished outcome itself is
+    journaled too. A rerun with the same ``(experiment_id, seed, scale)``
+    skips journaled work — an interrupted sweep continues where it
+    stopped, bit-identical to a run that was never interrupted. ``retry``
+    tunes the fault-tolerant re-execution of lost tasks (worker crashes).
     """
     if experiment_id not in EXPERIMENTS:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(EXPERIMENTS)}"
         )
-    if isinstance(scale, str):
-        scale = {"small": SMALL, "full": FULL}.get(scale)
-        if scale is None:
-            raise ConfigError("scale must be 'small', 'full', or a Scale")
+    scale = _resolve_scale(scale)
     driver = EXPERIMENTS[experiment_id]
+
+    journal: Optional[CheckpointJournal] = None
+    outcome_key: Optional[str] = None
+    if checkpoint_dir is not None:
+        namespace = (
+            f"{experiment_id}/seed={seed}/"
+            f"scale={scale.duration_days}d-{scale.n_users}u-"
+            f"{scale.candidates_per_user_day}c"
+        )
+        journal = CheckpointJournal(checkpoint_dir, namespace=namespace)
+        outcome_key = journal.key_for("outcome")
+        hit, cached = journal.fetch(outcome_key)
+        if hit:
+            return cached
+
+    if journal is not None or retry is not None:
+        executor = ResilientExecutor(
+            inner=resolve_executor(executor), retry=retry, checkpoint=journal
+        )
+
     kwargs = {}
     if seed is not None:
         kwargs["seed"] = seed
     kwargs["scale"] = scale
     if executor is not None and _accepts_executor(driver):
         kwargs["executor"] = executor
-    return driver(**kwargs)
+    outcome = driver(**kwargs)
+    if journal is not None:
+        journal.put(outcome_key, outcome)
+    return outcome
 
 
 def run_all(
     seed: int | None = None,
     scale: Scale | str = FULL,
     executor=None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[ExperimentOutcome]:
-    """Run every registered experiment in order."""
+    """Run every registered experiment in order (resumable per experiment)."""
     return [
-        run_experiment(eid, seed=seed, scale=scale, executor=executor)
+        run_experiment(
+            eid, seed=seed, scale=scale, executor=executor,
+            checkpoint_dir=checkpoint_dir, retry=retry,
+        )
         for eid in EXPERIMENTS
     ]

@@ -4,10 +4,16 @@ Subcommands::
 
     autosens generate --scenario owa --seed 7 --out logs.jsonl
     autosens analyze logs.jsonl --action SelectMail --user-class business
-    autosens experiment fig4 --scale full
+    autosens analyze dirty.jsonl --on-bad-rows quarantine --quarantine-path bad.jsonl
+    autosens experiment fig4 --scale full --checkpoint-dir .autosens-ckpt
     autosens list
 
 (Or ``python -m repro ...`` without installing the entry point.)
+
+Exit codes follow the error taxonomy in :mod:`repro.errors`: 0 success,
+1 generic failure (including failed experiment checks), 2 bad
+request/config, 3 schema violation, 4 ingest error budget exceeded,
+5 empty/insufficient data, 6 privacy refusal, 7 task retries exhausted.
 """
 
 from __future__ import annotations
@@ -18,6 +24,85 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.errors import (
+    ConfigError,
+    EmptyDataError,
+    IngestError,
+    InsufficientDataError,
+    PrivacyError,
+    ReproError,
+    SchemaError,
+    TaskFailedError,
+)
+
+#: Exit code per error class; first matching entry wins (order matters:
+#: subclasses before ReproError).
+_EXIT_CODES = (
+    (ConfigError, 2),
+    (SchemaError, 3),
+    (IngestError, 4),
+    (EmptyDataError, 5),
+    (InsufficientDataError, 5),
+    (PrivacyError, 6),
+    (TaskFailedError, 7),
+    (ReproError, 1),
+)
+
+
+def _exit_code_for(exc: ReproError) -> int:
+    for klass, code in _EXIT_CODES:
+        if isinstance(exc, klass):
+            return code
+    return 1  # pragma: no cover - ReproError entry is a catch-all
+
+
+def _ingest_parent() -> argparse.ArgumentParser:
+    """Shared ``--on-bad-rows``/``--quarantine-path`` flags."""
+    from repro.telemetry import INGEST_MODES
+
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("ingestion")
+    group.add_argument(
+        "--on-bad-rows", choices=list(INGEST_MODES), default="strict",
+        help="malformed-row handling: strict fails on the first bad row, "
+             "lenient skips and counts, quarantine also writes rejects to "
+             "--quarantine-path (default: strict)")
+    group.add_argument(
+        "--quarantine-path", default=None,
+        help="JSONL sink for rejected rows (required with "
+             "--on-bad-rows quarantine)")
+    group.add_argument(
+        "--max-bad-share", type=float, default=0.05,
+        help="error budget: maximum tolerated share of bad rows before "
+             "ingestion fails (default: 0.05)")
+    return parent
+
+
+def _ingest_policy(args: argparse.Namespace):
+    from repro.telemetry import IngestPolicy
+
+    return IngestPolicy(
+        mode=args.on_bad_rows,
+        max_bad_share=args.max_bad_share,
+        quarantine_path=args.quarantine_path,
+    )
+
+
+def _read_logs(path: Path, args: argparse.Namespace):
+    """Read a telemetry file honouring the command's ingest flags."""
+    from repro.telemetry import read_csv, read_jsonl
+
+    policy = _ingest_policy(args)
+    if path.suffix == ".csv":
+        return read_csv(path, policy=policy)
+    return read_jsonl(path, policy=policy)
+
+
+def _report_ingest(logs) -> None:
+    """Print a one-line note when rows were rejected during ingestion."""
+    report = getattr(logs, "ingest_report", None)
+    if report is not None and report.n_bad:
+        print(f"note: {report.summary()}", file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -28,8 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=f"autosens {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+    ingest = _ingest_parent()
 
-    gen = sub.add_parser("generate", help="generate synthetic telemetry")
+    gen = sub.add_parser("generate", help="generate synthetic telemetry",
+                         parents=[ingest])
     gen.add_argument("--scenario", default="owa",
                      help="scenario name (see 'autosens list')")
     gen.add_argument("--seed", type=int, default=7)
@@ -38,7 +125,8 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True,
                      help="output path (.jsonl, .jsonl.gz or .csv)")
 
-    ana = sub.add_parser("analyze", help="compute an NLP curve from a log file")
+    ana = sub.add_parser("analyze", help="compute an NLP curve from a log file",
+                         parents=[ingest])
     ana.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz, .csv) "
                               "or an exported counts table (counts .json)")
     ana.add_argument("--action", default=None)
@@ -55,6 +143,9 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", choices=["small", "full"], default="full")
     exp.add_argument("--seed", type=int, default=None)
     exp.add_argument("--no-plots", action="store_true")
+    exp.add_argument("--checkpoint-dir", default=None,
+                     help="journal completed work here; a rerun resumes "
+                          "instead of recomputing")
 
     counts = sub.add_parser(
         "export-counts",
@@ -67,11 +158,13 @@ def _build_parser() -> argparse.ArgumentParser:
     counts.add_argument("--seed", type=int, default=0)
     counts.add_argument("--out", required=True, help="output JSON path")
 
-    qual = sub.add_parser("quality", help="data-quality report for a log file")
+    qual = sub.add_parser("quality", help="data-quality report for a log file",
+                          parents=[ingest])
     qual.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz or .csv)")
 
     pre = sub.add_parser("preflight",
-                         help="check whether a log slice supports AutoSens")
+                         help="check whether a log slice supports AutoSens",
+                         parents=[ingest])
     pre.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz or .csv)")
     pre.add_argument("--action", default=None)
     pre.add_argument("--user-class", default=None)
@@ -110,7 +203,6 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.core import AutoSens, AutoSensConfig
-    from repro.telemetry import read_csv, read_jsonl
     from repro.viz import line_plot, save_series_csv
     from repro.viz.table import format_table
 
@@ -129,7 +221,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         curve = curve_from_counts(load_counts(path), config,
                                   slice_description=path.stem)
     else:
-        logs = read_csv(path) if path.suffix == ".csv" else read_jsonl(path)
+        logs = _read_logs(path, args)
+        _report_ingest(logs)
         engine = AutoSens(config)
         curve = engine.preference_curve(
             logs, action=args.action, user_class=args.user_class
@@ -167,7 +260,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     status = 0
     outcomes = []
     for experiment_id in ids:
-        outcome = run_experiment(experiment_id, seed=args.seed, scale=args.scale)
+        outcome = run_experiment(experiment_id, seed=args.seed, scale=args.scale,
+                                 checkpoint_dir=args.checkpoint_dir)
         outcomes.append(outcome)
         print(outcome.render(include_plots=not args.no_plots))
         print()
@@ -205,11 +299,11 @@ def _cmd_export_counts(args: argparse.Namespace) -> int:
 
 
 def _cmd_quality(args: argparse.Namespace) -> int:
-    from repro.telemetry import quality_report, read_csv, read_jsonl
+    from repro.telemetry import quality_report
     from repro.viz.table import format_table
 
     path = Path(args.logs)
-    logs = read_csv(path) if path.suffix == ".csv" else read_jsonl(path)
+    logs = _read_logs(path, args)
     report = quality_report(logs)
     print(format_table(["metric", "value"], report.rows()))
     for flag in report.flags:
@@ -221,11 +315,11 @@ def _cmd_quality(args: argparse.Namespace) -> int:
 
 def _cmd_preflight(args: argparse.Namespace) -> int:
     from repro.core.preflight import preflight
-    from repro.telemetry import read_csv, read_jsonl
     from repro.viz.table import format_table
 
     path = Path(args.logs)
-    logs = read_csv(path) if path.suffix == ".csv" else read_jsonl(path)
+    logs = _read_logs(path, args)
+    _report_ingest(logs)
     sliced = logs.where(action=args.action, user_class=args.user_class)
     if sliced.is_empty:
         print("the requested slice is empty", file=sys.stderr)
@@ -254,7 +348,12 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    Library errors are not tracebacks to the end user: every
+    :class:`~repro.errors.ReproError` becomes a one-line message on stderr
+    and a taxonomy-specific exit code (see the module docstring).
+    """
     args = _build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -265,7 +364,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "preflight": _cmd_preflight,
         "list": _cmd_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return _exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,7 +41,7 @@ from repro.core.locality import (
     density_latency_series,
     locality_report,
 )
-from repro.core.pipeline import AutoSens, AutoSensConfig
+from repro.core.pipeline import AutoSens, AutoSensConfig, DegradePolicy
 from repro.core.slice_cache import SliceCache
 from repro.core.preference import PreferenceComputer, average_results
 from repro.core.preflight import PreflightReport, preflight
@@ -92,6 +92,7 @@ __all__ = [
     "scale",
     "cap_ms",
     "AutoSensConfig",
+    "DegradePolicy",
     "PreferenceResult",
     "PreferenceComputer",
     "PreflightReport",

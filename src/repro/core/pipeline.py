@@ -123,15 +123,67 @@ def _slice_key(
     return (norm(action), norm(user_class), norm(period), month, days_per_month)
 
 
-def _curve_task(payload: Tuple) -> PreferenceResult:
+@dataclass(frozen=True)
+class DegradePolicy:
+    """What to do when part of a sweep is starved of data.
+
+    The strict default (no policy) fails the whole multi-minute sweep on
+    the first :class:`InsufficientDataError`. Under a degrade policy the
+    pipeline instead *narrows* the answer and records what it dropped:
+
+    - ``on_starved_slice="skip"`` — a sweep slice (one action type, one
+      user class, one period...) below ``min_actions`` is dropped from the
+      result dict with a recorded warning instead of aborting the sweep.
+    - ``on_starved_reference="skip"`` — a reference slot whose corrected
+      histograms cannot support a curve is dropped; the remaining
+      references are averaged as long as at least ``min_references``
+      survive.
+
+    Warnings accumulate on :attr:`AutoSens.degradations` (and per-curve in
+    ``result.metadata["degradations"]``) — degradation is always visible,
+    never silent.
+    """
+
+    on_starved_slice: str = "skip"
+    on_starved_reference: str = "skip"
+    min_references: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("on_starved_slice", "on_starved_reference"):
+            value = getattr(self, name)
+            if value not in ("raise", "skip"):
+                raise ConfigError(f"{name} must be 'raise' or 'skip', got {value!r}")
+        if self.min_references < 1:
+            raise ConfigError(
+                f"min_references must be >= 1, got {self.min_references}"
+            )
+
+
+@dataclass(frozen=True)
+class _StarvedSlice:
+    """Picklable marker a worker returns for a skipped (degraded) slice."""
+
+    reason: str
+
+
+def _curve_task(payload: Tuple) -> Any:
     """Top-level (picklable) sweep task: one preference curve per item.
 
     Workers rebuild the engine from the config alone; because the pipeline
     draws its randomness from pure named streams, a fresh engine in another
-    process produces bit-identical results to the serial path.
+    process produces bit-identical results to the serial path. Under a
+    degrade policy a starved slice comes back as a :class:`_StarvedSlice`
+    marker rather than an exception, so one empty slice cannot fail the
+    pool fan-out.
     """
-    config, logs, kwargs = payload
-    return AutoSens(config, cache=False).preference_curve(logs, **kwargs)
+    config, degrade, logs, kwargs = payload
+    engine = AutoSens(config, cache=False, degrade=degrade)
+    try:
+        return engine.preference_curve(logs, **kwargs)
+    except InsufficientDataError as exc:
+        if degrade is not None and degrade.on_starved_slice == "skip":
+            return _StarvedSlice(str(exc))
+        raise
 
 
 class AutoSens:
@@ -148,6 +200,11 @@ class AutoSens:
     :class:`~repro.core.slice_cache.SliceCache` to share one across
     engines, or ``False`` to disable). Both are pure plumbing: every
     combination yields bit-identical results.
+
+    ``degrade`` (a :class:`DegradePolicy`) turns sweep-level
+    :class:`InsufficientDataError` aborts into recorded warnings: starved
+    slices are dropped from sweep results and starved reference slots are
+    skipped, with every degradation appended to :attr:`degradations`.
     """
 
     def __init__(
@@ -155,10 +212,14 @@ class AutoSens:
         config: Optional[AutoSensConfig] = None,
         executor: Any = None,
         cache: Union[bool, SliceCache] = True,
+        degrade: Optional[DegradePolicy] = None,
     ) -> None:
         self.config = config or AutoSensConfig()
         self._rng = RngFactory(self.config.seed)
         self.executor = resolve_executor(executor)
+        self.degrade = degrade
+        #: Human-readable log of everything a degrade policy dropped.
+        self.degradations: List[str] = []
         if cache is True:
             self._cache: Optional[SliceCache] = SliceCache()
         elif cache is False or cache is None:
@@ -298,39 +359,88 @@ class AutoSens:
             ),
         )
         references = counts.busiest_slots(cfg.n_reference_slots)
+        skip_references = (
+            self.degrade is not None
+            and self.degrade.on_starved_reference == "skip"
+        )
         per_reference = []
+        used_references = []
+        degraded: List[str] = []
         for reference in references:
-            alpha = alpha_from_counts(
-                counts,
-                reference_slot=reference,
-                bin_average=cfg.alpha_bin_average,
-                min_bin_count=cfg.alpha_min_bin_count,
-            )
-            biased, unbiased = corrected_histograms_from_counts(counts, alpha)
-            per_reference.append(
-                computer.compute(
-                    biased, unbiased,
-                    slice_description=description, n_actions=len(sliced),
+            try:
+                alpha = alpha_from_counts(
+                    counts,
+                    reference_slot=reference,
+                    bin_average=cfg.alpha_bin_average,
+                    min_bin_count=cfg.alpha_min_bin_count,
                 )
+                biased, unbiased = corrected_histograms_from_counts(counts, alpha)
+                per_reference.append(
+                    computer.compute(
+                        biased, unbiased,
+                        slice_description=description, n_actions=len(sliced),
+                    )
+                )
+                used_references.append(reference)
+            except InsufficientDataError as exc:
+                if not skip_references:
+                    raise
+                degraded.append(
+                    f"slice [{description}]: reference slot {reference} "
+                    f"skipped ({exc})"
+                )
+        if skip_references and len(per_reference) < self.degrade.min_references:
+            raise InsufficientDataError(
+                f"slice [{description}]: only {len(per_reference)} of "
+                f"{len(references)} reference slots usable; need at least "
+                f"{self.degrade.min_references}"
             )
+        self.degradations.extend(degraded)
         result = average_results(per_reference, slice_description=description)
-        result.metadata["reference_slots"] = references
+        result.metadata["reference_slots"] = used_references
+        if degraded:
+            result.metadata["degradations"] = degraded
         return result
 
     # -- segmentations (the paper's figures) ------------------------------------
 
-    def _sweep(self, tasks: List[Tuple[LogStore, Dict[str, Any]]]) -> List[PreferenceResult]:
+    def _sweep(self, tasks: List[Tuple[LogStore, Dict[str, Any]]]) -> List[Optional[PreferenceResult]]:
         """Fan a list of ``(logs, preference_curve kwargs)`` over the executor.
 
         The serial backend runs through ``self`` (sharing the slice cache);
-        other backends ship ``(config, logs, kwargs)`` payloads to
+        other backends ship ``(config, degrade, logs, kwargs)`` payloads to
         :func:`_curve_task` workers. Pure stream seeding makes the two
         paths bit-identical.
+
+        Under a degrade policy with ``on_starved_slice="skip"`` a starved
+        slice yields ``None`` (with the reason recorded on
+        :attr:`degradations`) instead of aborting the sweep; the
+        ``curves_by_*`` wrappers drop those entries from their result
+        dicts.
         """
+        skip_slices = (
+            self.degrade is not None and self.degrade.on_starved_slice == "skip"
+        )
         if isinstance(self.executor, SerialExecutor):
-            return [self.preference_curve(lg, **kw) for lg, kw in tasks]
-        payloads = [(self.config, lg, kw) for lg, kw in tasks]
-        return self.executor.map_ordered(_curve_task, payloads)
+            results: List[Any] = []
+            for lg, kw in tasks:
+                try:
+                    results.append(self.preference_curve(lg, **kw))
+                except InsufficientDataError as exc:
+                    if not skip_slices:
+                        raise
+                    results.append(_StarvedSlice(str(exc)))
+        else:
+            payloads = [(self.config, self.degrade, lg, kw) for lg, kw in tasks]
+            results = self.executor.map_ordered(_curve_task, payloads)
+        out: List[Optional[PreferenceResult]] = []
+        for result in results:
+            if isinstance(result, _StarvedSlice):
+                self.degradations.append(f"slice skipped: {result.reason}")
+                out.append(None)
+            else:
+                out.append(result)
+        return out
 
     def curves_by_action(
         self,
@@ -344,7 +454,7 @@ class AutoSens:
         curves = self._sweep(
             [(logs, {"action": key, "user_class": user_class}) for key in keys]
         )
-        return dict(zip(keys, curves))
+        return {k: c for k, c in zip(keys, curves) if c is not None}
 
     def curves_by_user_class(
         self,
@@ -356,7 +466,7 @@ class AutoSens:
         curves = self._sweep(
             [(logs, {"action": action, "user_class": name}) for name in names]
         )
-        return dict(zip(names, curves))
+        return {n: c for n, c in zip(names, curves) if c is not None}
 
     def curves_by_quartile(
         self,
@@ -375,6 +485,8 @@ class AutoSens:
         curves = self._sweep([(slices[name], {}) for name in QUARTILE_NAMES])
         out: Dict[str, PreferenceResult] = {}
         for name, curve in zip(QUARTILE_NAMES, curves):
+            if curve is None:
+                continue
             curve.slice_description = f"quartile={name}" + (
                 f", action={action}" if action is not None else ""
             )
@@ -398,7 +510,11 @@ class AutoSens:
                 for period in ALL_DAY_PERIODS
             ]
         )
-        return {period.value: curve for period, curve in zip(ALL_DAY_PERIODS, curves)}
+        return {
+            period.value: curve
+            for period, curve in zip(ALL_DAY_PERIODS, curves)
+            if curve is not None
+        }
 
     def curves_by_month(
         self,
@@ -420,7 +536,7 @@ class AutoSens:
                 for m in months
             ]
         )
-        return dict(zip(months, curves))
+        return {m: c for m, c in zip(months, curves) if c is not None}
 
     # -- diagnostics --------------------------------------------------------------
 

@@ -3,9 +3,38 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause while
 still letting programming errors (``TypeError`` etc.) propagate.
+
+Taxonomy
+--------
+
+The hierarchy separates *what went wrong* so callers (and the CLI, which
+maps each class to a distinct exit code) can react differently:
+
+- :class:`ConfigError` — the caller asked for something incoherent; fix the
+  request, not the data. CLI exit code 2.
+- :class:`SchemaError` — a single record or file violates the expected
+  shape. Raised eagerly under the ``strict`` ingest policy; routed to the
+  quarantine sink under ``lenient``/``quarantine`` (see
+  :mod:`repro.telemetry.ingest`). CLI exit code 3.
+- :class:`IngestError` — the data as a whole is too dirty: the share of bad
+  rows exceeded the ingest policy's error budget. Carries the
+  :class:`~repro.telemetry.ingest.IngestReport` describing what was
+  rejected and why. CLI exit code 4.
+- :class:`EmptyDataError` / :class:`InsufficientDataError` — the request
+  was fine and the rows were well-formed, but there is nothing (or not
+  enough) to estimate from. A :class:`~repro.core.pipeline.DegradePolicy`
+  can downgrade sweep-level occurrences to recorded warnings. CLI exit
+  code 5.
+- :class:`PrivacyError` — the operation would reveal a too-small user
+  aggregate. Never downgraded. CLI exit code 6.
+- :class:`TaskFailedError` — the fault-tolerant runtime exhausted its
+  retries for one task; carries the task name, attempt count and last
+  cause (see :mod:`repro.parallel.retry`). CLI exit code 7.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -14,6 +43,19 @@ class ReproError(Exception):
 
 class SchemaError(ReproError):
     """A telemetry record or log file violates the expected schema."""
+
+
+class IngestError(ReproError):
+    """Too many bad rows: the ingest policy's error budget was exceeded.
+
+    ``report`` is the :class:`~repro.telemetry.ingest.IngestReport`
+    accumulated up to the point of failure (row counts, per-reason
+    breakdown, quarantine path).
+    """
+
+    def __init__(self, message: str, report: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class EmptyDataError(ReproError):
@@ -38,3 +80,28 @@ class PrivacyError(ReproError):
     The paper analyzes only large user aggregates; the telemetry layer
     enforces a minimum aggregate size before returning per-group statistics.
     """
+
+
+class TaskFailedError(ReproError):
+    """A runtime task kept failing after every allowed retry.
+
+    Raised by :func:`repro.parallel.retry.call_with_retry` and the
+    resilient executors once a task has exhausted its
+    :class:`~repro.parallel.retry.RetryPolicy`. The original exception is
+    preserved both as ``last_cause`` and as ``__cause__`` (so tracebacks
+    chain normally).
+    """
+
+    def __init__(
+        self,
+        task_name: str,
+        attempts: int,
+        last_cause: Optional[BaseException] = None,
+    ) -> None:
+        cause = f": {last_cause}" if last_cause is not None else ""
+        super().__init__(
+            f"task {task_name!r} failed after {attempts} attempt(s){cause}"
+        )
+        self.task_name = task_name
+        self.attempts = attempts
+        self.last_cause = last_cause

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+Real OWA-scale telemetry arrives dirty: malformed lines, NaN latencies,
+skewed clocks, duplicated batches, collector outages. This package turns
+each of those failure modes into a seeded, composable
+:class:`~repro.faults.specs.FaultSpec` so every one has a reproducible
+chaos test — the ingestion layer (:mod:`repro.telemetry.ingest`) and the
+fault-tolerant runtime (:mod:`repro.parallel`) are exercised against them
+in ``tests/faults/``.
+"""
+
+from repro.faults.inject import corrupt_jsonl, corrupt_records, write_corrupted
+from repro.faults.specs import (
+    DEFAULT_FAULT_SPECS,
+    ClockSkew,
+    DropFields,
+    DuplicateRows,
+    FaultPlan,
+    FaultSpec,
+    GapWindow,
+    MalformedLines,
+    NaNLatency,
+    NegativeLatency,
+    OutlierLatency,
+    OutOfOrderTimestamps,
+    TruncatedLines,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "MalformedLines",
+    "TruncatedLines",
+    "NaNLatency",
+    "NegativeLatency",
+    "OutlierLatency",
+    "ClockSkew",
+    "OutOfOrderTimestamps",
+    "DuplicateRows",
+    "DropFields",
+    "GapWindow",
+    "DEFAULT_FAULT_SPECS",
+    "corrupt_records",
+    "corrupt_jsonl",
+    "write_corrupted",
+]

@@ -1,0 +1,276 @@
+"""Composable, deterministic fault specifications.
+
+Every failure mode observed in real telemetry pipelines gets a
+:class:`FaultSpec`: a pure, seeded transform over a stream of rows. A row
+is either a parsed ``dict`` (one :meth:`ActionRecord.to_dict` object) or a
+raw ``str`` — a line that is already garbage and will be written verbatim.
+Specs compose through :class:`FaultPlan`, which derives one independent
+random stream per spec from ``(seed, position, spec name)`` so a plan's
+output is a pure function of its inputs: every chaos test is reproducible.
+
+The catalogue covers both *syntactic* corruption the ingest layer must
+catch (malformed/truncated lines, dropped fields) and *semantic* corruption
+that parses fine but must not silently bend a curve (NaN/negative/outlier
+latencies, clock skew, out-of-order timestamps, duplicated rows, gap
+windows).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.rng import RngFactory
+
+__all__ = [
+    "Row",
+    "FaultSpec",
+    "FaultPlan",
+    "MalformedLines",
+    "TruncatedLines",
+    "NaNLatency",
+    "NegativeLatency",
+    "OutlierLatency",
+    "ClockSkew",
+    "OutOfOrderTimestamps",
+    "DuplicateRows",
+    "DropFields",
+    "GapWindow",
+    "DEFAULT_FAULT_SPECS",
+]
+
+#: One telemetry row in flight: parsed object or already-corrupted raw line.
+Row = Union[dict, str]
+
+_GARBAGE_LINES = (
+    "{not json at all",
+    "<<<binary\x00garbage>>>",
+    "ERROR 2026-08-05T12:00:00 upstream timeout",
+    '{"time": }',
+    "[]",
+)
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(f"fault rate must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base class: a named, seeded transform over a row stream."""
+
+    rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def apply(self, rows: List[Row], rng: np.random.Generator) -> List[Row]:
+        """Return the corrupted stream; must not mutate input rows."""
+        out: List[Row] = []
+        for row in rows:
+            if isinstance(row, dict) and rng.random() < self.rate:
+                out.extend(self.corrupt_row(dict(row), rng))
+            else:
+                out.append(row)
+        return out
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        """Corrupt one selected row; may emit zero, one or several rows."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass(frozen=True)
+class MalformedLines(FaultSpec):
+    """Replace the serialized line with unparseable garbage."""
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        return [_GARBAGE_LINES[int(rng.integers(0, len(_GARBAGE_LINES)))]]
+
+
+@dataclass(frozen=True)
+class TruncatedLines(FaultSpec):
+    """Cut the serialized line short (a writer died or a disk filled up)."""
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        text = json.dumps(row, separators=(",", ":"))
+        cut = int(rng.integers(1, max(2, len(text) - 1)))
+        return [text[:cut]]
+
+
+@dataclass(frozen=True)
+class NaNLatency(FaultSpec):
+    """Latency becomes NaN — parses fine, slips past range checks."""
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        row["latency_ms"] = float("nan")
+        return [row]
+
+
+@dataclass(frozen=True)
+class NegativeLatency(FaultSpec):
+    """Latency flips negative (a clock-diff bug upstream)."""
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        row["latency_ms"] = -abs(float(row.get("latency_ms", 0.0))) - 1.0
+        return [row]
+
+
+@dataclass(frozen=True)
+class OutlierLatency(FaultSpec):
+    """Latency inflated by orders of magnitude (retry storms, stuck timers)."""
+
+    factor: float = 1000.0
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        row["latency_ms"] = float(row.get("latency_ms", 1.0)) * self.factor
+        return [row]
+
+
+@dataclass(frozen=True)
+class ClockSkew(FaultSpec):
+    """Timestamps shifted by up to ``max_skew_s`` (drifting client clocks)."""
+
+    max_skew_s: float = 6 * 3600.0
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        row["time"] = float(row.get("time", 0.0)) + float(
+            rng.uniform(-self.max_skew_s, self.max_skew_s)
+        )
+        return [row]
+
+
+@dataclass(frozen=True)
+class OutOfOrderTimestamps(FaultSpec):
+    """Permute rows inside windows (log shippers batch and reorder).
+
+    ``rate`` is the probability that each non-overlapping ``window``-row
+    block gets shuffled.
+    """
+
+    window: int = 32
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.window < 2:
+            raise ConfigError(f"window must be >= 2, got {self.window}")
+
+    def apply(self, rows: List[Row], rng: np.random.Generator) -> List[Row]:
+        out = list(rows)
+        for start in range(0, len(out), self.window):
+            if rng.random() < self.rate:
+                block = out[start:start + self.window]
+                order = rng.permutation(len(block))
+                out[start:start + self.window] = [block[i] for i in order]
+        return out
+
+
+@dataclass(frozen=True)
+class DuplicateRows(FaultSpec):
+    """Emit selected rows twice (at-least-once delivery)."""
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        return [row, dict(row)]
+
+
+@dataclass(frozen=True)
+class DropFields(FaultSpec):
+    """Remove fields from the object (schema drift, partial writes)."""
+
+    fields: Sequence[str] = ("latency_ms",)
+
+    def corrupt_row(self, row: dict, rng: np.random.Generator) -> Sequence[Row]:
+        for field_name in self.fields:
+            row.pop(field_name, None)
+        return [row]
+
+
+@dataclass(frozen=True)
+class GapWindow(FaultSpec):
+    """Delete every row inside one time window (a collector outage).
+
+    ``start_frac``/``length_frac`` position the window as fractions of the
+    stream's observed time span; ``rate`` is unused.
+    """
+
+    start_frac: float = 0.4
+    length_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.start_frac <= 1.0 or not 0.0 < self.length_frac <= 1.0:
+            raise ConfigError(
+                f"gap window fractions out of range: start={self.start_frac}, "
+                f"length={self.length_frac}"
+            )
+
+    def apply(self, rows: List[Row], rng: np.random.Generator) -> List[Row]:
+        times = [
+            float(r["time"]) for r in rows
+            if isinstance(r, dict) and isinstance(r.get("time"), (int, float))
+            and math.isfinite(float(r["time"]))
+        ]
+        if not times:
+            return list(rows)
+        t0, t1 = min(times), max(times)
+        span = t1 - t0
+        lo = t0 + self.start_frac * span
+        hi = lo + self.length_frac * span
+
+        def in_gap(row: Row) -> bool:
+            if not isinstance(row, dict):
+                return False
+            time = row.get("time")
+            return isinstance(time, (int, float)) and lo <= float(time) < hi
+
+        return [r for r in rows if not in_gap(r)]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seeded composition of fault specs.
+
+    ``apply`` derives one independent generator per spec from
+    ``(seed, position, spec name)`` — pure, so the same plan over the same
+    rows always produces the same corruption, regardless of how many specs
+    precede or follow.
+    """
+
+    specs: Sequence[FaultSpec] = ()
+    seed: int = 0
+
+    def apply(self, rows: Sequence[Row]) -> List[Row]:
+        factory = RngFactory(self.seed)
+        out = list(rows)
+        for i, spec in enumerate(self.specs):
+            rng = factory.stream(f"fault/{i}/{spec.name}")
+            out = spec.apply(out, rng)
+        return out
+
+    def describe(self) -> str:
+        return " -> ".join(spec.name for spec in self.specs) or "(no faults)"
+
+
+#: One default-configured instance of every fault class — what the chaos
+#: suite sweeps over. Factories, so each test gets a fresh spec.
+DEFAULT_FAULT_SPECS: Dict[str, Callable[[], FaultSpec]] = {
+    "malformed-lines": lambda: MalformedLines(rate=0.03),
+    "truncated-lines": lambda: TruncatedLines(rate=0.03),
+    "nan-latency": lambda: NaNLatency(rate=0.03),
+    "negative-latency": lambda: NegativeLatency(rate=0.03),
+    "outlier-latency": lambda: OutlierLatency(rate=0.02),
+    "clock-skew": lambda: ClockSkew(rate=0.05),
+    "out-of-order": lambda: OutOfOrderTimestamps(rate=0.5, window=16),
+    "duplicate-rows": lambda: DuplicateRows(rate=0.05),
+    "dropped-fields": lambda: DropFields(rate=0.03),
+    "gap-window": lambda: GapWindow(start_frac=0.35, length_frac=0.15),
+}

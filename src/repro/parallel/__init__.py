@@ -6,8 +6,16 @@ work items. :mod:`repro.parallel` gives them one executor protocol with
 interchangeable backends (serial, process pool) plus deterministic per-task
 seeding, with the invariant that **every backend produces bit-identical
 results to the serial reference**.
+
+The fault-tolerant layer keeps that invariant under partial failure:
+:class:`RetryPolicy` adds exponential backoff and per-task timeouts,
+:class:`ProcessExecutor` survives worker crashes by re-executing lost
+chunks serially, :class:`ResilientExecutor` composes retry + crash
+fallback + checkpointing over any backend, and
+:class:`CheckpointJournal` makes interrupted sweeps resumable.
 """
 
+from repro.parallel.checkpoint import CheckpointJournal
 from repro.parallel.executor import (
     EXECUTOR_BACKENDS,
     Executor,
@@ -15,6 +23,8 @@ from repro.parallel.executor import (
     SerialExecutor,
     resolve_executor,
 )
+from repro.parallel.resilient import ResilientExecutor
+from repro.parallel.retry import RetryPolicy, call_with_retry, is_retryable
 from repro.parallel.seeding import task_seeds, task_streams
 
 __all__ = [
@@ -22,6 +32,11 @@ __all__ = [
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "CheckpointJournal",
+    "call_with_retry",
+    "is_retryable",
     "resolve_executor",
     "task_seeds",
     "task_streams",

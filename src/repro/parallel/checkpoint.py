@@ -1,0 +1,93 @@
+"""Disk-backed checkpoint journal for resumable fan-outs.
+
+Completed task results are journaled as individual pickle files keyed by a
+content hash of ``(namespace, task function, task payload)``. A re-run of
+the same sweep finds its finished tasks in the journal and skips straight
+to the missing ones — and because every task derives its randomness purely
+from its payload (see :mod:`repro.parallel.seeding`), a resumed run is
+bit-identical to an uninterrupted one.
+
+Writes are atomic (tmp file + rename) so a crash mid-write never leaves a
+truncated checkpoint behind; an unreadable checkpoint is treated as absent
+and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, List, Tuple, Union
+
+__all__ = ["CheckpointJournal"]
+
+#: Fixed pickle protocol so keys are stable across interpreter runs.
+_PROTOCOL = 4
+
+_MISSING = object()
+
+
+class CheckpointJournal:
+    """A directory of content-addressed task results."""
+
+    def __init__(self, directory: Union[str, Path], namespace: str = "") -> None:
+        self.directory = Path(directory)
+        self.namespace = namespace
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def key_for(self, *parts: Any) -> str:
+        """Stable content hash of the task identity."""
+        payload = pickle.dumps((self.namespace,) + parts, protocol=_PROTOCOL)
+        return hashlib.sha256(payload).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The journaled result, or ``default`` if absent/unreadable."""
+        path = self._path(key)
+        if not path.exists():
+            return default
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # A torn or stale checkpoint is as good as no checkpoint.
+            return default
+
+    def fetch(self, key: str) -> Tuple[bool, Any]:
+        """(hit, value) — distinguishes a journaled ``None`` from a miss."""
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            return False, None
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically journal one result."""
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=_PROTOCOL)
+        os.replace(tmp, path)
+
+    def keys(self) -> List[str]:
+        return sorted(p.stem for p in self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every checkpoint; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CheckpointJournal({str(self.directory)!r}, "
+                f"namespace={self.namespace!r}, entries={len(self)})")

@@ -17,6 +17,12 @@ or on scheduling order. Tasks therefore never share RNG state — each task
 derives its own stream from a root seed and a stable task name (see
 :mod:`repro.parallel.seeding`), and ``map_ordered`` always returns results
 in input order.
+
+The process backend is additionally *crash-tolerant*: a chunk whose worker
+dies (``BrokenProcessPool``) or exceeds the retry policy's per-task timeout
+is transparently re-executed on the in-process serial path — pure per-task
+seeding makes the recovered results bit-identical to an undisturbed run.
+Task-raised exceptions (data errors) still propagate unchanged.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import os
 from typing import Any, Callable, Iterable, List, Optional, Protocol, Sequence, Union
 
 from repro.errors import ConfigError
+from repro.parallel.retry import RetryPolicy, call_with_retry
 
 __all__ = [
     "Executor",
@@ -83,12 +90,18 @@ class ProcessExecutor:
     round-trips), submitted to a ``ProcessPoolExecutor``, and re-assembled
     in input order regardless of completion order. ``fn`` and the items
     must be picklable — use module-level task functions.
+
+    ``retry`` (a :class:`~repro.parallel.retry.RetryPolicy`) bounds each
+    chunk's wall-clock via ``timeout_s`` and governs the serial re-execution
+    of chunks lost to worker crashes or timeouts. The default policy
+    recovers crashes but applies no timeout.
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -96,6 +109,7 @@ class ProcessExecutor:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
         self.max_workers = max_workers or max(1, os.cpu_count() or 1)
         self.chunk_size = chunk_size
+        self.retry = retry or RetryPolicy()
 
     def _chunks(self, items: Sequence[Any], chunk_size: Optional[int]) -> List[Sequence[Any]]:
         size = chunk_size or self.chunk_size
@@ -104,6 +118,13 @@ class ProcessExecutor:
             # oversized pickles; at least one item per chunk.
             size = max(1, -(-len(items) // (4 * self.max_workers)))
         return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _recover_chunk(self, fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
+        """Re-execute a lost chunk in-process, item by item, with retries."""
+        return [
+            call_with_retry(fn, item, policy=self.retry, task_name=f"chunk-item[{i}]")
+            for i, item in enumerate(chunk)
+        ]
 
     def map_ordered(
         self,
@@ -117,13 +138,30 @@ class ProcessExecutor:
         if len(items) == 1 or self.max_workers == 1:
             return [fn(item) for item in items]
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
 
         chunks = self._chunks(items, chunk_size)
+        timeout = self.retry.timeout_s
         out: List[Any] = []
-        with ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks))) as pool:
+        recovered = False
+        pool = ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks)))
+        try:
             futures = [pool.submit(_apply_chunk, (fn, chunk)) for chunk in chunks]
-            for future in futures:  # input order, not completion order
-                out.extend(future.result())
+            for future, chunk in zip(futures, chunks):  # input order
+                try:
+                    out.extend(future.result(timeout=timeout))
+                except (BrokenProcessPool, FutureTimeout, OSError):
+                    # A worker died or the chunk blew its budget. The pool
+                    # may be unusable (a break fails every in-flight
+                    # future), so recover this chunk serially; purity makes
+                    # the result bit-identical.
+                    recovered = True
+                    out.extend(self._recover_chunk(fn, chunk))
+        finally:
+            # After a timeout a worker may still be running; don't block on
+            # it — drop the pool without waiting.
+            pool.shutdown(wait=not recovered, cancel_futures=recovered)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -15,6 +15,14 @@ from repro.telemetry.anonymize import (
     require_min_aggregate,
 )
 from repro.telemetry.csvio import iter_csv, read_csv, write_csv
+from repro.telemetry.ingest import (
+    INGEST_MODES,
+    BadRow,
+    IngestCollector,
+    IngestPolicy,
+    IngestReport,
+    validate_record,
+)
 from repro.telemetry.jsonl import iter_jsonl, read_jsonl, write_jsonl
 from repro.telemetry.log_store import LogStore
 from repro.telemetry.quality import QualityFlag, QualityReport, quality_report
@@ -33,6 +41,12 @@ __all__ = [
     "QualityReport",
     "quality_report",
     "LogStore",
+    "INGEST_MODES",
+    "BadRow",
+    "IngestCollector",
+    "IngestPolicy",
+    "IngestReport",
+    "validate_record",
     "read_jsonl",
     "write_jsonl",
     "iter_jsonl",

@@ -2,20 +2,27 @@
 
 A flat-file interchange format for spreadsheets and other tools. The column
 set matches :meth:`ActionRecord.to_dict` minus the free-form ``extra``
-mapping (CSV is flat); ``extra`` is dropped on write.
+mapping (CSV is flat); ``extra`` is dropped on write. The reader honors the
+same :class:`~repro.telemetry.ingest.IngestPolicy` machinery as the JSONL
+reader: bad rows raise, are skipped under a budget, or land in a quarantine
+sink, and :func:`read_csv` attaches an
+:class:`~repro.telemetry.ingest.IngestReport` to the returned store.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.errors import SchemaError
+from repro.telemetry.ingest import IngestCollector, IngestPolicy, validate_record
+from repro.telemetry.jsonl import _resolve_policy
 from repro.telemetry.log_store import LogStore
 from repro.telemetry.record import ActionRecord
 
 PathLike = Union[str, Path]
+PolicyLike = Union[None, str, IngestPolicy]
 
 FIELDS = [
     "time",
@@ -43,9 +50,22 @@ def write_csv(records: Iterable[ActionRecord], path: PathLike) -> int:
     return count
 
 
-def iter_csv(path: PathLike, strict: bool = True) -> Iterator[ActionRecord]:
-    """Stream records from a CSV file written by :func:`write_csv`."""
+def iter_csv(
+    path: PathLike,
+    strict: bool = True,
+    policy: PolicyLike = None,
+    collector: Optional[IngestCollector] = None,
+) -> Iterator[ActionRecord]:
+    """Stream records from a CSV file written by :func:`write_csv`.
+
+    Same policy semantics as :func:`~repro.telemetry.jsonl.iter_jsonl`.
+    A missing/incomplete header is never survivable and raises
+    :class:`SchemaError` under every policy.
+    """
     path = Path(path)
+    own_collector = collector is None
+    if collector is None:
+        collector = IngestCollector(_resolve_policy(strict, policy), source=path)
     with open(path, newline="", encoding="utf-8") as fh:
         reader = csv.DictReader(fh)
         missing = set(("time", "action", "latency_ms")) - set(reader.fieldnames or [])
@@ -53,7 +73,7 @@ def iter_csv(path: PathLike, strict: bool = True) -> Iterator[ActionRecord]:
             raise SchemaError(f"{path}: missing required CSV columns {sorted(missing)}")
         for lineno, row in enumerate(reader, start=2):
             try:
-                yield ActionRecord(
+                record = ActionRecord(
                     time=float(row["time"]),
                     action=row["action"],
                     latency_ms=float(row["latency_ms"]),
@@ -62,11 +82,34 @@ def iter_csv(path: PathLike, strict: bool = True) -> Iterator[ActionRecord]:
                     success=bool(int(row.get("success", 1) or 1)),
                     tz_offset_hours=float(row.get("tz_offset_hours", 0) or 0),
                 )
+                validate_record(record)
             except (TypeError, ValueError, SchemaError) as exc:
-                if strict:
-                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+                reason = ("non-finite" if "not finite" in str(exc) else
+                          "schema" if isinstance(exc, SchemaError) else "parse")
+                raw = ",".join("" if v is None else str(v) for v in row.values())
+                collector.bad(lineno, reason, raw, exc)
+                continue
+            collector.good()
+            yield record
+    if own_collector:
+        collector.finish()
 
 
-def read_csv(path: PathLike, strict: bool = True) -> LogStore:
-    """Read a whole CSV file into a :class:`LogStore`."""
-    return LogStore.from_records(iter_csv(path, strict=strict))
+def read_csv(
+    path: PathLike,
+    strict: bool = True,
+    policy: PolicyLike = None,
+) -> LogStore:
+    """Read a whole CSV file into a :class:`LogStore`.
+
+    Attaches the read's :class:`~repro.telemetry.ingest.IngestReport` as
+    ``store.ingest_report``; raises :class:`~repro.errors.IngestError` when
+    the policy's error budget is exceeded.
+    """
+    path = Path(path)
+    collector = IngestCollector(_resolve_policy(strict, policy), source=path)
+    store = LogStore.from_records(
+        iter_csv(path, strict=strict, policy=policy, collector=collector)
+    )
+    store.ingest_report = collector.finish()
+    return store

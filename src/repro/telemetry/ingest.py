@@ -1,0 +1,244 @@
+"""Policy-driven resilient ingestion.
+
+Server logs in the wild always have a few bad rows. This module decides
+what happens to them. Every telemetry reader threads its rows through an
+:class:`IngestPolicy`:
+
+- ``strict`` — the first bad row raises :class:`~repro.errors.SchemaError`
+  with the file and line number (the historical default, unchanged).
+- ``lenient`` — bad rows are counted and skipped; the read succeeds as long
+  as the bad-row share stays within the policy's error budget.
+- ``quarantine`` — like ``lenient``, but every bad row is additionally
+  written to a quarantine JSONL sink (one object per bad row: line number,
+  reason, raw text) so nothing is silently lost.
+
+Every read produces an :class:`IngestReport` — row/bad-row counts, a
+per-reason breakdown, a sample of the first offenders — which the readers
+attach to the returned :class:`~repro.telemetry.log_store.LogStore` and the
+CLI ``quality``/``preflight`` commands print. Exceeding the error budget
+raises :class:`~repro.errors.IngestError` carrying the report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError, IngestError
+
+__all__ = [
+    "INGEST_MODES",
+    "BadRow",
+    "IngestPolicy",
+    "IngestReport",
+    "IngestCollector",
+    "validate_record",
+]
+
+#: Accepted ``IngestPolicy.mode`` values.
+INGEST_MODES = ("strict", "lenient", "quarantine")
+
+#: How many offending rows an :class:`IngestReport` keeps verbatim.
+_SAMPLE_LIMIT = 10
+
+#: Quarantined raw lines are truncated to this many characters.
+_RAW_LIMIT = 500
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """How a reader treats rows that fail to parse or validate.
+
+    ``max_bad_share`` is the error budget: in ``lenient``/``quarantine``
+    mode the read fails with :class:`~repro.errors.IngestError` once more
+    than that share of seen rows is bad (checked at end of file, and
+    eagerly once enough rows have been seen to make the verdict stable).
+    ``quarantine_path`` is required in ``quarantine`` mode.
+    """
+
+    mode: str = "strict"
+    max_bad_share: float = 0.05
+    quarantine_path: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in INGEST_MODES:
+            raise ConfigError(
+                f"unknown ingest mode {self.mode!r}; pick one of {INGEST_MODES}"
+            )
+        if not 0.0 <= self.max_bad_share <= 1.0:
+            raise ConfigError(
+                f"max_bad_share must be in [0, 1], got {self.max_bad_share}"
+            )
+        if self.mode == "quarantine" and self.quarantine_path is None:
+            raise ConfigError("quarantine mode needs a quarantine_path")
+
+    @classmethod
+    def of(cls, spec: Union[None, str, "IngestPolicy"],
+           quarantine_path: Optional[Union[str, Path]] = None) -> "IngestPolicy":
+        """Coerce a user-facing spec (name or policy) into a policy."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, IngestPolicy):
+            return spec
+        if isinstance(spec, str):
+            return cls(mode=spec, quarantine_path=quarantine_path)
+        raise ConfigError(f"cannot interpret ingest policy spec {spec!r}")
+
+
+@dataclass(frozen=True)
+class BadRow:
+    """One rejected input row: where it was, why, and what it said."""
+
+    lineno: int
+    reason: str
+    raw: str = ""
+
+
+@dataclass
+class IngestReport:
+    """Structured outcome of one telemetry read.
+
+    ``n_rows`` counts rows that made it into the store; ``n_bad`` counts
+    rejected rows. ``reasons`` maps a short reason category (e.g.
+    ``"json-decode"``, ``"schema"``, ``"non-finite"``) to its count, and
+    ``sample`` keeps the first few offenders verbatim for debugging.
+    """
+
+    source: str = ""
+    mode: str = "strict"
+    n_rows: int = 0
+    n_bad: int = 0
+    reasons: Dict[str, int] = field(default_factory=dict)
+    sample: List[BadRow] = field(default_factory=list)
+    quarantine_path: Optional[str] = None
+    max_bad_share: float = 0.05
+
+    @property
+    def n_seen(self) -> int:
+        return self.n_rows + self.n_bad
+
+    @property
+    def bad_share(self) -> float:
+        seen = self.n_seen
+        return (self.n_bad / seen) if seen else 0.0
+
+    @property
+    def within_budget(self) -> bool:
+        return self.n_bad == 0 or self.bad_share <= self.max_bad_share
+
+    @property
+    def clean(self) -> bool:
+        return self.n_bad == 0
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """Tabular key/value form for the CLI printers."""
+        out: List[Tuple[str, object]] = [
+            ("ingest mode", self.mode),
+            ("rows ingested", self.n_rows),
+            ("rows rejected", self.n_bad),
+            ("bad-row share", round(self.bad_share, 4)),
+            ("error budget", self.max_bad_share),
+        ]
+        for reason, count in sorted(self.reasons.items()):
+            out.append((f"rejected[{reason}]", count))
+        if self.quarantine_path:
+            out.append(("quarantine file", self.quarantine_path))
+        return out
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"{self.n_rows} rows, no rejects"
+        reasons = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(self.reasons.items())
+        )
+        return (
+            f"{self.n_rows} rows, {self.n_bad} rejected "
+            f"({self.bad_share:.2%}; {reasons})"
+        )
+
+
+def validate_record(record) -> None:
+    """Value-level checks the schema alone cannot express.
+
+    ``NaN`` slips past :class:`~repro.telemetry.record.ActionRecord`'s
+    range checks (``nan < 0`` is false), and an infinite timestamp would
+    poison every downstream histogram, so the readers reject non-finite
+    numerics here. Raises :class:`~repro.errors.SchemaError`.
+    """
+    import math
+
+    from repro.errors import SchemaError
+
+    for name in ("time", "latency_ms", "tz_offset_hours"):
+        value = getattr(record, name)
+        if not math.isfinite(value):
+            raise SchemaError(f"{name} is not finite: {value!r}")
+
+
+class IngestCollector:
+    """Accumulates an :class:`IngestReport` while a reader streams rows.
+
+    The readers call :meth:`good` per accepted row and :meth:`bad` per
+    rejected one; :meth:`bad` re-raises under the strict policy and feeds
+    the quarantine sink otherwise. :meth:`finish` closes the sink and
+    enforces the error budget.
+    """
+
+    def __init__(self, policy: IngestPolicy, source: Union[str, Path] = "") -> None:
+        self.policy = policy
+        self.report = IngestReport(
+            source=str(source),
+            mode=policy.mode,
+            max_bad_share=policy.max_bad_share,
+            quarantine_path=(
+                str(policy.quarantine_path)
+                if policy.mode == "quarantine" and policy.quarantine_path
+                else None
+            ),
+        )
+        self._sink = None
+
+    def good(self) -> None:
+        self.report.n_rows += 1
+
+    def bad(self, lineno: int, reason: str, raw: str, exc: Exception) -> None:
+        """Record one rejected row; raises under the strict policy."""
+        if self.policy.mode == "strict":
+            from repro.errors import SchemaError
+
+            raise SchemaError(f"{self.report.source}:{lineno}: {exc}") from exc
+        self.report.n_bad += 1
+        self.report.reasons[reason] = self.report.reasons.get(reason, 0) + 1
+        truncated = raw[:_RAW_LIMIT]
+        if len(self.report.sample) < _SAMPLE_LIMIT:
+            self.report.sample.append(
+                BadRow(lineno=lineno, reason=reason, raw=truncated)
+            )
+        if self.policy.mode == "quarantine":
+            if self._sink is None:
+                path = Path(self.policy.quarantine_path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self._sink = open(path, "w", encoding="utf-8")
+            self._sink.write(json.dumps({
+                "source": self.report.source,
+                "lineno": lineno,
+                "reason": reason,
+                "error": str(exc),
+                "raw": truncated,
+            }, separators=(",", ":")))
+            self._sink.write("\n")
+
+    def finish(self) -> IngestReport:
+        """Close the quarantine sink and enforce the error budget."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+        if not self.report.within_budget:
+            raise IngestError(
+                f"{self.report.source}: {self.report.summary()} — exceeds the "
+                f"error budget of {self.policy.max_bad_share:.2%}",
+                report=self.report,
+            )
+        return self.report

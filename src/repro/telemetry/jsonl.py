@@ -3,8 +3,12 @@
 One JSON object per line with the :meth:`ActionRecord.to_dict` fields.
 The reader is streaming (constant memory until materialized into a
 :class:`LogStore`) and strict by default: malformed lines raise
-:class:`SchemaError` with the line number, or are counted and skipped when
-``strict=False`` — server logs in the wild always have a few bad rows.
+:class:`SchemaError` with the line number — server logs in the wild always
+have a few bad rows, so pass an :class:`~repro.telemetry.ingest.IngestPolicy`
+(``"lenient"`` or ``"quarantine"``) to route them to a quarantine sink under
+an error budget instead. :func:`read_jsonl` attaches the resulting
+:class:`~repro.telemetry.ingest.IngestReport` to the returned store
+(``store.ingest_report``; ``store.n_skipped_rows`` is the skip count).
 """
 
 from __future__ import annotations
@@ -12,13 +16,15 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.errors import SchemaError
+from repro.telemetry.ingest import IngestCollector, IngestPolicy, validate_record
 from repro.telemetry.log_store import LogStore
 from repro.telemetry.record import ActionRecord
 
 PathLike = Union[str, Path]
+PolicyLike = Union[None, str, IngestPolicy]
 
 
 def _open_text(path: Path, mode: str):
@@ -39,25 +45,73 @@ def write_jsonl(records: Iterable[ActionRecord], path: PathLike) -> int:
     return count
 
 
-def iter_jsonl(path: PathLike, strict: bool = True) -> Iterator[ActionRecord]:
+def _resolve_policy(strict: bool, policy: PolicyLike) -> IngestPolicy:
+    """The legacy ``strict`` flag maps onto the policy modes."""
+    if policy is not None:
+        return IngestPolicy.of(policy)
+    return IngestPolicy(mode="strict" if strict else "lenient", max_bad_share=1.0)
+
+
+def iter_jsonl(
+    path: PathLike,
+    strict: bool = True,
+    policy: PolicyLike = None,
+    collector: Optional[IngestCollector] = None,
+) -> Iterator[ActionRecord]:
     """Stream records from a JSONL file.
 
-    With ``strict=False`` malformed lines are skipped silently; use
-    :func:`read_jsonl` to get the skip count.
+    ``policy`` (an :class:`~repro.telemetry.ingest.IngestPolicy` or mode
+    name) supersedes the legacy ``strict`` flag; ``strict=False`` alone is
+    equivalent to a lenient policy with an unlimited error budget. Pass a
+    ``collector`` to receive per-row accounting — or use :func:`read_jsonl`,
+    which does so and attaches the report to the store.
     """
     path = Path(path)
+    own_collector = collector is None
+    if collector is None:
+        collector = IngestCollector(_resolve_policy(strict, policy), source=path)
     with _open_text(path, "r") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                yield ActionRecord.from_dict(json.loads(line))
-            except (json.JSONDecodeError, SchemaError) as exc:
-                if strict:
-                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                collector.bad(lineno, "json-decode", line, exc)
+                continue
+            try:
+                if not isinstance(data, dict):
+                    raise SchemaError(f"expected a JSON object, got {type(data).__name__}")
+                record = ActionRecord.from_dict(data)
+                validate_record(record)
+            except SchemaError as exc:
+                reason = "non-finite" if "not finite" in str(exc) else "schema"
+                collector.bad(lineno, reason, line, exc)
+                continue
+            collector.good()
+            yield record
+    if own_collector:
+        collector.finish()
 
 
-def read_jsonl(path: PathLike, strict: bool = True) -> LogStore:
-    """Read a whole JSONL file into a :class:`LogStore`."""
-    return LogStore.from_records(iter_jsonl(path, strict=strict))
+def read_jsonl(
+    path: PathLike,
+    strict: bool = True,
+    policy: PolicyLike = None,
+) -> LogStore:
+    """Read a whole JSONL file into a :class:`LogStore`.
+
+    The returned store carries the read's
+    :class:`~repro.telemetry.ingest.IngestReport` as ``ingest_report``
+    (``n_skipped_rows`` exposes the lenient-mode skip count that used to be
+    silently lost). Raises :class:`~repro.errors.IngestError` when the
+    policy's error budget is exceeded.
+    """
+    path = Path(path)
+    collector = IngestCollector(_resolve_policy(strict, policy), source=path)
+    store = LogStore.from_records(
+        iter_jsonl(path, strict=strict, policy=policy, collector=collector)
+    )
+    store.ingest_report = collector.finish()
+    return store

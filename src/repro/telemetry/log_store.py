@@ -45,7 +45,15 @@ class LogStore:
     Construction is via :meth:`from_records`, :meth:`from_arrays`, or the
     telemetry readers. All filtering methods return new stores sharing the
     vocabularies (cheap views of the underlying arrays where possible).
+
+    Stores built by the file readers carry the read's
+    :class:`~repro.telemetry.ingest.IngestReport` as ``ingest_report``
+    (``None`` for stores built in memory); :attr:`n_skipped_rows` exposes
+    its skip count.
     """
+
+    #: Set by the telemetry readers; ``None`` for in-memory stores.
+    ingest_report = None
 
     def __init__(
         self,
@@ -169,6 +177,15 @@ class LogStore:
     @property
     def is_empty(self) -> bool:
         return len(self) == 0
+
+    @property
+    def n_skipped_rows(self) -> int:
+        """Rows the reader rejected while building this store (0 if none).
+
+        This is the lenient-mode skip count that ``read_jsonl`` historically
+        lost; see :attr:`ingest_report` for the full breakdown.
+        """
+        return self.ingest_report.n_bad if self.ingest_report is not None else 0
 
     @property
     def actions(self) -> np.ndarray:

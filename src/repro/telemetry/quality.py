@@ -10,11 +10,12 @@ and flags conditions known to degrade the pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import EmptyDataError
+from repro.telemetry.ingest import IngestReport
 from repro.telemetry.log_store import LogStore
 
 
@@ -40,6 +41,7 @@ class QualityReport:
     latency_percentiles: Dict[str, float]
     rows_per_action: Dict[str, int]
     flags: List[QualityFlag] = field(default_factory=list)
+    ingest: Optional[IngestReport] = None
 
     @property
     def ok(self) -> bool:
@@ -60,6 +62,8 @@ class QualityReport:
             out.append((f"latency {name} (ms)", round(value, 1)))
         for action, count in sorted(self.rows_per_action.items()):
             out.append((f"rows[{action}]", count))
+        if self.ingest is not None:
+            out.extend(self.ingest.rows())
         return out
 
 
@@ -68,11 +72,25 @@ def quality_report(
     min_rows: int = 1000,
     max_error_share: float = 0.1,
     coverage_window_s: float = 600.0,
+    ingest: Optional[IngestReport] = None,
 ) -> QualityReport:
-    """Assess a telemetry batch; never raises on bad data (only on empty)."""
+    """Assess a telemetry batch; never raises on bad data (only on empty).
+
+    ``ingest`` defaults to the store's own :attr:`LogStore.ingest_report`
+    (set by the file readers), so rejected-row statistics flow into the
+    report and its flags automatically.
+    """
     if logs.is_empty:
         raise EmptyDataError("cannot assess empty logs")
+    if ingest is None:
+        ingest = logs.ingest_report
     flags: List[QualityFlag] = []
+    if ingest is not None and ingest.n_bad > 0:
+        severity = "warn" if ingest.within_budget else "error"
+        flags.append(QualityFlag(
+            severity, f"ingestion rejected {ingest.n_bad} rows "
+                      f"({ingest.bad_share:.2%}): " + ", ".join(
+                          f"{r}={c}" for r, c in sorted(ingest.reasons.items()))))
 
     times = np.sort(logs.times)
     start, end = float(times[0]), float(times[-1])
@@ -143,4 +161,5 @@ def quality_report(
         latency_percentiles=percentiles,
         rows_per_action=per_action,
         flags=flags,
+        ingest=ingest,
     )

@@ -1,0 +1,114 @@
+"""Checkpoint/resume semantics of the experiment runner.
+
+The acceptance contract: a ``run_experiment`` killed mid-run and re-run
+with the same checkpoint directory produces an outcome bit-identical to a
+run that was never interrupted — and re-runs skip work already journaled.
+"""
+
+import pytest
+
+from repro.analysis.base import SMALL, ExperimentOutcome
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.errors import ConfigError
+from repro.parallel import resolve_executor
+from repro.stats.rng import RngFactory
+
+# Module-level task functions: stable __qualname__ gives stable journal
+# keys across runs, exactly like the real sweep tasks.
+_double_calls = []
+_noise_calls = []
+
+
+def _double(x):
+    _double_calls.append(x)
+    return x * 2
+
+
+def _seeded_noise(payload):
+    seed, name = payload
+    _noise_calls.append(name)
+    return float(RngFactory(seed).stream(name).normal())
+
+
+def _two_sweep_driver(seed=0, scale=SMALL, executor=None):
+    """A miniature experiment: two executor fan-outs, then an outcome."""
+    ex = resolve_executor(executor)
+    doubled = ex.map_ordered(_double, list(range(4)))
+    noise = ex.map_ordered(
+        _seeded_noise, [(seed, f"task/{i}") for i in range(4)]
+    )
+    outcome = ExperimentOutcome(experiment_id="mini", title="mini")
+    outcome.notes.append(repr(doubled))
+    outcome.notes.append(repr(noise))
+    return outcome
+
+
+class _DiesAfter:
+    """An inner executor that dies (non-retryable) after N map calls."""
+
+    def __init__(self, allowed_calls):
+        self.remaining = allowed_calls
+
+    def map_ordered(self, fn, items, chunk_size=None):
+        if self.remaining <= 0:
+            raise KeyboardInterrupt
+        self.remaining -= 1
+        return [fn(item) for item in items]
+
+
+@pytest.fixture(autouse=True)
+def _mini_experiment(monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "mini", _two_sweep_driver)
+    _double_calls.clear()
+    _noise_calls.clear()
+
+
+class TestRunExperimentCheckpoint:
+    def test_unknown_id_still_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment("not-an-experiment")
+
+    def test_completed_outcome_served_from_journal(self, tmp_path):
+        first = run_experiment("mini", seed=3, scale="small",
+                               checkpoint_dir=tmp_path)
+        assert len(_double_calls) == 4
+        second = run_experiment("mini", seed=3, scale="small",
+                                checkpoint_dir=tmp_path)
+        # The driver did not run again: the outcome came off disk.
+        assert len(_double_calls) == 4
+        assert second.notes == first.notes
+
+    def test_different_seed_is_a_different_journal_entry(self, tmp_path):
+        a = run_experiment("mini", seed=1, scale="small", checkpoint_dir=tmp_path)
+        b = run_experiment("mini", seed=2, scale="small", checkpoint_dir=tmp_path)
+        assert a.notes[0] == b.notes[0]      # deterministic part
+        assert a.notes[1] != b.notes[1]      # seeded part differs
+
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path):
+        # Reference: an uninterrupted run into its own journal.
+        reference = run_experiment("mini", seed=7, scale="small",
+                                   checkpoint_dir=tmp_path / "ref")
+        _double_calls.clear()
+        _noise_calls.clear()
+
+        # Interrupted run: the inner backend dies after the first sweep.
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment("mini", seed=7, scale="small",
+                           checkpoint_dir=tmp_path / "ckpt",
+                           executor=_DiesAfter(allowed_calls=1))
+        assert len(_double_calls) == 4   # first sweep finished...
+        assert _noise_calls == []        # ...second never started
+
+        # Resume: first sweep is served from the journal, only the second
+        # sweep's tasks actually run.
+        resumed = run_experiment("mini", seed=7, scale="small",
+                                 checkpoint_dir=tmp_path / "ckpt")
+        assert len(_double_calls) == 4
+        assert len(_noise_calls) == 4
+        assert resumed.notes == reference.notes
+
+    def test_no_checkpoint_dir_means_no_journal(self, tmp_path):
+        run_experiment("mini", seed=3, scale="small")
+        run_experiment("mini", seed=3, scale="small")
+        assert len(_double_calls) == 8  # both runs computed everything
+        assert not list(tmp_path.iterdir())

@@ -1,0 +1,113 @@
+"""Chaos tests: every fault class, end to end through the pipeline.
+
+The contract under corruption is: the pipeline either produces a clean
+result whose ingest report flags what was rejected, or raises a typed
+:class:`~repro.errors.ReproError` — it never crashes with an untyped
+exception and never returns a curve poisoned by non-finite values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoSens, AutoSensConfig, DegradePolicy
+from repro.errors import ReproError
+from repro.faults import DEFAULT_FAULT_SPECS, FaultPlan, corrupt_jsonl
+from repro.telemetry import IngestPolicy, read_jsonl, write_jsonl
+from repro.workload import owa_scenario
+
+#: Fault classes whose rows can only be rejected at ingest (syntactic or
+#: value-level corruption the readers must catch).
+_REJECTED_AT_INGEST = {
+    "malformed-lines", "truncated-lines", "nan-latency",
+    "negative-latency", "dropped-fields",
+}
+
+
+@pytest.fixture(scope="module")
+def clean_file(tmp_path_factory):
+    """A clean mid-sized workload written once for the whole module."""
+    result = owa_scenario(
+        seed=77, duration_days=2.5, n_users=120,
+        candidates_per_user_day=80.0,
+    ).generate()
+    path = tmp_path_factory.mktemp("chaos") / "clean.jsonl"
+    write_jsonl(result.logs.iter_records(), path)
+    return path
+
+
+def _curve(logs, seed=5):
+    engine = AutoSens(AutoSensConfig(seed=seed), degrade=DegradePolicy())
+    return engine.preference_curve(logs)
+
+
+@pytest.mark.parametrize("fault_name", sorted(DEFAULT_FAULT_SPECS))
+def test_pipeline_survives_fault(fault_name, clean_file, tmp_path):
+    plan = FaultPlan(specs=(DEFAULT_FAULT_SPECS[fault_name](),), seed=13)
+    dirty = tmp_path / f"{fault_name}.jsonl"
+    corrupt_jsonl(clean_file, dirty, plan)
+
+    sink = tmp_path / f"{fault_name}.rejects.jsonl"
+    policy = IngestPolicy(
+        mode="quarantine", max_bad_share=1.0, quarantine_path=sink
+    )
+    try:
+        logs = read_jsonl(dirty, policy=policy)
+    except ReproError:
+        return  # a typed refusal is an acceptable outcome
+    report = logs.ingest_report
+    assert report is not None
+
+    if fault_name in _REJECTED_AT_INGEST:
+        # Corruption of this class must be caught and quarantined, never
+        # silently absorbed into the store.
+        assert report.n_bad > 0
+        assert sink.exists()
+    else:
+        # Semantic faults parse fine; the store simply reflects them.
+        assert report.n_rows > 0
+
+    try:
+        curve = _curve(logs)
+    except ReproError:
+        return  # starved slices may legitimately refuse
+    # Never a poisoned curve: every valid point is finite.
+    assert np.isfinite(curve.nlp[curve.valid]).all()
+
+
+def test_fault_free_plan_is_identity(clean_file, tmp_path):
+    dirty = tmp_path / "copy.jsonl"
+    corrupt_jsonl(clean_file, dirty, FaultPlan(specs=(), seed=0))
+    assert dirty.read_text() == clean_file.read_text()
+
+
+def test_clean_data_identical_under_every_policy(clean_file, tmp_path):
+    """Resilient ingestion must not perturb clean data: the curve from a
+    strict read is bit-identical to lenient and quarantine reads."""
+    strict = _curve(read_jsonl(clean_file))
+    lenient = _curve(read_jsonl(
+        clean_file, policy=IngestPolicy(mode="lenient")))
+    quarantined = _curve(read_jsonl(clean_file, policy=IngestPolicy(
+        mode="quarantine", quarantine_path=tmp_path / "q.jsonl")))
+    for other in (lenient, quarantined):
+        np.testing.assert_array_equal(strict.nlp, other.nlp)
+        np.testing.assert_array_equal(strict.latencies, other.latencies)
+        assert strict.n_actions == other.n_actions
+
+
+def test_quarantine_plus_degrade_full_sweep(clean_file, tmp_path):
+    """The dirty-data quickstart path: corrupt heavily, quarantine, sweep
+    with a degrade policy — starved slices are skipped and recorded."""
+    specs = tuple(DEFAULT_FAULT_SPECS[name]() for name in sorted(DEFAULT_FAULT_SPECS))
+    dirty = tmp_path / "everything.jsonl"
+    corrupt_jsonl(clean_file, dirty, FaultPlan(specs=specs, seed=99))
+
+    logs = read_jsonl(dirty, policy=IngestPolicy(
+        mode="quarantine", max_bad_share=1.0,
+        quarantine_path=tmp_path / "rejects.jsonl",
+    ))
+    assert logs.ingest_report.n_bad > 0
+
+    engine = AutoSens(AutoSensConfig(seed=5), degrade=DegradePolicy())
+    curves = engine.curves_by_action(logs)
+    for curve in curves.values():
+        assert np.isfinite(curve.nlp[curve.valid]).all()

@@ -1,0 +1,63 @@
+"""Checkpoint journal: round-trips, atomicity, torn-file tolerance."""
+
+import pickle
+
+import numpy as np
+
+from repro.parallel import CheckpointJournal
+
+
+class TestCheckpointJournal:
+    def test_round_trip(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        key = journal.key_for("fn", (1, 2, 3))
+        assert key not in journal
+        journal.put(key, {"x": np.arange(4)})
+        assert key in journal
+        value = journal.get(key)
+        np.testing.assert_array_equal(value["x"], np.arange(4))
+
+    def test_fetch_distinguishes_none_from_miss(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        key = journal.key_for("task", 0)
+        assert journal.fetch(key) == (False, None)
+        journal.put(key, None)
+        assert journal.fetch(key) == (True, None)
+
+    def test_keys_are_stable_across_instances(self, tmp_path):
+        a = CheckpointJournal(tmp_path, namespace="fig4/seed=0")
+        b = CheckpointJournal(tmp_path, namespace="fig4/seed=0")
+        assert a.key_for("task", (1, "x")) == b.key_for("task", (1, "x"))
+
+    def test_namespaces_do_not_collide(self, tmp_path):
+        a = CheckpointJournal(tmp_path, namespace="seed=0")
+        b = CheckpointJournal(tmp_path, namespace="seed=1")
+        assert a.key_for("task", 7) != b.key_for("task", 7)
+
+    def test_torn_file_reads_as_missing(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        key = journal.key_for("task", 1)
+        journal.put(key, [1, 2, 3])
+        # Simulate a crash mid-write that somehow bypassed the atomic
+        # rename (e.g. a previous implementation): truncate the file.
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(pickle.dumps([1, 2, 3])[:5])
+        assert journal.get(key, "fallback") == "fallback"
+        assert journal.fetch(key) == (False, None)
+
+    def test_clear_removes_everything(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        for i in range(3):
+            journal.put(journal.key_for("task", i), i)
+        assert len(journal) == 3
+        assert journal.clear() == 3
+        assert len(journal) == 0
+        assert journal.keys() == []
+
+    def test_journal_is_picklable(self, tmp_path):
+        # The journaling shim ships the journal into process workers.
+        journal = CheckpointJournal(tmp_path, namespace="ns")
+        clone = pickle.loads(pickle.dumps(journal))
+        key = clone.key_for("task", 5)
+        clone.put(key, "from-clone")
+        assert journal.get(key) == "from-clone"

@@ -1,0 +1,176 @@
+"""Fault-tolerant executor semantics: crash recovery, checkpoint resume.
+
+The process-backend crash tests use tasks that misbehave only inside a
+worker process (detected via ``multiprocessing.parent_process()``), so the
+serial recovery path — which runs in the main process — computes the real
+value. That is exactly the recovery contract: pure tasks give bit-identical
+results no matter which process finally ran them.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import InsufficientDataError, TaskFailedError
+from repro.parallel import (
+    CheckpointJournal,
+    ProcessExecutor,
+    ResilientExecutor,
+    RetryPolicy,
+    SerialExecutor,
+)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _square(x):
+    return x * x
+
+
+def _square_crash_in_worker(x):
+    if _in_worker():
+        os._exit(17)  # hard death: no exception, no cleanup
+    return x * x
+
+
+def _square_slow_in_worker(x):
+    if _in_worker():
+        time.sleep(30.0)
+    return x * x
+
+
+class TestProcessExecutorCrashRecovery:
+    def test_worker_crash_recovers_bit_identical(self):
+        items = list(range(12))
+        expected = SerialExecutor().map_ordered(_square, items)
+        executor = ProcessExecutor(max_workers=2, chunk_size=3)
+        assert executor.map_ordered(_square_crash_in_worker, items) == expected
+
+    def test_timeout_recovers_serially(self):
+        items = list(range(4))
+        executor = ProcessExecutor(
+            max_workers=2, chunk_size=2,
+            retry=RetryPolicy(timeout_s=1.0),
+        )
+        start = time.monotonic()
+        assert executor.map_ordered(_square_slow_in_worker, items) == \
+            SerialExecutor().map_ordered(_square, items)
+        # The hung workers must not be waited for on shutdown.
+        assert time.monotonic() - start < 25.0
+
+    def test_data_errors_propagate_unchanged(self):
+        def sparse(_):
+            raise InsufficientDataError("too sparse")
+
+        with pytest.raises(InsufficientDataError):
+            ProcessExecutor(max_workers=1).map_ordered(sparse, [1])
+
+
+class TestResilientExecutor:
+    def test_plain_map_matches_serial(self):
+        executor = ResilientExecutor()
+        assert executor.map_ordered(_square, range(5)) == [0, 1, 4, 9, 16]
+        assert executor.map_ordered(_square, []) == []
+
+    def test_inner_crash_falls_back_to_serial(self):
+        class BrokenInner:
+            def map_ordered(self, fn, items, chunk_size=None):
+                raise OSError("pool exploded")
+
+        executor = ResilientExecutor(inner=BrokenInner(), sleep=lambda _: None)
+        assert executor.map_ordered(_square, range(4)) == [0, 1, 4, 9]
+
+    def test_non_retryable_inner_error_propagates(self):
+        class DataErrorInner:
+            def map_ordered(self, fn, items, chunk_size=None):
+                raise InsufficientDataError("sparse")
+
+        executor = ResilientExecutor(inner=DataErrorInner())
+        with pytest.raises(InsufficientDataError):
+            executor.map_ordered(_square, range(4))
+
+    def test_retry_exhaustion_surfaces_task_failed(self):
+        class AlwaysBroken:
+            def map_ordered(self, fn, items, chunk_size=None):
+                raise OSError("down")
+
+        def flaky(_):
+            raise OSError("still down")
+
+        executor = ResilientExecutor(
+            inner=AlwaysBroken(),
+            retry=RetryPolicy(max_attempts=2),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(TaskFailedError) as excinfo:
+            executor.map_ordered(flaky, [1, 2])
+        assert excinfo.value.attempts == 2
+
+    def test_checkpoint_skips_completed_tasks(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, namespace="test")
+        calls = []
+
+        def task(x):
+            calls.append(x)
+            return x * 3
+
+        first = ResilientExecutor(checkpoint=journal)
+        assert first.map_ordered(task, [1, 2, 3]) == [3, 6, 9]
+        assert calls == [1, 2, 3]
+
+        resumed = ResilientExecutor(checkpoint=journal)
+        assert resumed.map_ordered(task, [1, 2, 3]) == [3, 6, 9]
+        assert calls == [1, 2, 3]  # nothing recomputed
+
+        assert resumed.map_ordered(task, [1, 2, 3, 4]) == [3, 6, 9, 12]
+        assert calls == [1, 2, 3, 4]  # only the new item ran
+
+    def test_interrupted_run_resumes_where_it_died(self, tmp_path):
+        """A run killed mid-sweep leaves finished tasks journaled."""
+        journal = CheckpointJournal(tmp_path, namespace="sweep")
+        calls = []
+        explode_at = [3]
+
+        def task(x):
+            if x == explode_at[0]:
+                raise KeyboardInterrupt  # simulated ctrl-C / kill
+            calls.append(x)
+            return x + 100
+
+        executor = ResilientExecutor(checkpoint=journal)
+        with pytest.raises(KeyboardInterrupt):
+            executor.map_ordered(task, [0, 1, 2, 3, 4])
+        assert calls == [0, 1, 2]
+
+        explode_at[0] = None  # the interruption does not recur
+        resumed = ResilientExecutor(checkpoint=journal)
+        assert resumed.map_ordered(task, [0, 1, 2, 3, 4]) == \
+            [100, 101, 102, 103, 104]
+        assert calls == [0, 1, 2, 3, 4]  # 0-2 served from the journal
+
+    def test_checkpointed_process_backend_matches_serial(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, namespace="proc")
+        items = list(range(10))
+        expected = SerialExecutor().map_ordered(_square, items)
+        executor = ResilientExecutor(
+            inner=ProcessExecutor(max_workers=2, chunk_size=2),
+            checkpoint=journal,
+        )
+        assert executor.map_ordered(_square, items) == expected
+        # Workers journaled every task; a serial resume recomputes nothing.
+        assert len(journal) >= len(items)
+        resumed = ResilientExecutor(checkpoint=journal)
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return _square(x)
+
+        spy.__module__ = _square.__module__
+        spy.__qualname__ = _square.__qualname__
+        assert resumed.map_ordered(spy, items) == expected
+        assert calls == []

@@ -1,0 +1,113 @@
+"""CLI error taxonomy: typed exit codes and the ingestion flags."""
+
+import json
+
+import pytest
+
+from repro.cli.main import _exit_code_for, main
+from repro.errors import (
+    ConfigError,
+    EmptyDataError,
+    IngestError,
+    InsufficientDataError,
+    PrivacyError,
+    ReproError,
+    SchemaError,
+    TaskFailedError,
+)
+
+
+@pytest.fixture()
+def dirty_log(tmp_path):
+    """A small valid log with a burst of bad lines appended."""
+    path = tmp_path / "dirty.jsonl"
+    main(["generate", "--scenario", "owa", "--seed", "9",
+          "--days", "1", "--users", "60", "--out", str(path)])
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("{broken line\n")
+        fh.write('{"time": 1.0}\n')
+    return path
+
+
+class TestExitCodeMapping:
+    @pytest.mark.parametrize("exc,code", [
+        (ConfigError("x"), 2),
+        (SchemaError("x"), 3),
+        (IngestError("x"), 4),
+        (EmptyDataError("x"), 5),
+        (InsufficientDataError("x"), 5),
+        (PrivacyError("x"), 6),
+        (TaskFailedError("t", 3), 7),
+        (ReproError("x"), 1),
+    ])
+    def test_each_class_has_its_code(self, exc, code):
+        assert _exit_code_for(exc) == code
+
+
+class TestTypedExits:
+    def test_schema_error_exits_3(self, dirty_log, capsys):
+        assert main(["analyze", str(dirty_log)]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+    def test_ingest_error_exits_4(self, dirty_log, capsys):
+        assert main(["analyze", str(dirty_log),
+                     "--on-bad-rows", "lenient",
+                     "--max-bad-share", "0.0000001"]) == 4
+        assert "error budget" in capsys.readouterr().err
+
+    def test_config_error_exits_2(self, tmp_path, capsys):
+        # quarantine mode without a sink path is a config error.
+        path = tmp_path / "x.jsonl"
+        path.write_text("")
+        assert main(["quality", str(path),
+                     "--on-bad-rows", "quarantine"]) == 2
+        assert "quarantine" in capsys.readouterr().err
+
+    def test_empty_data_exits_5(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["analyze", str(path)]) == 5
+
+
+class TestIngestFlags:
+    def test_lenient_analyze_succeeds_and_reports(self, dirty_log, capsys):
+        status = main(["analyze", str(dirty_log), "--on-bad-rows", "lenient"])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "rejected" in captured.err   # the one-line ingest note
+        assert "NLP" in captured.out
+
+    def test_quarantine_analyze_writes_sink(self, dirty_log, tmp_path, capsys):
+        sink = tmp_path / "rejects.jsonl"
+        status = main(["analyze", str(dirty_log),
+                       "--on-bad-rows", "quarantine",
+                       "--quarantine-path", str(sink)])
+        assert status == 0
+        entries = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert len(entries) == 2
+        assert {e["reason"] for e in entries} == {"json-decode", "schema"}
+
+    def test_quality_shows_ingest_rows(self, dirty_log, capsys):
+        main(["quality", str(dirty_log), "--on-bad-rows", "lenient"])
+        out = capsys.readouterr().out
+        assert "rows rejected" in out
+        assert "rejected[json-decode]" in out
+
+    def test_preflight_accepts_flags(self, dirty_log, capsys):
+        status = main(["preflight", str(dirty_log), "--on-bad-rows", "lenient"])
+        assert status in (0, 1)  # readiness depends on the data, not a crash
+        assert "check" in capsys.readouterr().out
+
+
+class TestExperimentCheckpointFlag:
+    def test_checkpoint_dir_round_trip(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        args = ["experiment", "table1", "--scale", "small",
+                "--checkpoint-dir", str(ckpt), "--no-plots"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert ckpt.exists() and list(ckpt.iterdir())
+        assert main(args) == 0  # resumed from the journal
+        assert capsys.readouterr().out == first
