@@ -14,6 +14,8 @@ import inspect
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+import repro.obs as obs
+
 from repro.analysis.base import FULL, SMALL, ExperimentOutcome, Scale
 from repro.analysis.bottleneck import run_bottleneck
 from repro.analysis.fig_locality import run_fig1, run_fig2
@@ -65,6 +67,40 @@ def _resolve_scale(scale: Union[Scale, str]) -> Scale:
     return scale
 
 
+def _experiment_manifest(
+    experiment_id: str,
+    seed: int | None,
+    scale: Scale,
+    manifest_out: Union[str, Path],
+    cached: bool,
+) -> Path:
+    """Build and atomically write the run manifest next to the outputs."""
+    ctx = obs.current()
+    scale_fingerprint = (
+        ("experiment", experiment_id),
+        ("seed", seed),
+        ("duration_days", scale.duration_days),
+        ("n_users", scale.n_users),
+        ("candidates_per_user_day", scale.candidates_per_user_day),
+    )
+    ingest_totals: Dict[str, object] = {}
+    snapshot = ctx.metrics.snapshot() if ctx.enabled else {}
+    rows = snapshot.get("autosens_ingest_rows_total", {}).get("series", {})
+    if rows:
+        ingest_totals["rows"] = rows
+    manifest = obs.build_manifest(
+        experiment_id=experiment_id,
+        seed=seed if seed is not None else -1,
+        config_fingerprint=scale_fingerprint,
+        degradations=ctx.degradations,
+        ingest=ingest_totals,
+        metrics=snapshot,
+        deterministic=ctx.deterministic,
+        extra={"outcome_cached": cached},
+    )
+    return obs.write_manifest(manifest, manifest_out)
+
+
 def run_experiment(
     experiment_id: str,
     seed: int | None = None,
@@ -72,6 +108,7 @@ def run_experiment(
     executor=None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     retry: Optional[RetryPolicy] = None,
+    manifest_out: Optional[Union[str, Path]] = None,
 ) -> ExperimentOutcome:
     """Run one experiment by id (e.g. ``"fig4"``).
 
@@ -85,6 +122,11 @@ def run_experiment(
     skips journaled work — an interrupted sweep continues where it
     stopped, bit-identical to a run that was never interrupted. ``retry``
     tunes the fault-tolerant re-execution of lost tasks (worker crashes).
+
+    The run is wrapped in one root span per experiment, and with
+    ``manifest_out`` a provenance manifest (seed, config fingerprint,
+    versions, degradations, metric totals) is written atomically there
+    after the outcome lands — see :mod:`repro.obs.manifest`.
     """
     if experiment_id not in EXPERIMENTS:
         raise ConfigError(
@@ -94,34 +136,47 @@ def run_experiment(
     scale = _resolve_scale(scale)
     driver = EXPERIMENTS[experiment_id]
 
-    journal: Optional[CheckpointJournal] = None
-    outcome_key: Optional[str] = None
-    if checkpoint_dir is not None:
-        namespace = (
-            f"{experiment_id}/seed={seed}/"
-            f"scale={scale.duration_days}d-{scale.n_users}u-"
-            f"{scale.candidates_per_user_day}c"
-        )
-        journal = CheckpointJournal(checkpoint_dir, namespace=namespace)
-        outcome_key = journal.key_for("outcome")
-        hit, cached = journal.fetch(outcome_key)
-        if hit:
-            return cached
+    with obs.span("experiment", key=f"experiment:{experiment_id}:{seed}",
+                  experiment=experiment_id, seed=seed) as root:
+        journal: Optional[CheckpointJournal] = None
+        outcome_key: Optional[str] = None
+        cached_hit = False
+        outcome: Optional[ExperimentOutcome] = None
+        if checkpoint_dir is not None:
+            namespace = (
+                f"{experiment_id}/seed={seed}/"
+                f"scale={scale.duration_days}d-{scale.n_users}u-"
+                f"{scale.candidates_per_user_day}c"
+            )
+            journal = CheckpointJournal(checkpoint_dir, namespace=namespace)
+            outcome_key = journal.key_for("outcome")
+            hit, cached = journal.fetch(outcome_key)
+            if hit:
+                cached_hit = True
+                outcome = cached
+                root.set(cached=True)
+                obs.inc("autosens_checkpoint_total", outcome="outcome-hit")
 
-    if journal is not None or retry is not None:
-        executor = ResilientExecutor(
-            inner=resolve_executor(executor), retry=retry, checkpoint=journal
-        )
+        if outcome is None:
+            if journal is not None or retry is not None:
+                executor = ResilientExecutor(
+                    inner=resolve_executor(executor), retry=retry,
+                    checkpoint=journal,
+                )
 
-    kwargs = {}
-    if seed is not None:
-        kwargs["seed"] = seed
-    kwargs["scale"] = scale
-    if executor is not None and _accepts_executor(driver):
-        kwargs["executor"] = executor
-    outcome = driver(**kwargs)
-    if journal is not None:
-        journal.put(outcome_key, outcome)
+            kwargs = {}
+            if seed is not None:
+                kwargs["seed"] = seed
+            kwargs["scale"] = scale
+            if executor is not None and _accepts_executor(driver):
+                kwargs["executor"] = executor
+            outcome = driver(**kwargs)
+            if journal is not None:
+                journal.put(outcome_key, outcome)
+
+    if manifest_out is not None:
+        _experiment_manifest(experiment_id, seed, scale, manifest_out,
+                             cached=cached_hit)
     return outcome
 
 

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.analysis.base import FULL, Scale
 from repro.core.alpha import (
     SlottedCounts,
@@ -310,6 +311,10 @@ class PerfReport:
     n_users: int
     duration_days: float
     stages: List[StageTiming] = field(default_factory=list)
+    #: Wall-clock per span name from one traced corrected-path run:
+    #: ``{span_name: {"count": n, "seconds": total}}``. Complements the
+    #: stage table with the tracer's own view of where time went.
+    span_timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def stage(self, name: str) -> StageTiming:
         for s in self.stages:
@@ -325,6 +330,9 @@ class PerfReport:
             "n_users": self.n_users,
             "duration_days": self.duration_days,
             "stages": {s.name: s.to_dict() for s in self.stages},
+            "span_timings": {
+                name: dict(agg) for name, agg in sorted(self.span_timings.items())
+            },
         }
 
     def render(self) -> str:
@@ -339,6 +347,11 @@ class PerfReport:
             lines.append(f"  {s.name:<28} {s.seconds:10.3f} {base} {speed}")
             if s.detail:
                 lines.append(f"    {s.detail}")
+        if self.span_timings:
+            lines.append(f"  {'span':<28} {'count':>7} {'total (s)':>10}")
+            for name, agg in sorted(self.span_timings.items()):
+                lines.append(
+                    f"  {name:<28} {int(agg['count']):7d} {agg['seconds']:10.4f}")
         return "\n".join(lines)
 
 
@@ -504,5 +517,24 @@ def run_perf_suite(
         name="sweep_by_action", seconds=warm_s, baseline_seconds=cold_s,
         detail=f"{len(logs.action_names())} actions; warm cache vs cold "
                f"({engine.cache.hits} hits / {engine.cache.misses} misses)",
+    ))
+
+    # Stage: observability overhead. The corrected path again, traced vs
+    # untraced — "baseline" is the untraced run, so a healthy build shows a
+    # speedup near 1.0 and a tracing regression drags it toward 0. The
+    # traced run also feeds ``span_timings``: the tracer's own account of
+    # where the wall time went, aggregated per span name.
+    off_s, _ = _timed(lambda: _corrected_path(sliced, config, legacy=False), repeats)
+    with obs.session(enabled=True, level="error"):
+        on_s, _ = _timed(lambda: _corrected_path(sliced, config, legacy=False), repeats)
+        for record in obs.trace_records():
+            agg = report.span_timings.setdefault(
+                record["name"], {"count": 0, "seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] = round(agg["seconds"] + record["dur_us"] / 1e6, 6)
+    report.stages.append(StageTiming(
+        name="obs_overhead", seconds=on_s, baseline_seconds=off_s,
+        detail="corrected path traced vs untraced; ratio ~1.0 means "
+               "tracing is near-free",
     ))
     return report

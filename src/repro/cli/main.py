@@ -56,6 +56,102 @@ def _exit_code_for(exc: ReproError) -> int:
     return 1  # pragma: no cover - ReproError entry is a catch-all
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags (off by default, near-free when off)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="emit structured logs at this level and above (default: off)")
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="logs as JSON lines instead of key=value text")
+    group.add_argument(
+        "--trace-out", default=None,
+        help="write the run's span trace here: .json selects Chrome "
+             "trace_event format (open in chrome://tracing or Perfetto), "
+             ".jsonl one span record per line")
+    group.add_argument(
+        "--metrics-out", default=None,
+        help="write the run's metrics here: .json for a snapshot, any "
+             "other suffix for Prometheus text format")
+    group.add_argument(
+        "--manifest-out", default=None,
+        help="write a run-provenance manifest (seed, config fingerprint, "
+             "versions, degradations) here, atomically")
+    group.add_argument(
+        "--deterministic-trace", action="store_true",
+        help="timestamp spans from a monotonic event clock instead of wall "
+             "time, making every emitted artifact byte-deterministic for a "
+             "fixed seed")
+    return parent
+
+
+def _configure_obs(args: argparse.Namespace) -> bool:
+    """Install an observability context when any obs flag asks for one."""
+    import repro.obs as obs
+
+    wants = bool(
+        getattr(args, "log_level", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "manifest_out", None)
+        or getattr(args, "deterministic_trace", False)
+    )
+    if not wants:
+        return False
+    seed = getattr(args, "seed", None)
+    run_id = f"{args.command}:{seed if seed is not None else 'default'}"
+    obs.configure(
+        enabled=True,
+        level=args.log_level or "warning",
+        log_json=getattr(args, "log_json", False),
+        deterministic=getattr(args, "deterministic_trace", False),
+        run_id=run_id,
+    )
+    return True
+
+
+def _export_obs(args: argparse.Namespace) -> None:
+    """Write the trace/metrics artifacts the obs flags requested."""
+    import repro.obs as obs
+
+    ctx = obs.current()
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        records = ctx.tracer.finished()
+        if Path(trace_out).suffix == ".jsonl":
+            n = obs.write_trace_jsonl(records, trace_out)
+        else:
+            n = obs.write_chrome_trace(records, trace_out,
+                                       trace_id=ctx.run_id or "autosens")
+        print(f"trace: {n} spans written to {trace_out}", file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        if Path(metrics_out).suffix == ".json":
+            obs.write_metrics_json(ctx.metrics, metrics_out)
+        else:
+            obs.write_metrics_prometheus(ctx.metrics, metrics_out)
+        print(f"metrics: {len(ctx.metrics)} instruments written to "
+              f"{metrics_out}", file=sys.stderr)
+    manifest_out = getattr(args, "manifest_out", None)
+    if manifest_out and args.command != "experiment":
+        # The experiment runtime writes its own (richer) manifest; every
+        # other command gets a generic one describing this invocation.
+        seed = getattr(args, "seed", None)
+        manifest = obs.build_manifest(
+            experiment_id=args.command,
+            seed=seed if seed is not None else -1,
+            config_fingerprint=ctx.run_id,
+            degradations=ctx.degradations,
+            metrics=ctx.metrics.snapshot(),
+            deterministic=ctx.deterministic,
+        )
+        obs.write_manifest(manifest, manifest_out)
+        print(f"manifest written to {manifest_out}", file=sys.stderr)
+
+
 def _ingest_parent() -> argparse.ArgumentParser:
     """Shared ``--on-bad-rows``/``--quarantine-path`` flags."""
     from repro.telemetry import INGEST_MODES
@@ -114,9 +210,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"autosens {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
     ingest = _ingest_parent()
+    observability = _obs_parent()
 
     gen = sub.add_parser("generate", help="generate synthetic telemetry",
-                         parents=[ingest])
+                         parents=[ingest, observability])
     gen.add_argument("--scenario", default="owa",
                      help="scenario name (see 'autosens list')")
     gen.add_argument("--seed", type=int, default=7)
@@ -126,7 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="output path (.jsonl, .jsonl.gz or .csv)")
 
     ana = sub.add_parser("analyze", help="compute an NLP curve from a log file",
-                         parents=[ingest])
+                         parents=[ingest, observability])
     ana.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz, .csv) "
                               "or an exported counts table (counts .json)")
     ana.add_argument("--action", default=None)
@@ -137,7 +234,8 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--export", default=None,
                      help="write the curve series to this CSV path")
 
-    exp = sub.add_parser("experiment", help="run paper experiments")
+    exp = sub.add_parser("experiment", help="run paper experiments",
+                         parents=[observability])
     exp.add_argument("ids", nargs="*", default=[],
                      help="experiment ids (default: all)")
     exp.add_argument("--scale", choices=["small", "full"], default="full")
@@ -159,7 +257,7 @@ def _build_parser() -> argparse.ArgumentParser:
     counts.add_argument("--out", required=True, help="output JSON path")
 
     qual = sub.add_parser("quality", help="data-quality report for a log file",
-                          parents=[ingest])
+                          parents=[ingest, observability])
     qual.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz or .csv)")
 
     pre = sub.add_parser("preflight",
@@ -168,6 +266,13 @@ def _build_parser() -> argparse.ArgumentParser:
     pre.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz or .csv)")
     pre.add_argument("--action", default=None)
     pre.add_argument("--user-class", default=None)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect observability artifacts")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summary = obs_sub.add_parser(
+        "summary", help="render a run manifest as a human-readable table")
+    summary.add_argument("manifest", help="path to a run manifest JSON file")
 
     sub.add_parser("list", help="list scenarios and experiments")
     return parser
@@ -259,9 +364,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = args.ids or list(EXPERIMENTS)
     status = 0
     outcomes = []
-    for experiment_id in ids:
+    for i, experiment_id in enumerate(ids):
+        # One manifest per invocation: with several ids, the last run wins
+        # the flag's path and earlier ones get an id-suffixed sibling.
+        manifest_out = args.manifest_out
+        if manifest_out and len(ids) > 1 and i < len(ids) - 1:
+            base = Path(manifest_out)
+            manifest_out = str(base.with_name(
+                f"{base.stem}.{experiment_id}{base.suffix}"))
         outcome = run_experiment(experiment_id, seed=args.seed, scale=args.scale,
-                                 checkpoint_dir=args.checkpoint_dir)
+                                 checkpoint_dir=args.checkpoint_dir,
+                                 manifest_out=manifest_out)
         outcomes.append(outcome)
         print(outcome.render(include_plots=not args.no_plots))
         print()
@@ -332,6 +445,15 @@ def _cmd_preflight(args: argparse.Namespace) -> int:
     return 0 if report.ready else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_manifest, manifest_rows
+    from repro.viz.table import format_table
+
+    manifest = load_manifest(args.manifest)
+    print(format_table(["field", "value"], manifest_rows(manifest)))
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
     from repro.workload.scenarios import SCENARIOS
@@ -362,13 +484,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export-counts": _cmd_export_counts,
         "quality": _cmd_quality,
         "preflight": _cmd_preflight,
+        "obs": _cmd_obs,
         "list": _cmd_list,
     }
+    observing = _configure_obs(args)
     try:
         return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return _exit_code_for(exc)
+    finally:
+        if observing:
+            import repro.obs as obs
+
+            _export_obs(args)
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
 from repro.stats.histogram import Histogram1D, HistogramBins
 from repro.stats.rng import SeedLike, spawn_rng
@@ -238,10 +239,11 @@ def slotted_counts(
 
     # c[T, L] — biased counts per slot, one fused-index bincount pass over
     # all actions (every action's slot is in slot_ids by construction).
-    bin_idx = bins.index_of(logs.latencies_ms)
-    in_grid = bin_idx >= 0
-    action_rows = np.searchsorted(slot_ids, action_slots)
-    c = _count_tensor(action_rows[in_grid], bin_idx[in_grid], n_slots, bins.count)
+    with obs.span("slotted_counts.biased", n_slots=n_slots):
+        bin_idx = bins.index_of(logs.latencies_ms)
+        in_grid = bin_idx >= 0
+        action_rows = np.searchsorted(slot_ids, action_slots)
+        c = _count_tensor(action_rows[in_grid], bin_idx[in_grid], n_slots, bins.count)
 
     # f[T, L] — time fraction per slot from that slot's unbiased draw. Each
     # query is assigned to its slot, so every slot's sample share is
@@ -249,42 +251,43 @@ def slotted_counts(
     # (e.g. daytime hours when analyzing a night-period slice) are dropped
     # and redrawn, so sparse slices still get a full-size unbiased draw.
     tz = float(np.median(logs.tz_offsets)) if len(logs) else 0.0
-    if estimator == "voronoi":
-        from repro.core.unbiased import voronoi_weights
+    with obs.span("slotted_counts.unbiased", estimator=estimator):
+        if estimator == "voronoi":
+            from repro.core.unbiased import voronoi_weights
 
-        order = np.argsort(logs.times, kind="mergesort")
-        sorted_times = logs.times[order]
-        sorted_latencies = logs.latencies_ms[order]
-        sorted_tz = logs.tz_offsets[order]
-        weights = voronoi_weights(sorted_times)
-        sample_slots = slot_of_times(sorted_times, scheme, sorted_tz)
-        v_bin_idx = bins.index_of(sorted_latencies)
-        v_in_grid = v_bin_idx >= 0
-        sample_rows = np.searchsorted(slot_ids, sample_slots)
-        u = _count_tensor(
-            sample_rows[v_in_grid], v_bin_idx[v_in_grid], n_slots, bins.count,
-            weights=weights[v_in_grid],
-        )
-    else:
-        u = np.zeros((n_slots, bins.count), dtype=float)
-        target = n_unbiased_samples if n_unbiased_samples is not None else 2 * len(logs)
-        accepted = 0
-        # Sort once; every redraw batch reuses the sorted view.
-        order = np.argsort(logs.times, kind="mergesort")
-        sorted_times = logs.times[order]
-        sorted_latencies = logs.latencies_ms[order]
-        for _ in range(12):  # bounded redraw: 12 batches cover >90% waste
-            draw = draw_from_sorted(
-                sorted_times, sorted_latencies, n_samples=target, rng=generator
+            order = np.argsort(logs.times, kind="mergesort")
+            sorted_times = logs.times[order]
+            sorted_latencies = logs.latencies_ms[order]
+            sorted_tz = logs.tz_offsets[order]
+            weights = voronoi_weights(sorted_times)
+            sample_slots = slot_of_times(sorted_times, scheme, sorted_tz)
+            v_bin_idx = bins.index_of(sorted_latencies)
+            v_in_grid = v_bin_idx >= 0
+            sample_rows = np.searchsorted(slot_ids, sample_slots)
+            u = _count_tensor(
+                sample_rows[v_in_grid], v_bin_idx[v_in_grid], n_slots, bins.count,
+                weights=weights[v_in_grid],
             )
-            query_slots = slot_of_times(draw.query_times, scheme, tz)
-            u_bin_idx = bins.index_of(draw.selected_latencies)
-            query_rows, member = _rows_in_slots(slot_ids, query_slots)
-            keep = member & (u_bin_idx >= 0)
-            accepted += int(keep.sum())
-            u += _count_tensor(query_rows[keep], u_bin_idx[keep], n_slots, bins.count)
-            if accepted >= target:
-                break
+        else:
+            u = np.zeros((n_slots, bins.count), dtype=float)
+            target = n_unbiased_samples if n_unbiased_samples is not None else 2 * len(logs)
+            accepted = 0
+            # Sort once; every redraw batch reuses the sorted view.
+            order = np.argsort(logs.times, kind="mergesort")
+            sorted_times = logs.times[order]
+            sorted_latencies = logs.latencies_ms[order]
+            for _ in range(12):  # bounded redraw: 12 batches cover >90% waste
+                draw = draw_from_sorted(
+                    sorted_times, sorted_latencies, n_samples=target, rng=generator
+                )
+                query_slots = slot_of_times(draw.query_times, scheme, tz)
+                u_bin_idx = bins.index_of(draw.selected_latencies)
+                query_rows, member = _rows_in_slots(slot_ids, query_slots)
+                keep = member & (u_bin_idx >= 0)
+                accepted += int(keep.sum())
+                u += _count_tensor(query_rows[keep], u_bin_idx[keep], n_slots, bins.count)
+                if accepted >= target:
+                    break
     slot_totals = u.sum(axis=1, keepdims=True)
     with np.errstate(invalid="ignore", divide="ignore"):
         f = np.where(slot_totals > 0, u / slot_totals, 0.0)
@@ -421,16 +424,17 @@ def corrected_histograms_from_counts(
         raise ConfigError("counts and alpha must share one bin grid")
     if not np.array_equal(counts.slot_ids, alpha.slot_ids):
         raise ConfigError("counts and alpha must cover the same slots")
-    inv = _inverse_alpha(alpha.alpha_by_slot)
-    pooled_biased = inv @ counts.biased_counts  # Σ_T c[T, :] / α[T]
+    with obs.span("corrected_histograms", reference=alpha.reference_slot):
+        inv = _inverse_alpha(alpha.alpha_by_slot)
+        pooled_biased = inv @ counts.biased_counts  # Σ_T c[T, :] / α[T]
 
-    biased = Histogram1D(counts.bins)
-    biased.add_counts(pooled_biased)
-    unbiased = Histogram1D(counts.bins)
-    # Equal-time pooling of per-slot fractions. Each slot contributes its
-    # fraction profile once; scale is irrelevant because U is normalized.
-    pooled = alpha.time_fractions.sum(axis=0)
-    unbiased.add_counts(pooled * 10_000.0)  # arbitrary mass, density-normalized later
+        biased = Histogram1D(counts.bins)
+        biased.add_counts(pooled_biased)
+        unbiased = Histogram1D(counts.bins)
+        # Equal-time pooling of per-slot fractions. Each slot contributes its
+        # fraction profile once; scale is irrelevant because U is normalized.
+        pooled = alpha.time_fractions.sum(axis=0)
+        unbiased.add_counts(pooled * 10_000.0)  # arbitrary mass, density-normalized later
     return biased, unbiased
 
 

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
 from repro.parallel import SerialExecutor, resolve_executor
 from repro.stats.histogram import Histogram1D, HistogramBins, latency_bins
@@ -232,6 +233,17 @@ class AutoSens:
         """The engine's slice cache (``None`` when caching is disabled)."""
         return self._cache
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Slice-cache hit/miss/eviction counters (all zero when disabled).
+
+        Readable without the metrics registry — sweep drivers and tests can
+        assert cache behavior directly off the engine.
+        """
+        if self._cache is None:
+            return {"hits": 0, "misses": 0, "evictions": 0,
+                    "entries": 0, "max_entries": 0}
+        return self._cache.stats()
+
     def _memo(self, kind: str, logs: LogStore, key: Tuple, compute: Callable[[], Any]) -> Any:
         if self._cache is None:
             return compute()
@@ -250,16 +262,17 @@ class AutoSens:
         days_per_month: int = 30,
     ) -> tuple:
         key = _slice_key(action, user_class, period, month, days_per_month)
-        sliced = self._memo(
-            "slice", logs, key,
-            lambda: logs.where(
-                action=action,
-                user_class=user_class,
-                period=period,
-                month=month,
-                days_per_month=days_per_month,
-            ),
-        )
+        with obs.span("slice", predicate=str(key)):
+            sliced = self._memo(
+                "slice", logs, key,
+                lambda: logs.where(
+                    action=action,
+                    user_class=user_class,
+                    period=period,
+                    month=month,
+                    days_per_month=days_per_month,
+                ),
+            )
         parts = []
         if action is not None:
             parts.append(f"action={action}")
@@ -321,10 +334,30 @@ class AutoSens:
     ) -> PreferenceResult:
         """Compute the normalized latency preference for a telemetry slice."""
         cfg = self.config
+        key = _slice_key(action, user_class, period, month, days_per_month)
+        with obs.span("preference_curve", key=f"curve:{key}") as curve_span:
+            result = self._preference_curve_inner(
+                logs, key, action, user_class, period, month,
+                days_per_month, curve_span,
+            )
+        return result
+
+    def _preference_curve_inner(
+        self,
+        logs: LogStore,
+        key: Tuple,
+        action: Union[str, ActionType, None],
+        user_class: Union[str, UserClass, None],
+        period: Optional[DayPeriod],
+        month: Optional[int],
+        days_per_month: int,
+        curve_span: Any,
+    ) -> PreferenceResult:
+        cfg = self.config
         sliced, description = self._slice(
             logs, action, user_class, period, month, days_per_month
         )
-        key = _slice_key(action, user_class, period, month, days_per_month)
+        curve_span.set(slice=description, n_actions=len(sliced))
         bins = cfg.bins()
         computer = cfg.computer()
         n_unbiased = int(np.ceil(cfg.unbiased_oversample * len(sliced)))
@@ -350,14 +383,15 @@ class AutoSens:
         # The expensive part — one pass over the actions plus the unbiased
         # draw — happens exactly once per slice; every reference slot below
         # is then an O(n_slots × n_bins) contraction of the tensor.
-        counts = self._memo(
-            "counts", logs, key,
-            lambda: slotted_counts(
-                sliced, bins, scheme=cfg.slot_scheme,
-                n_unbiased_samples=n_unbiased, rng=make_rng(),
-                estimator=cfg.unbiased_estimator,
-            ),
-        )
+        with obs.span("slotted_counts", n_actions=len(sliced)):
+            counts = self._memo(
+                "counts", logs, key,
+                lambda: slotted_counts(
+                    sliced, bins, scheme=cfg.slot_scheme,
+                    n_unbiased_samples=n_unbiased, rng=make_rng(),
+                    estimator=cfg.unbiased_estimator,
+                ),
+            )
         references = counts.busiest_slots(cfg.n_reference_slots)
         skip_references = (
             self.degrade is not None
@@ -368,19 +402,20 @@ class AutoSens:
         degraded: List[str] = []
         for reference in references:
             try:
-                alpha = alpha_from_counts(
-                    counts,
-                    reference_slot=reference,
-                    bin_average=cfg.alpha_bin_average,
-                    min_bin_count=cfg.alpha_min_bin_count,
-                )
-                biased, unbiased = corrected_histograms_from_counts(counts, alpha)
-                per_reference.append(
-                    computer.compute(
-                        biased, unbiased,
-                        slice_description=description, n_actions=len(sliced),
+                with obs.span("corrected_reference", slot=int(reference)):
+                    alpha = alpha_from_counts(
+                        counts,
+                        reference_slot=reference,
+                        bin_average=cfg.alpha_bin_average,
+                        min_bin_count=cfg.alpha_min_bin_count,
                     )
-                )
+                    biased, unbiased = corrected_histograms_from_counts(counts, alpha)
+                    per_reference.append(
+                        computer.compute(
+                            biased, unbiased,
+                            slice_description=description, n_actions=len(sliced),
+                        )
+                    )
                 used_references.append(reference)
             except InsufficientDataError as exc:
                 if not skip_references:
@@ -389,6 +424,9 @@ class AutoSens:
                     f"slice [{description}]: reference slot {reference} "
                     f"skipped ({exc})"
                 )
+                obs.record_degradation(
+                    "starved_reference", slice=description,
+                    reference_slot=int(reference), detail=str(exc))
         if skip_references and len(per_reference) < self.degrade.min_references:
             raise InsufficientDataError(
                 f"slice [{description}]: only {len(per_reference)} of "
@@ -421,22 +459,25 @@ class AutoSens:
         skip_slices = (
             self.degrade is not None and self.degrade.on_starved_slice == "skip"
         )
-        if isinstance(self.executor, SerialExecutor):
-            results: List[Any] = []
-            for lg, kw in tasks:
-                try:
-                    results.append(self.preference_curve(lg, **kw))
-                except InsufficientDataError as exc:
-                    if not skip_slices:
-                        raise
-                    results.append(_StarvedSlice(str(exc)))
-        else:
-            payloads = [(self.config, self.degrade, lg, kw) for lg, kw in tasks]
-            results = self.executor.map_ordered(_curve_task, payloads)
+        with obs.span("sweep", n_tasks=len(tasks),
+                      backend=type(self.executor).__name__):
+            if isinstance(self.executor, SerialExecutor):
+                results: List[Any] = []
+                for lg, kw in tasks:
+                    try:
+                        results.append(self.preference_curve(lg, **kw))
+                    except InsufficientDataError as exc:
+                        if not skip_slices:
+                            raise
+                        results.append(_StarvedSlice(str(exc)))
+            else:
+                payloads = [(self.config, self.degrade, lg, kw) for lg, kw in tasks]
+                results = self.executor.map_ordered(_curve_task, payloads)
         out: List[Optional[PreferenceResult]] = []
         for result in results:
             if isinstance(result, _StarvedSlice):
                 self.degradations.append(f"slice skipped: {result.reason}")
+                obs.record_degradation("starved_slice", detail=result.reason)
                 out.append(None)
             else:
                 out.append(result)

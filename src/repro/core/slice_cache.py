@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable
 
+import repro.obs as obs
 from repro.errors import ConfigError
 
 __all__ = ["SliceCache"]
@@ -44,6 +45,7 @@ class SliceCache:
         self._pins: Dict[int, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def token(self, obj: Any) -> int:
         """A hashable identity token for an unhashable object.
@@ -56,16 +58,31 @@ class SliceCache:
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on first use."""
+        kind = key[0] if isinstance(key, tuple) and key else "value"
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            obs.inc("autosens_slice_cache_total", outcome="hit", kind=str(kind))
             return self._entries[key]
         value = compute()
         self.misses += 1
+        obs.inc("autosens_slice_cache_total", outcome="miss", kind=str(kind))
         self._entries[key] = value
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.inc("autosens_slice_cache_evictions_total")
         return value
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current size, metrics-free."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+        }
 
     def clear(self) -> None:
         """Drop every entry, pinned reference and counter."""
@@ -73,6 +90,7 @@ class SliceCache:
         self._pins.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,203 @@
+"""Observability for the AutoSens pipeline: logs, spans, metrics, manifests.
+
+Zero-dependency and **off by default**: every instrumented call site first
+checks the active :class:`~repro.obs._runtime.ObsContext`, and with the
+default disabled context a span is the shared no-op singleton and a log
+call is one integer comparison — the pipeline's benchmarks must not notice
+the instrumentation exists.
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.configure(level="info", trace=True, deterministic=True,
+                  run_id="bottleneck-seed11")
+    with obs.span("experiment", experiment="bottleneck"):
+        ...
+    records = obs.trace_records()
+
+The module-level helpers (:func:`span`, :func:`inc`, :func:`observe`,
+:func:`set_gauge`, :func:`get_logger`) always act on the *currently
+installed* context, so library code never holds references to a particular
+run's tracer or registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, TextIO
+
+from repro.obs import _runtime
+from repro.obs._runtime import LEVELS, ObsContext
+from repro.obs.log import Logger, get_logger
+from repro.obs.manifest import (
+    build_manifest,
+    file_digest,
+    load_manifest,
+    manifest_rows,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    DEFAULT_DURATION_BUCKETS_S,
+    MetricsRegistry,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from repro.obs.trace import (
+    DISABLED_TRACER,
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    span_identity,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "ObsContext",
+    "configure",
+    "disable",
+    "session",
+    "enabled",
+    "current",
+    "span",
+    "get_logger",
+    "Logger",
+    "Tracer",
+    "Span",
+    "NOOP_SPAN",
+    "span_identity",
+    "trace_records",
+    "MetricsRegistry",
+    "metrics",
+    "inc",
+    "observe",
+    "set_gauge",
+    "record_degradation",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_rows",
+    "file_digest",
+    "write_trace_jsonl",
+    "write_chrome_trace",
+    "chrome_trace_events",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+    "DEFAULT_DURATION_BUCKETS_S",
+]
+
+
+def configure(
+    enabled: bool = True,
+    level: str = "warning",
+    log_json: bool = False,
+    log_stream: Optional[TextIO] = None,
+    trace: bool = True,
+    deterministic: bool = False,
+    run_id: str = "",
+) -> ObsContext:
+    """Install a fresh observability context and return it.
+
+    ``trace=False`` keeps logging/metrics while spans stay no-ops. The
+    previous context is discarded — runs are expected to configure once at
+    entry (the CLI does this from ``--log-level``/``--trace-out`` flags).
+    """
+    tracer = None if trace else DISABLED_TRACER
+    ctx = ObsContext(
+        enabled=enabled,
+        level=level,
+        log_json=log_json,
+        log_stream=log_stream,
+        tracer=tracer,
+        deterministic=deterministic,
+        run_id=run_id,
+    )
+    _runtime.install(ctx)
+    return ctx
+
+
+def disable() -> None:
+    """Restore the default do-nothing context."""
+    _runtime.install(_runtime.DISABLED)
+
+
+@contextmanager
+def session(**kwargs: Any) -> Iterator[ObsContext]:
+    """``configure(**kwargs)`` for a block, restoring the prior context after.
+
+    The restore-on-exit shape is what tests want; production entry points
+    usually call :func:`configure` directly.
+    """
+    previous = _runtime.current()
+    ctx = configure(**kwargs)
+    try:
+        yield ctx
+    finally:
+        _runtime.install(previous)
+
+
+def current() -> ObsContext:
+    """The active context (the disabled singleton when unconfigured)."""
+    return _runtime.current()
+
+
+def enabled() -> bool:
+    """Is observability (and span tracing specifically) turned on?"""
+    ctx = _runtime.current()
+    return ctx.enabled and ctx.tracer.enabled
+
+
+def span(name: str, key: Optional[str] = None, **attrs: Any):
+    """A span on the active tracer — the shared no-op when disabled.
+
+    Call-sites building attribute dicts for hot-loop spans should guard on
+    :func:`enabled` first; for coarse spans just call this directly.
+    """
+    return _runtime.current().tracer.span(name, key=key, **attrs)
+
+
+def trace_records() -> List[Dict[str, Any]]:
+    """All finished span records on the active tracer."""
+    return _runtime.current().tracer.finished()
+
+
+def metrics() -> MetricsRegistry:
+    """The active context's metrics registry."""
+    return _runtime.current().metrics
+
+
+def inc(name: str, amount: float = 1.0, help: str = "", **labels: Any) -> None:
+    """Increment a counter on the active registry (no-op cheap when off)."""
+    ctx = _runtime.current()
+    if not ctx.enabled:
+        return
+    ctx.metrics.inc(name, amount, help=help, **labels)
+
+
+def observe(name: str, value: float, help: str = "", **labels: Any) -> None:
+    """Observe a histogram sample on the active registry."""
+    ctx = _runtime.current()
+    if not ctx.enabled:
+        return
+    ctx.metrics.observe(name, value, help=help, **labels)
+
+
+def set_gauge(name: str, value: float, help: str = "", **labels: Any) -> None:
+    """Set a gauge on the active registry."""
+    ctx = _runtime.current()
+    if not ctx.enabled:
+        return
+    ctx.metrics.set_gauge(name, value, help=help, **labels)
+
+
+def record_degradation(kind: str, **detail: Any) -> None:
+    """Note a degradation for the run manifest (and the degradation counter)."""
+    ctx = _runtime.current()
+    if not ctx.enabled:
+        return
+    entry: Dict[str, Any] = {"kind": kind}
+    entry.update(detail)
+    ctx.degradations.append(entry)
+    ctx.metrics.inc("autosens_degradations_total", 1.0, kind=kind)

@@ -1,0 +1,97 @@
+"""Leveled, structured logging with per-run context binding.
+
+:func:`get_logger` returns a tiny :class:`Logger` whose emit methods check
+the active :class:`~repro.obs._runtime.ObsContext` *at call time* — so a
+logger created at import time (the common pattern: module-level
+``log = get_logger(__name__)``) honors whatever configuration the run
+installs later, and costs one integer comparison when logging is off.
+
+Two output shapes share one record model:
+
+- key=value lines — ``level=info logger=repro.core event="sweep done" n=12``
+- JSON lines (``log_json=True``) — one key-sorted object per line, safe to
+  feed to ``jq`` or the ingestion tooling itself.
+
+``bind(**ctx)`` returns a child logger whose bound fields ride along on
+every record; binding is additive and the parent is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from repro.obs import _runtime
+from repro.obs._runtime import LEVELS
+
+__all__ = ["Logger", "get_logger", "format_kv"]
+
+
+def _quote(value: Any) -> str:
+    """key=value rendering: bare for simple scalars, quoted otherwise."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if text and all(c.isalnum() or c in "._-/:" for c in text):
+        return text
+    return json.dumps(text)
+
+
+def format_kv(level: str, logger: str, event: str,
+              fields: Dict[str, Any]) -> str:
+    """One key=value log line; field order is bound-then-call, stable."""
+    parts = [f"level={level}", f"logger={logger}",
+             f"event={json.dumps(event)}"]
+    parts.extend(f"{k}={_quote(v)}" for k, v in fields.items())
+    return " ".join(parts)
+
+
+class Logger:
+    """A named logger; cheap to create, stateless except for bound fields."""
+
+    __slots__ = ("name", "_bound")
+
+    def __init__(self, name: str, bound: Tuple[Tuple[str, Any], ...] = ()) -> None:
+        self.name = name
+        self._bound = bound
+
+    def bind(self, **fields: Any) -> "Logger":
+        """A child logger carrying ``fields`` on every record."""
+        return Logger(self.name, self._bound + tuple(fields.items()))
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit if the active context's threshold admits ``level``."""
+        ctx = _runtime.current()
+        if LEVELS.get(level, 0) < ctx.level_no:
+            return
+        merged: Dict[str, Any] = dict(self._bound)
+        merged.update(fields)
+        if ctx.run_id:
+            merged.setdefault("run_id", ctx.run_id)
+        if ctx.log_json:
+            payload = {"level": level, "logger": self.name, "event": event}
+            payload.update(merged)
+            line = json.dumps(payload, sort_keys=True, default=str,
+                              separators=(",", ":"))
+        else:
+            line = format_kv(level, self.name, event, merged)
+        ctx.log_stream.write(line + "\n")
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> Logger:
+    """A logger for ``name`` (conventionally the module's ``__name__``)."""
+    return Logger(name)

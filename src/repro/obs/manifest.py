@@ -1,0 +1,173 @@
+"""Run provenance manifests.
+
+A manifest answers "what exactly produced these outputs?": the experiment
+id, the RNG seed, a fingerprint of the analysis config, the python and
+package versions that ran, sha256 digests of every input file, the
+degradations the pipeline accepted, and the ingestion/quarantine totals.
+It is written *atomically* (tmp + ``os.replace``) next to the experiment
+outputs so a crash can never leave a half-written provenance record.
+
+With ``deterministic=True`` the volatile fields (wall-clock ``created_at``)
+are omitted and the JSON is key-sorted/compact, so two runs of the same
+seeded experiment produce byte-identical manifests — the property the CI
+obs job asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_rows",
+    "file_digest",
+]
+
+#: Bump when the manifest field set changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+
+def file_digest(path: Union[str, Path], chunk_size: int = 1 << 20) -> str:
+    """sha256 hex digest of a file's bytes, streamed."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _package_versions() -> Dict[str, str]:
+    """Versions of the third-party packages the pipeline leans on."""
+    versions: Dict[str, str] = {}
+    for name in ("numpy", "scipy"):
+        try:
+            module = __import__(name)
+            versions[name] = str(getattr(module, "__version__", "unknown"))
+        except ImportError:  # pragma: no cover - both ship in the image
+            versions[name] = "absent"
+    return versions
+
+
+def _fingerprint_config(config_fingerprint: Any) -> str:
+    """Stable hex digest of a config fingerprint tuple/value."""
+    raw = repr(config_fingerprint).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+def build_manifest(
+    experiment_id: str,
+    seed: int,
+    config_fingerprint: Any = None,
+    inputs: Iterable[Union[str, Path]] = (),
+    degradations: Optional[List[Dict[str, Any]]] = None,
+    ingest: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    deterministic: bool = False,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest dict (pure; writing is separate).
+
+    ``run_id`` is derived from ``(experiment_id, seed, config)`` so the same
+    logical run always carries the same identity — it doubles as the
+    trace id that seeds deterministic span ids. ``ingest`` takes the
+    ``IngestReport`` summary dict; ``metrics`` a registry snapshot.
+    """
+    config_hash = _fingerprint_config(config_fingerprint)
+    run_id = hashlib.sha256(
+        f"{experiment_id}\x00{seed}\x00{config_hash}".encode("utf-8")
+    ).hexdigest()[:16]
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": run_id,
+        "experiment_id": experiment_id,
+        "seed": seed,
+        "config_fingerprint": config_hash,
+        "deterministic": deterministic,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "packages": _package_versions(),
+        "inputs": {
+            str(Path(p)): file_digest(p) for p in sorted(map(str, inputs))
+        },
+        "degradations": list(degradations or []),
+        "ingest": dict(ingest) if ingest else {},
+        "metrics": dict(metrics) if metrics else {},
+    }
+    if not deterministic:
+        import time
+
+        manifest["created_at"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(manifest: Dict[str, Any],
+                   path: Union[str, Path]) -> Path:
+    """Atomically write a manifest as key-sorted JSON; returns the path."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, sort_keys=True, indent=None,
+                  separators=(",", ":"), default=str)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a manifest back; raises :class:`SchemaError` on malformed files."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"cannot read manifest {path}: {exc}") from exc
+    if not isinstance(data, dict) or "run_id" not in data:
+        raise SchemaError(f"{path} is not a run manifest (no run_id)")
+    return data
+
+
+def manifest_rows(manifest: Dict[str, Any]) -> List[Tuple[str, Any]]:
+    """Key/value rows for human rendering (``repro obs summary``)."""
+    rows: List[Tuple[str, Any]] = [
+        ("run id", manifest.get("run_id", "?")),
+        ("experiment", manifest.get("experiment_id", "?")),
+        ("seed", manifest.get("seed", "?")),
+        ("config fingerprint", manifest.get("config_fingerprint", "?")),
+        ("deterministic", manifest.get("deterministic", False)),
+        ("python", manifest.get("python", "?")),
+    ]
+    if manifest.get("created_at"):
+        rows.append(("created at", manifest["created_at"]))
+    for pkg, version in sorted(manifest.get("packages", {}).items()):
+        rows.append((f"package[{pkg}]", version))
+    for path, digest in sorted(manifest.get("inputs", {}).items()):
+        rows.append((f"input[{path}]", digest[:12]))
+    ingest = manifest.get("ingest") or {}
+    for key in ("n_rows", "n_good", "n_bad", "quarantine_path"):
+        if key in ingest:
+            rows.append((f"ingest {key}", ingest[key]))
+    for reason, count in sorted((ingest.get("reasons") or {}).items()):
+        rows.append((f"ingest rejected[{reason}]", count))
+    degradations = manifest.get("degradations") or []
+    rows.append(("degradations", len(degradations)))
+    for d in degradations:
+        label = d.get("kind", "degraded") if isinstance(d, dict) else str(d)
+        detail = d.get("detail", "") if isinstance(d, dict) else ""
+        rows.append((f"  {label}", detail))
+    return rows

@@ -1,0 +1,335 @@
+"""Nested span tracing with deterministic identifiers.
+
+A :class:`Tracer` records *spans* — named, attributed, nested intervals on a
+run clock — and exports them as JSONL span records or as Chrome
+``trace_event`` JSON that opens directly in ``chrome://tracing`` / Perfetto.
+
+Two properties distinguish this tracer from an off-the-shelf one:
+
+- **Deterministic span IDs.** A span's id is a content hash of its
+  identity, never of wall time or memory addresses. Path-based spans hash
+  ``(namespace, nesting path, occurrence)``; spans created with an explicit
+  ``key`` hash ``(trace_id, name, key)`` only — so the *same task* gets the
+  *same span id* whether it runs serially, in a process-pool worker, or is
+  served from a checkpoint journal on a resumed run.
+- **Deterministic clock (opt-in).** With ``deterministic=True`` timestamps
+  come from a monotonic event counter instead of ``perf_counter``, so two
+  runs of the same seeded workload produce byte-identical trace artifacts.
+
+The disabled path is a pair of shared singletons (:data:`DISABLED_TRACER`,
+:data:`NOOP_SPAN`) that allocate nothing per call — tracing off must be
+near-free (see ``tests/obs/test_noop.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "DISABLED_TRACER",
+    "span_identity",
+    "chrome_trace_events",
+    "write_trace_jsonl",
+    "write_chrome_trace",
+]
+
+#: Bump when the span-record field set changes.
+TRACE_SCHEMA = 1
+
+#: Hex characters kept from the sha256 digest for a span id.
+_ID_LEN = 16
+
+
+def span_identity(trace_id: str, name: str, key: str) -> str:
+    """The deterministic span id for an explicitly keyed span.
+
+    Pure function of ``(trace_id, name, key)`` — independent of nesting,
+    call order, process, or clock. Executors use this so the same task
+    yields the same id on every backend and on checkpoint resume.
+    """
+    raw = f"{trace_id}\x00key\x00{name}\x00{key}".encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()[:_ID_LEN]
+
+
+def _path_identity(namespace: str, path: str, occurrence: int) -> str:
+    raw = f"{namespace}\x00path\x00{path}\x00{occurrence}".encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()[:_ID_LEN]
+
+
+class Span:
+    """One traced interval; use as a context manager.
+
+    Identity (id, parent, path) is assigned on ``__enter__`` so nesting
+    reflects runtime structure, not construction order. ``set(**attrs)``
+    adds attributes mid-span; an exception escaping the block records its
+    class name under the ``error`` attribute before propagating.
+    """
+
+    __slots__ = (
+        "tracer", "name", "key", "attrs",
+        "span_id", "parent_id", "path", "tid",
+        "start_us", "dur_us",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, key: Optional[str],
+                 attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.key = key
+        self.attrs = attrs
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self.path = ""
+        self.tid = tracer.tid
+        self.start_us = 0
+        self.dur_us = 0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds (event ticks × 1 µs when deterministic)."""
+        return self.dur_us / 1e6
+
+    def __enter__(self) -> "Span":
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._exit(self)
+        return False
+
+    def to_record(self) -> Dict[str, Any]:
+        """The exportable form of a *finished* span."""
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "path": self.path,
+            "tid": self.tid,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    duration_s = 0.0
+    dur_us = 0
+    span_id = ""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+#: The one no-op span instance; ``obs.span(...)`` returns it (never a fresh
+#: object) whenever tracing is off.
+NOOP_SPAN = _NoopSpan()
+
+
+class _DisabledTracer:
+    """Tracer stand-in installed while observability is off."""
+
+    enabled = False
+    tid = 0
+
+    def span(self, name: str, key: Optional[str] = None, **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def finished(self) -> List[Dict[str, Any]]:
+        return []
+
+    def adopt(self, records: Iterable[Dict[str, Any]],
+              parent_id: Optional[str] = None, tid: Optional[int] = None) -> None:
+        pass
+
+
+DISABLED_TRACER = _DisabledTracer()
+
+
+class Tracer:
+    """Collects finished span records on one run clock.
+
+    ``trace_id`` names the run and seeds every keyed span id; ``namespace``
+    (defaults to ``trace_id``) additionally seeds path-based ids — worker
+    processes use a per-chunk namespace so their internal spans cannot
+    collide while their *task* spans (keyed) still match the serial run.
+    """
+
+    enabled = True
+
+    def __init__(self, trace_id: str = "autosens",
+                 namespace: Optional[str] = None,
+                 deterministic: bool = False,
+                 tid: int = 0) -> None:
+        self.trace_id = trace_id
+        self.namespace = namespace if namespace is not None else trace_id
+        self.deterministic = deterministic
+        self.tid = tid
+        self._t0 = time.perf_counter()
+        self._tick = 0
+        self._stack: List[Span] = []
+        self._occurrences: Dict[str, int] = {}
+        self._records: List[Dict[str, Any]] = []
+
+    # -- clock ---------------------------------------------------------------
+
+    def now_us(self) -> int:
+        """Microseconds on the run clock (event count when deterministic)."""
+        if self.deterministic:
+            self._tick += 1
+            return self._tick
+        return int((time.perf_counter() - self._t0) * 1e6)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, key: Optional[str] = None, **attrs: Any) -> Span:
+        """Create a span; enter it with ``with`` to start the clock."""
+        return Span(self, name, key, attrs)
+
+    def _enter(self, span: Span) -> None:
+        parent = self._stack[-1] if self._stack else None
+        span.parent_id = parent.span_id if parent is not None else None
+        parent_path = parent.path if parent is not None else ""
+        span.path = f"{parent_path}/{span.name}"
+        if span.key is not None:
+            span.span_id = span_identity(self.trace_id, span.name, span.key)
+        else:
+            n = self._occurrences.get(span.path, 0)
+            self._occurrences[span.path] = n + 1
+            span.span_id = _path_identity(self.namespace, span.path, n)
+        span.start_us = self.now_us()
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        end = self.now_us()
+        span.dur_us = end - span.start_us
+        # Tolerate out-of-order exits (a span kept past its parent) by
+        # popping down to the span rather than asserting strict nesting.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._records.append(span.to_record())
+
+    # -- record access -------------------------------------------------------
+
+    def finished(self) -> List[Dict[str, Any]]:
+        """All completed span records, in completion (post-)order."""
+        return list(self._records)
+
+    def adopt(self, records: Iterable[Dict[str, Any]],
+              parent_id: Optional[str] = None, tid: Optional[int] = None) -> None:
+        """Merge finished records from another tracer (e.g. a worker).
+
+        Roots among ``records`` (``parent is None``) are re-parented onto
+        ``parent_id``; ``tid`` restamps the thread lane for trace viewers.
+        """
+        for record in records:
+            adopted = dict(record)
+            if adopted.get("parent") is None:
+                adopted["parent"] = parent_id
+            if tid is not None:
+                adopted["tid"] = tid
+            self._records.append(adopted)
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def _json_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Attributes coerced to JSON-stable scalars (repr for exotic values)."""
+    out: Dict[str, Any] = {}
+    for k, v in attrs.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = repr(v)
+    return out
+
+
+def trace_jsonl_lines(records: Iterable[Dict[str, Any]]) -> Iterable[str]:
+    """One compact, key-sorted JSON object per finished span."""
+    for record in records:
+        payload = dict(record)
+        payload["attrs"] = _json_attrs(payload.get("attrs", {}))
+        payload["schema"] = TRACE_SCHEMA
+        yield json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace_jsonl(records: Iterable[Dict[str, Any]],
+                      path: Union[str, Path]) -> int:
+    """Write span records as JSONL; returns the number of lines written."""
+    path = Path(path)
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in trace_jsonl_lines(records):
+            fh.write(line)
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def chrome_trace_events(records: Iterable[Dict[str, Any]],
+                        pid: int = 0) -> List[Dict[str, Any]]:
+    """Span records as Chrome ``trace_event`` complete ("X") events."""
+    events = []
+    for record in records:
+        args = _json_attrs(record.get("attrs", {}))
+        args["span_id"] = record["id"]
+        if record.get("parent"):
+            args["parent_id"] = record["parent"]
+        events.append({
+            "ph": "X",
+            "name": record["name"],
+            "cat": "autosens",
+            "ts": record["start_us"],
+            "dur": record["dur_us"],
+            "pid": pid,
+            "tid": record.get("tid", 0),
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(records: Iterable[Dict[str, Any]],
+                       path: Union[str, Path],
+                       trace_id: str = "autosens") -> int:
+    """Write records as a Chrome/Perfetto trace file; returns event count.
+
+    The output is a single JSON object (``{"traceEvents": [...]}``) with
+    sorted keys and no whitespace variation, so a deterministic-clock trace
+    is byte-reproducible.
+    """
+    events = chrome_trace_events(records)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id, "schema": TRACE_SCHEMA},
+    }
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return len(events)

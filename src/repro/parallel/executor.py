@@ -28,8 +28,9 @@ Task-raised exceptions (data errors) still propagate unchanged.
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Iterable, List, Optional, Protocol, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Union
 
+import repro.obs as obs
 from repro.errors import ConfigError
 from repro.parallel.retry import RetryPolicy, call_with_retry
 
@@ -62,6 +63,28 @@ class Executor(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def _task_name(fn: Callable[[Any], Any]) -> str:
+    """A stable human/span name for a task function."""
+    return getattr(fn, "__qualname__", type(fn).__name__)
+
+
+def _run_task_spans(fn: Callable[[Any], Any], items: Sequence[Any],
+                    base: int = 0) -> List[Any]:
+    """Run items with one keyed span each; the traced serial inner loop.
+
+    Keys are ``{fn qualname}[{base + index}]`` — a pure function of the
+    task's position, so the same task carries the same span id on the
+    serial backend, in a process worker, and on a checkpoint resume.
+    """
+    name = _task_name(fn)
+    out: List[Any] = []
+    for i, item in enumerate(items):
+        with obs.span("task", key=f"{name}[{base + i}]", task=name,
+                      index=base + i):
+            out.append(fn(item))
+    return out
+
+
 class SerialExecutor:
     """Run tasks inline, one after another (the reference backend)."""
 
@@ -71,16 +94,52 @@ class SerialExecutor:
         items: Sequence[Any],
         chunk_size: Optional[int] = None,
     ) -> List[Any]:
-        return [fn(item) for item in items]
+        if not obs.enabled():
+            return [fn(item) for item in items]
+        return _run_task_spans(fn, items)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
 
 
-def _apply_chunk(payload: tuple) -> List[Any]:
-    """Top-level (picklable) helper: apply ``fn`` to one chunk of items."""
-    fn, chunk = payload
-    return [fn(item) for item in chunk]
+def _obs_spec() -> Optional[Dict[str, Any]]:
+    """What a worker needs to rebuild a compatible tracer (None when off)."""
+    if not obs.enabled():
+        return None
+    ctx = obs.current()
+    return {"trace_id": ctx.tracer.trace_id,
+            "deterministic": ctx.tracer.deterministic}
+
+
+def _apply_chunk(payload: tuple) -> Any:
+    """Top-level (picklable) helper: apply ``fn`` to one chunk of items.
+
+    The legacy two-field payload ``(fn, chunk)`` returns a plain result
+    list. The traced four-field payload ``(fn, chunk, base, obs_spec)``
+    additionally runs each item under a keyed task span on a worker-local
+    tracer and returns ``(results, span_records)`` so the parent can adopt
+    the worker's spans. The worker tracer shares the parent's ``trace_id``
+    (keyed ids match the serial run) but namespaces its path-based ids per
+    chunk, so two workers' internal spans can never collide.
+    """
+    if len(payload) == 2:
+        fn, chunk = payload
+        return [fn(item) for item in chunk]
+    fn, chunk, base, spec = payload
+    from repro.obs import session
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(
+        trace_id=spec["trace_id"],
+        namespace=f"{spec['trace_id']}/chunk{base}",
+        deterministic=spec["deterministic"],
+    )
+    with session(enabled=True, level="error",
+                 deterministic=spec["deterministic"],
+                 run_id=spec["trace_id"]) as ctx:
+        ctx.tracer = tracer
+        results = _run_task_spans(fn, chunk, base=base)
+    return results, tracer.finished()
 
 
 class ProcessExecutor:
@@ -119,12 +178,21 @@ class ProcessExecutor:
             size = max(1, -(-len(items) // (4 * self.max_workers)))
         return [items[i:i + size] for i in range(0, len(items), size)]
 
-    def _recover_chunk(self, fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
+    def _recover_chunk(self, fn: Callable[[Any], Any], chunk: Sequence[Any],
+                       base: int = 0) -> List[Any]:
         """Re-execute a lost chunk in-process, item by item, with retries."""
-        return [
-            call_with_retry(fn, item, policy=self.retry, task_name=f"chunk-item[{i}]")
-            for i, item in enumerate(chunk)
-        ]
+        traced = obs.enabled()
+        out: List[Any] = []
+        name = _task_name(fn)
+        for i, item in enumerate(chunk):
+            span = (obs.span("task", key=f"{name}[{base + i}]", task=name,
+                             index=base + i, recovered=True)
+                    if traced else obs.NOOP_SPAN)
+            with span:
+                out.append(call_with_retry(
+                    fn, item, policy=self.retry, task_name=f"chunk-item[{i}]"
+                ))
+        return out
 
     def map_ordered(
         self,
@@ -136,28 +204,61 @@ class ProcessExecutor:
         if not items:
             return []
         if len(items) == 1 or self.max_workers == 1:
-            return [fn(item) for item in items]
+            if not obs.enabled():
+                return [fn(item) for item in items]
+            return _run_task_spans(fn, items)
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures import TimeoutError as FutureTimeout
         from concurrent.futures.process import BrokenProcessPool
 
         chunks = self._chunks(items, chunk_size)
+        spec = _obs_spec()
+        bases: List[int] = []
+        base = 0
+        for chunk in chunks:
+            bases.append(base)
+            base += len(chunk)
         timeout = self.retry.timeout_s
         out: List[Any] = []
         recovered = False
+        chunk_span = obs.span("pool_map", n_items=len(items),
+                              n_chunks=len(chunks),
+                              backend="process")
         pool = ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks)))
         try:
-            futures = [pool.submit(_apply_chunk, (fn, chunk)) for chunk in chunks]
-            for future, chunk in zip(futures, chunks):  # input order
-                try:
-                    out.extend(future.result(timeout=timeout))
-                except (BrokenProcessPool, FutureTimeout, OSError):
-                    # A worker died or the chunk blew its budget. The pool
-                    # may be unusable (a break fails every in-flight
-                    # future), so recover this chunk serially; purity makes
-                    # the result bit-identical.
-                    recovered = True
-                    out.extend(self._recover_chunk(fn, chunk))
+            with chunk_span:
+                futures = [
+                    pool.submit(
+                        _apply_chunk,
+                        (fn, chunk) if spec is None
+                        else (fn, chunk, b, spec),
+                    )
+                    for chunk, b in zip(chunks, bases)
+                ]
+                for future, chunk, b in zip(futures, chunks, bases):  # input order
+                    try:
+                        value = future.result(timeout=timeout)
+                        if spec is not None:
+                            results, records = value
+                            ctx = obs.current()
+                            ctx.tracer.adopt(records,
+                                             parent_id=chunk_span.span_id,
+                                             tid=1 + b)
+                            out.extend(results)
+                        else:
+                            out.extend(value)
+                    except (BrokenProcessPool, FutureTimeout, OSError) as exc:
+                        # A worker died or the chunk blew its budget. The pool
+                        # may be unusable (a break fails every in-flight
+                        # future), so recover this chunk serially; purity makes
+                        # the result bit-identical.
+                        recovered = True
+                        reason = ("timeout" if isinstance(exc, FutureTimeout)
+                                  else "crash" if isinstance(exc, BrokenProcessPool)
+                                  else "os-error")
+                        obs.inc("autosens_executor_recoveries_total",
+                                reason=reason)
+                        out.extend(self._recover_chunk(fn, chunk, base=b))
         finally:
             # After a timeout a worker may still be running; don't block on
             # it — drop the pool without waiting.

@@ -26,8 +26,9 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.parallel.checkpoint import CheckpointJournal
-from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.executor import Executor, SerialExecutor, _task_name
 from repro.parallel.retry import RetryPolicy, call_with_retry, is_retryable
 
 __all__ = ["ResilientExecutor"]
@@ -55,6 +56,11 @@ class _Journaled:
     def __init__(self, fn: Callable[[Any], Any], checkpoint: CheckpointJournal) -> None:
         self.fn = fn
         self.checkpoint = checkpoint
+        # Mirror the wrapped function's identity so span keys (derived from
+        # the qualname) are identical whether a task runs wrapped on a cold
+        # run or is re-keyed on a resumed one.
+        self.__qualname__ = getattr(fn, "__qualname__", type(fn).__name__)
+        self.__module__ = getattr(fn, "__module__", "")
 
     def __call__(self, item: Any) -> Any:
         value = self.fn(item)
@@ -92,13 +98,24 @@ class ResilientExecutor:
         pending: List[int] = []
         work_fn: Callable[[Any], Any] = fn
         if self.checkpoint is not None:
+            traced = obs.enabled()
+            name = _task_name(fn)
             work_fn = _Journaled(fn, self.checkpoint)
             for i, item in enumerate(items):
                 hit, value = self.checkpoint.fetch(_task_key(self.checkpoint, fn, item))
                 if hit:
                     results[i] = value
+                    obs.inc("autosens_checkpoint_total", outcome="hit")
+                    if traced:
+                        # A zero-work span with the task's canonical key, so
+                        # a resumed run's trace shows the cached task under
+                        # the *same* span id the cold run used.
+                        with obs.span("task", key=f"{name}[{i}]", task=name,
+                                      index=i, cached=True):
+                            pass
                 else:
                     pending.append(i)
+                    obs.inc("autosens_checkpoint_total", outcome="miss")
         else:
             pending = list(range(len(items)))
 
@@ -115,6 +132,8 @@ class ResilientExecutor:
                 # serial path — purity makes the results bit-identical.
                 # Tasks the dying pool did finish are already journaled, so
                 # check the journal before recomputing each one.
+                obs.inc("autosens_crash_recoveries_total",
+                        error=type(exc).__name__)
                 fresh = []
                 for i in pending:
                     if self.checkpoint is not None:

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Tuple, Type
 
+import repro.obs as obs
 from repro.errors import ConfigError, ReproError, TaskFailedError
 
 __all__ = ["RetryPolicy", "call_with_retry", "is_retryable"]
@@ -109,5 +110,8 @@ def call_with_retry(
                 raise
             last = exc
             if attempt < policy.max_attempts:
+                obs.inc("autosens_task_retries_total",
+                        error=type(exc).__name__)
                 sleep(next(delays))
+    obs.inc("autosens_task_failures_total", error=type(last).__name__)
     raise TaskFailedError(task_name, policy.max_attempts, last) from last

@@ -26,7 +26,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+import repro.obs as obs
 from repro.errors import ConfigError, IngestError
+
+_log = obs.get_logger(__name__)
 
 __all__ = [
     "INGEST_MODES",
@@ -231,14 +234,38 @@ class IngestCollector:
             self._sink.write("\n")
 
     def finish(self) -> IngestReport:
-        """Close the quarantine sink and enforce the error budget."""
+        """Close the quarantine sink and enforce the error budget.
+
+        Also flushes the read's totals into the metrics registry — once per
+        read, not per row, so the streaming loop stays untouched:
+        ``autosens_ingest_rows_total{mode,outcome}`` with ``outcome`` one of
+        ``read`` (accepted), ``skipped`` (rejected, lenient) or
+        ``quarantined`` (rejected and written to the quarantine sink).
+        """
         if self._sink is not None:
             self._sink.close()
             self._sink = None
-        if not self.report.within_budget:
-            raise IngestError(
-                f"{self.report.source}: {self.report.summary()} — exceeds the "
-                f"error budget of {self.policy.max_bad_share:.2%}",
-                report=self.report,
+        report = self.report
+        mode = self.policy.mode
+        if report.n_rows:
+            obs.inc("autosens_ingest_rows_total", float(report.n_rows),
+                    mode=mode, outcome="read")
+        if report.n_bad:
+            outcome = "quarantined" if mode == "quarantine" else "skipped"
+            obs.inc("autosens_ingest_rows_total", float(report.n_bad),
+                    mode=mode, outcome=outcome)
+            for reason, count in sorted(report.reasons.items()):
+                obs.inc("autosens_ingest_rejects_total", float(count),
+                        mode=mode, reason=reason)
+            _log.warning(
+                "ingest rejects", source=report.source, mode=mode,
+                n_bad=report.n_bad, bad_share=round(report.bad_share, 4),
+                quarantine=report.quarantine_path or "",
             )
-        return self.report
+        if not report.within_budget:
+            raise IngestError(
+                f"{report.source}: {report.summary()} — exceeds the "
+                f"error budget of {self.policy.max_bad_share:.2%}",
+                report=report,
+            )
+        return report

@@ -87,10 +87,13 @@ def quality_report(
     flags: List[QualityFlag] = []
     if ingest is not None and ingest.n_bad > 0:
         severity = "warn" if ingest.within_budget else "error"
-        flags.append(QualityFlag(
-            severity, f"ingestion rejected {ingest.n_bad} rows "
-                      f"({ingest.bad_share:.2%}): " + ", ".join(
-                          f"{r}={c}" for r, c in sorted(ingest.reasons.items()))))
+        breakdown = ", ".join(
+            f"{r}={c}" for r, c in sorted(ingest.reasons.items()))
+        message = (f"ingestion rejected {ingest.n_bad} rows "
+                   f"({ingest.bad_share:.2%}) by fault class: {breakdown}")
+        if ingest.quarantine_path:
+            message += f"; rejected rows quarantined to {ingest.quarantine_path}"
+        flags.append(QualityFlag(severity, message))
 
     times = np.sort(logs.times)
     start, end = float(times[0]), float(times[-1])

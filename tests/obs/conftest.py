@@ -1,0 +1,12 @@
+"""Shared fixtures for the observability tests."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_state():
+    """Never leak an enabled context (or its metrics) into another test."""
+    yield
+    obs.disable()

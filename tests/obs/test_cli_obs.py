@@ -1,0 +1,87 @@
+"""CLI observability flags: artifact emission, byte-identity, obs summary."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+
+
+def _run(tmp_path, tag, seed="11"):
+    """One instrumented smoke experiment; returns the artifact paths."""
+    trace = tmp_path / f"{tag}-trace.json"
+    metrics = tmp_path / f"{tag}-metrics.prom"
+    manifest = tmp_path / f"{tag}-manifest.json"
+    status = main([
+        "experiment", "bottleneck", "--scale", "small", "--seed", seed,
+        "--no-plots",
+        "--trace-out", str(trace),
+        "--metrics-out", str(metrics),
+        "--manifest-out", str(manifest),
+        "--deterministic-trace",
+    ])
+    assert status == 0
+    return trace, metrics, manifest
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    return _run(tmp_path_factory.mktemp("obs-cli"), "run")
+
+
+class TestArtifacts:
+    def test_trace_is_a_chrome_trace(self, artifacts):
+        trace, _, _ = artifacts
+        payload = json.loads(trace.read_text())
+        assert payload["otherData"]["schema"] == 1
+        events = payload["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {"experiment", "preference_curve"} <= {e["name"] for e in events}
+
+    def test_metrics_are_prometheus_text(self, artifacts):
+        _, metrics, _ = artifacts
+        text = metrics.read_text()
+        assert "# TYPE autosens_slice_cache_total counter" in text
+
+    def test_manifest_names_the_experiment(self, artifacts):
+        _, _, manifest = artifacts
+        data = json.loads(manifest.read_text())
+        assert data["experiment_id"] == "bottleneck"
+        assert data["seed"] == 11
+        assert data["deterministic"] is True
+        assert "created_at" not in data
+
+    def test_obs_summary_renders_the_manifest(self, artifacts, capsys):
+        _, _, manifest = artifacts
+        assert main(["obs", "summary", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+        assert "run id" in out
+
+    def test_obs_summary_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert main(["obs", "summary", str(bad)]) != 0
+
+
+class TestByteIdentity:
+    def test_two_deterministic_runs_emit_identical_artifacts(self, tmp_path):
+        first = _run(tmp_path, "a")
+        second = _run(tmp_path, "b")
+        for one, two in zip(first, second):
+            assert one.read_bytes() == two.read_bytes(), one.name
+
+
+class TestJsonlTrace:
+    def test_jsonl_suffix_selects_span_jsonl(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "experiment", "table1", "--no-plots",
+            "--trace-out", str(trace), "--deterministic-trace",
+        ]) == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["schema"] == 1
+            assert "dur_us" in record

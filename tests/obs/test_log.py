@@ -1,0 +1,79 @@
+"""Structured logger: formats, thresholds, binding, run-id stamping."""
+
+import io
+import json
+
+import repro.obs as obs
+from repro.obs.log import format_kv, get_logger
+
+
+class TestFormat:
+    def test_kv_line_shape(self):
+        line = format_kv("info", "repro.core", "sweep done",
+                         {"n": 12, "path": "a/b.jsonl", "msg": "two words"})
+        assert line == ('level=info logger=repro.core event="sweep done" '
+                        'n=12 path=a/b.jsonl msg="two words"')
+
+    def test_quoting_rules(self):
+        line = format_kv("warning", "l", "e",
+                         {"flag": True, "none": None, "ratio": 0.25})
+        assert "flag=True" in line
+        assert "none=None" in line
+        assert "ratio=0.25" in line
+
+
+class TestThreshold:
+    def test_disabled_context_emits_nothing(self, capsys):
+        # Default context is disabled; the logger checks it at call time.
+        get_logger("t").error("should not appear")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        with obs.session(enabled=True, level="warning", log_stream=stream):
+            log = get_logger("t")
+            log.debug("hidden")
+            log.info("hidden")
+            log.warning("kept")
+            log.error("kept too")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "level=warning" in lines[0]
+        assert "level=error" in lines[1]
+
+
+class TestBinding:
+    def test_bound_fields_ride_along_and_parent_is_untouched(self):
+        stream = io.StringIO()
+        with obs.session(enabled=True, level="info", log_stream=stream):
+            parent = get_logger("t")
+            child = parent.bind(source="x.jsonl")
+            child.info("read", rows=5)
+            parent.info("plain")
+        first, second = stream.getvalue().splitlines()
+        assert "source=x.jsonl" in first and "rows=5" in first
+        assert "source" not in second
+
+    def test_run_id_stamped_as_default(self):
+        stream = io.StringIO()
+        with obs.session(enabled=True, level="info", log_stream=stream,
+                         run_id="run7"):
+            get_logger("t").info("evt")
+            get_logger("t").info("evt", run_id="explicit")
+        first, second = stream.getvalue().splitlines()
+        assert "run_id=run7" in first
+        assert "run_id=explicit" in second
+
+
+class TestJsonLines:
+    def test_json_mode_is_parseable_and_key_sorted(self):
+        stream = io.StringIO()
+        with obs.session(enabled=True, level="info", log_stream=stream,
+                         log_json=True, run_id="r"):
+            get_logger("t").info("evt", b=2, a=1)
+        (line,) = stream.getvalue().splitlines()
+        payload = json.loads(line)
+        assert payload == {"level": "info", "logger": "t", "event": "evt",
+                           "a": 1, "b": 2, "run_id": "r"}
+        assert list(payload) == sorted(payload)

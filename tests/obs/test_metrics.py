@@ -1,0 +1,113 @@
+"""Metrics instruments and the Prometheus/JSON exporters (golden)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+STAGE_BUCKETS = (0.001, 0.01, 0.1, 1.0)
+
+
+def sample_registry() -> MetricsRegistry:
+    """The fixed registry the golden exporter files were rendered from."""
+    reg = MetricsRegistry()
+    reg.inc("autosens_slice_cache_total", 3.0, help="slice cache lookups",
+            outcome="hit", kind="action")
+    reg.inc("autosens_slice_cache_total", 1.0, outcome="miss", kind="action")
+    reg.set_gauge("autosens_active_workers", 4, help="pool width")
+    reg.observe("autosens_stage_seconds", 0.003, help="stage wall time",
+                buckets=STAGE_BUCKETS, stage="sweep")
+    reg.observe("autosens_stage_seconds", 0.25,
+                buckets=STAGE_BUCKETS, stage="sweep")
+    return reg
+
+
+class TestCounter:
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 1.0, a="1", b="2")
+        reg.inc("x", 2.0, b="2", a="1")
+        assert reg.counter("x").value(a="1", b="2") == 3.0
+
+    def test_counters_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.inc("x", -1.0)
+
+    def test_unlabeled_series(self):
+        reg = MetricsRegistry()
+        reg.inc("plain")
+        assert reg.counter("plain").value() == 1.0
+
+
+class TestGauge:
+    def test_set_overwrites_and_inc_is_signed(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 10.0)
+        reg.gauge("g").inc(-3.0)
+        assert reg.gauge("g").value() == 7.0
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)  # above the last bound -> +Inf
+        assert h.value() == (105.5, 3)
+        snap = h.snapshot()[""]
+        assert snap["buckets"] == {"1": 1, "10": 1}
+        assert snap["inf"] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("h", buckets=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert len(reg) == 1
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+
+class TestExporters:
+    def test_prometheus_matches_golden(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        write_metrics_prometheus(sample_registry(), out)
+        assert out.read_bytes() == (GOLDEN / "metrics.prom").read_bytes()
+
+    def test_json_snapshot_matches_golden(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        write_metrics_json(sample_registry(), out)
+        assert out.read_bytes() == (GOLDEN / "metrics.json").read_bytes()
+
+    def test_two_identical_workloads_render_identically(self):
+        assert (sample_registry().render_prometheus()
+                == sample_registry().render_prometheus())
+
+    def test_prometheus_shape(self):
+        text = sample_registry().render_prometheus()
+        assert "# TYPE autosens_slice_cache_total counter" in text
+        assert "# HELP autosens_slice_cache_total slice cache lookups" in text
+        assert 'le="+Inf"' in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().snapshot() == {}

@@ -1,0 +1,151 @@
+"""Tracer semantics: nesting, deterministic identity, exporters (golden)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.trace import (
+    DISABLED_TRACER,
+    NOOP_SPAN,
+    Tracer,
+    chrome_trace_events,
+    span_identity,
+    trace_jsonl_lines,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def sample_records():
+    """A tiny fixed trace on the deterministic clock (the golden workload)."""
+    tracer = Tracer(trace_id="golden", deterministic=True)
+    with tracer.span("experiment", key="experiment:golden:0",
+                     experiment="golden", seed=0):
+        with tracer.span("sweep", n_tasks=2):
+            with tracer.span("task", key="f[0]", task="f", index=0):
+                pass
+            with tracer.span("task", key="f[1]", task="f", index=1):
+                pass
+    return tracer.finished()
+
+
+class TestNesting:
+    def test_parent_and_path_follow_runtime_structure(self):
+        tracer = Tracer(trace_id="t", deterministic=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.path == "/outer/inner"
+        records = tracer.finished()
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[1]["parent"] is None
+
+    def test_durations_monotonic_on_deterministic_clock(self):
+        tracer = Tracer(trace_id="t", deterministic=True)
+        with tracer.span("a"):
+            pass
+        (record,) = tracer.finished()
+        assert record["dur_us"] > 0
+
+    def test_exception_records_error_attr_and_propagates(self):
+        tracer = Tracer(trace_id="t", deterministic=True)
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (record,) = tracer.finished()
+        assert record["attrs"]["error"] == "ValueError"
+
+
+class TestIdentity:
+    def test_keyed_id_is_pure_function_of_identity(self):
+        expected = span_identity("run", "task", "f[3]")
+        tracer = Tracer(trace_id="run", deterministic=True)
+        with tracer.span("wrapper"):
+            with tracer.span("task", key="f[3]") as span:
+                assert span.span_id == expected
+        # Same key, different nesting and a different tracer instance:
+        other = Tracer(trace_id="run", namespace="run/chunk2",
+                       deterministic=True, tid=3)
+        with other.span("task", key="f[3]") as span:
+            assert span.span_id == expected
+
+    def test_path_ids_count_occurrences(self):
+        tracer = Tracer(trace_id="run", deterministic=True)
+        ids = []
+        for _ in range(2):
+            with tracer.span("stage") as span:
+                ids.append(span.span_id)
+        assert ids[0] != ids[1]
+        # A fresh tracer with the same namespace reproduces both ids.
+        again = Tracer(trace_id="run", deterministic=True)
+        for expected in ids:
+            with again.span("stage") as span:
+                assert span.span_id == expected
+
+    def test_namespace_separates_path_ids(self):
+        a = Tracer(trace_id="run", namespace="run/chunk0", deterministic=True)
+        b = Tracer(trace_id="run", namespace="run/chunk2", deterministic=True)
+        with a.span("task") as sa:
+            pass
+        with b.span("task") as sb:
+            pass
+        assert sa.span_id != sb.span_id
+
+
+class TestAdopt:
+    def test_adopt_reparents_roots_and_restamps_tid(self):
+        parent = Tracer(trace_id="run", deterministic=True)
+        with parent.span("pool_map") as pool:
+            pool_id = pool.span_id
+        worker = Tracer(trace_id="run", namespace="run/chunk0",
+                        deterministic=True)
+        with worker.span("task", key="f[0]"):
+            pass
+        parent.adopt(worker.finished(), parent_id=pool_id, tid=5)
+        adopted = parent.finished()[-1]
+        assert adopted["parent"] == pool_id
+        assert adopted["tid"] == 5
+        assert adopted["id"] == span_identity("run", "task", "f[0]")
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_the_noop_singleton(self):
+        assert DISABLED_TRACER.span("anything", key="k", x=1) is NOOP_SPAN
+        assert DISABLED_TRACER.finished() == []
+
+
+class TestExporters:
+    def test_chrome_trace_matches_golden(self, tmp_path):
+        out = tmp_path / "trace.json"
+        n = write_chrome_trace(sample_records(), out, trace_id="golden")
+        assert n == 4
+        assert out.read_bytes() == (GOLDEN / "trace_chrome.json").read_bytes()
+
+    def test_jsonl_matches_golden(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        n = write_trace_jsonl(sample_records(), out)
+        assert n == 4
+        assert out.read_bytes() == (GOLDEN / "trace_spans.jsonl").read_bytes()
+
+    def test_two_deterministic_runs_are_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(sample_records(), a, trace_id="golden")
+        write_chrome_trace(sample_records(), b, trace_id="golden")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_events_carry_span_and_parent_ids(self):
+        events = chrome_trace_events(sample_records())
+        by_name = {e["name"]: e for e in events}
+        assert by_name["sweep"]["args"]["parent_id"] == \
+            by_name["experiment"]["args"]["span_id"]
+        assert all(e["ph"] == "X" and e["cat"] == "autosens" for e in events)
+
+    def test_exotic_attrs_become_repr(self):
+        tracer = Tracer(trace_id="t", deterministic=True)
+        with tracer.span("s", obj=object(), ok=1, text="x"):
+            pass
+        (line,) = trace_jsonl_lines(tracer.finished())
+        assert '"ok":1' in line and '"text":"x"' in line
+        assert "object object" in line  # repr() fallback

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.stats",
     "repro.analysis",
     "repro.viz",
+    "repro.obs",
 ]
 
 

@@ -113,7 +113,7 @@ def main(argv=None) -> int:
 
     data = load_report(args.output)
     data["scales"][args.scale] = report.to_dict()
-    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    args.output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output} [{args.scale}]")
     return 0
 

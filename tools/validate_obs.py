@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Validate observability artifacts against their schemas (CI gate).
+
+Checks any combination of the three artifact kinds the CLI emits::
+
+    PYTHONPATH=src python tools/validate_obs.py \\
+        --trace out/trace.json --metrics out/metrics.prom \\
+        --manifest out/manifest.json
+
+- ``--trace``: a Chrome ``trace_event`` file (``*.json``) or a span JSONL
+  file (``*.jsonl``). Every event/record must carry the trace schema
+  version and the required span fields, and parents must resolve.
+- ``--metrics``: a Prometheus text file (``*.prom``/``*.txt``) — every
+  sample line must parse and belong to a declared ``# TYPE`` — or a JSON
+  snapshot (``*.json``).
+- ``--manifest``: a run manifest; validated through
+  :func:`repro.obs.manifest.load_manifest` plus required-field checks.
+
+Exit status 0 when everything validates, 1 with one line per violation
+otherwise. Zero third-party dependencies, same as ``repro.obs`` itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest  # noqa: E402
+from repro.obs.trace import TRACE_SCHEMA  # noqa: E402
+
+SPAN_FIELDS = ("name", "id", "parent", "path", "tid", "start_us", "dur_us",
+               "attrs")
+EVENT_FIELDS = ("ph", "name", "cat", "ts", "dur", "pid", "tid", "args")
+MANIFEST_FIELDS = ("schema", "run_id", "experiment_id", "seed",
+                   "config_fingerprint", "deterministic", "python",
+                   "packages", "inputs", "degradations", "ingest", "metrics")
+
+_PROM_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})?'
+    r' (?P<value>[0-9eE+.\-]+|\+Inf|-Inf|NaN)$'
+)
+
+
+def _validate_span_jsonl(path: Path) -> list:
+    errors = []
+    ids = set()
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}:{lineno}: not JSON ({exc})")
+            continue
+        if record.get("schema") != TRACE_SCHEMA:
+            errors.append(f"{path}:{lineno}: schema != {TRACE_SCHEMA}")
+        missing = [f for f in SPAN_FIELDS if f not in record]
+        if missing:
+            errors.append(f"{path}:{lineno}: missing fields {missing}")
+            continue
+        ids.add(record["id"])
+        records.append((lineno, record))
+    for lineno, record in records:
+        parent = record["parent"]
+        if parent is not None and parent not in ids:
+            errors.append(f"{path}:{lineno}: parent {parent!r} not in file")
+    if not records and not errors:
+        errors.append(f"{path}: no span records")
+    return errors
+
+
+def _validate_chrome_trace(path: Path) -> list:
+    errors = []
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not JSON ({exc})"]
+    other = payload.get("otherData", {})
+    if other.get("schema") != TRACE_SCHEMA:
+        errors.append(f"{path}: otherData.schema != {TRACE_SCHEMA}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return errors + [f"{path}: traceEvents missing or empty"]
+    span_ids = {e.get("args", {}).get("span_id") for e in events}
+    for i, event in enumerate(events):
+        missing = [f for f in EVENT_FIELDS if f not in event]
+        if missing:
+            errors.append(f"{path}: event {i} missing fields {missing}")
+            continue
+        if event["ph"] != "X":
+            errors.append(f"{path}: event {i} has phase {event['ph']!r}")
+        parent = event["args"].get("parent_id")
+        if parent is not None and parent not in span_ids:
+            errors.append(f"{path}: event {i} parent {parent!r} unresolved")
+    return errors
+
+
+def _validate_metrics_prom(path: Path) -> list:
+    errors = []
+    declared = set()
+    samples = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                errors.append(f"{path}:{lineno}: malformed TYPE line")
+            else:
+                declared.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            errors.append(f"{path}:{lineno}: unparseable sample {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared and base not in declared:
+            errors.append(f"{path}:{lineno}: {name} has no # TYPE declaration")
+    if samples == 0 and not errors:
+        errors.append(f"{path}: no metric samples")
+    return errors
+
+
+def _validate_metrics_json(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if not isinstance(payload, dict) or not payload:
+        return [f"{path}: snapshot missing or empty"]
+    for name, entry in payload.items():
+        if entry.get("kind") not in ("counter", "gauge", "histogram"):
+            errors.append(f"{path}: {name} has bad kind {entry.get('kind')!r}")
+        if not isinstance(entry.get("series"), dict):
+            errors.append(f"{path}: {name} has no series map")
+    return errors
+
+
+def _validate_manifest(path: Path) -> list:
+    from repro.errors import SchemaError
+
+    try:
+        manifest = load_manifest(path)
+    except SchemaError as exc:
+        return [str(exc)]
+    errors = []
+    missing = [f for f in MANIFEST_FIELDS if f not in manifest]
+    if missing:
+        errors.append(f"{path}: missing fields {missing}")
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        errors.append(f"{path}: schema != {MANIFEST_SCHEMA}")
+    if manifest.get("deterministic") and "created_at" in manifest:
+        errors.append(f"{path}: deterministic manifest carries created_at")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="Chrome trace (*.json) or span JSONL (*.jsonl)")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        help="Prometheus text (*.prom) or snapshot (*.json)")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="run manifest JSON")
+    args = parser.parse_args(argv)
+    if args.trace is None and args.metrics is None and args.manifest is None:
+        parser.error("nothing to validate; pass --trace/--metrics/--manifest")
+
+    errors = []
+    if args.trace is not None:
+        if args.trace.suffix == ".jsonl":
+            errors += _validate_span_jsonl(args.trace)
+        else:
+            errors += _validate_chrome_trace(args.trace)
+    if args.metrics is not None:
+        if args.metrics.suffix == ".json":
+            errors += _validate_metrics_json(args.metrics)
+        else:
+            errors += _validate_metrics_prom(args.metrics)
+    if args.manifest is not None:
+        errors += _validate_manifest(args.manifest)
+
+    if errors:
+        for line in errors:
+            print(f"INVALID: {line}", file=sys.stderr)
+        return 1
+    print("ok: all artifacts validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
