@@ -31,6 +31,8 @@ from repro.parallel import (
     RetryPolicy,
     resolve_executor,
 )
+from repro.parallel.executor import ProcessExecutor
+from repro.runtime.supervisor import Supervisor
 
 #: Every experiment, in the paper's presentation order. Values take
 #: ``(seed, scale)`` keyword arguments except table1 (deterministic).
@@ -73,6 +75,7 @@ def _experiment_manifest(
     scale: Scale,
     manifest_out: Union[str, Path],
     cached: bool,
+    supervisor: Optional[Supervisor] = None,
 ) -> Path:
     """Build and atomically write the run manifest next to the outputs."""
     ctx = obs.current()
@@ -88,6 +91,9 @@ def _experiment_manifest(
     rows = snapshot.get("autosens_ingest_rows_total", {}).get("series", {})
     if rows:
         ingest_totals["rows"] = rows
+    extra: Dict[str, object] = {"outcome_cached": cached}
+    if supervisor is not None and supervisor.enabled:
+        extra["supervision"] = supervisor.summary()
     manifest = obs.build_manifest(
         experiment_id=experiment_id,
         seed=seed if seed is not None else -1,
@@ -96,7 +102,7 @@ def _experiment_manifest(
         ingest=ingest_totals,
         metrics=snapshot,
         deterministic=ctx.deterministic,
-        extra={"outcome_cached": cached},
+        extra=extra,
     )
     return obs.write_manifest(manifest, manifest_out)
 
@@ -109,6 +115,7 @@ def run_experiment(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     retry: Optional[RetryPolicy] = None,
     manifest_out: Optional[Union[str, Path]] = None,
+    supervisor: Optional[Supervisor] = None,
 ) -> ExperimentOutcome:
     """Run one experiment by id (e.g. ``"fig4"``).
 
@@ -122,6 +129,14 @@ def run_experiment(
     skips journaled work — an interrupted sweep continues where it
     stopped, bit-identical to a run that was never interrupted. ``retry``
     tunes the fault-tolerant re-execution of lost tasks (worker crashes).
+
+    ``supervisor`` (a :class:`~repro.runtime.supervisor.Supervisor`) puts
+    the whole run under supervision: its deadline becomes ambient for
+    every cooperative checkpoint, its watchdog supervises process-backend
+    workers, its circuit breaker guards the resilient recovery path, and
+    its memory governor bounds sweep working sets. Everything supervision
+    sheds, trips, kills or spills lands in the run manifest under
+    ``extra.supervision`` plus the regular degradations list.
 
     The run is wrapped in one root span per experiment, and with
     ``manifest_out`` a provenance manifest (seed, config fingerprint,
@@ -158,10 +173,20 @@ def run_experiment(
                 obs.inc("autosens_checkpoint_total", outcome="outcome-hit")
 
         if outcome is None:
+            if executor is not None or supervisor is not None:
+                executor = resolve_executor(executor)
+            if (supervisor is not None and supervisor.watchdog is not None
+                    and isinstance(executor, ProcessExecutor)
+                    and executor.watchdog is None):
+                executor.watchdog = supervisor.watchdog
             if journal is not None or retry is not None:
                 executor = ResilientExecutor(
-                    inner=resolve_executor(executor), retry=retry,
+                    inner=executor if executor is not None
+                    else resolve_executor(None),
+                    retry=retry,
                     checkpoint=journal,
+                    breaker=supervisor.breaker if supervisor is not None
+                    else None,
                 )
 
             kwargs = {}
@@ -170,13 +195,17 @@ def run_experiment(
             kwargs["scale"] = scale
             if executor is not None and _accepts_executor(driver):
                 kwargs["executor"] = executor
-            outcome = driver(**kwargs)
+            if supervisor is not None:
+                with supervisor.scope():
+                    outcome = driver(**kwargs)
+            else:
+                outcome = driver(**kwargs)
             if journal is not None:
                 journal.put(outcome_key, outcome)
 
     if manifest_out is not None:
         _experiment_manifest(experiment_id, seed, scale, manifest_out,
-                             cached=cached_hit)
+                             cached=cached_hit, supervisor=supervisor)
     return outcome
 
 

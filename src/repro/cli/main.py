@@ -13,7 +13,8 @@ Subcommands::
 Exit codes follow the error taxonomy in :mod:`repro.errors`: 0 success,
 1 generic failure (including failed experiment checks), 2 bad
 request/config, 3 schema violation, 4 ingest error budget exceeded,
-5 empty/insufficient data, 6 privacy refusal, 7 task retries exhausted.
+5 empty/insufficient data, 6 privacy refusal, 7 task retries exhausted,
+8 deadline exceeded, 9 circuit breaker open, 10 memory budget exceeded.
 """
 
 from __future__ import annotations
@@ -25,10 +26,13 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.errors import (
+    CircuitOpenError,
     ConfigError,
+    DeadlineExceededError,
     EmptyDataError,
     IngestError,
     InsufficientDataError,
+    MemoryBudgetError,
     PrivacyError,
     ReproError,
     SchemaError,
@@ -45,6 +49,9 @@ _EXIT_CODES = (
     (InsufficientDataError, 5),
     (PrivacyError, 6),
     (TaskFailedError, 7),
+    (DeadlineExceededError, 8),
+    (CircuitOpenError, 9),
+    (MemoryBudgetError, 10),
     (ReproError, 1),
 )
 
@@ -152,6 +159,44 @@ def _export_obs(args: argparse.Namespace) -> None:
         print(f"manifest written to {manifest_out}", file=sys.stderr)
 
 
+def _runtime_parent() -> argparse.ArgumentParser:
+    """Shared supervision flags (``--deadline-s`` & friends; off by default)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("supervision")
+    group.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="wall-clock budget in seconds; over-budget sweeps shed the "
+             "remaining slices (recorded as deadline_exceeded degradations) "
+             "and other stages stop with exit code 8")
+    group.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="memory budget for sweep working sets; completed slices past "
+             "the budget spill to disk, and a single slice that cannot fit "
+             "at all stops with exit code 10")
+    group.add_argument(
+        "--breaker", action="store_true",
+        help="guard flaky stages and ingestion with a circuit breaker: "
+             "repeated failures open the circuit (exit code 9) instead of "
+             "retrying into a known-bad dependency")
+    return parent
+
+
+def _supervisor_from(args: argparse.Namespace):
+    """Build the run's Supervisor, or ``None`` when no flag asks for one."""
+    deadline_s = getattr(args, "deadline_s", None)
+    memory_budget_mb = getattr(args, "memory_budget_mb", None)
+    breaker = getattr(args, "breaker", False)
+    if deadline_s is None and memory_budget_mb is None and not breaker:
+        return None
+    from repro.runtime import Supervisor
+
+    return Supervisor(
+        deadline_s=deadline_s,
+        memory_budget_mb=memory_budget_mb,
+        breaker=breaker,
+    )
+
+
 def _ingest_parent() -> argparse.ArgumentParser:
     """Shared ``--on-bad-rows``/``--quarantine-path`` flags."""
     from repro.telemetry import INGEST_MODES
@@ -184,14 +229,19 @@ def _ingest_policy(args: argparse.Namespace):
     )
 
 
-def _read_logs(path: Path, args: argparse.Namespace):
-    """Read a telemetry file honouring the command's ingest flags."""
+def _read_logs(path: Path, args: argparse.Namespace, supervisor=None):
+    """Read a telemetry file honouring the command's ingest flags.
+
+    With a supervised circuit breaker the reader call routes through it, so
+    repeatedly-failing inputs open the circuit instead of being hammered.
+    """
     from repro.telemetry import read_csv, read_jsonl
 
     policy = _ingest_policy(args)
-    if path.suffix == ".csv":
-        return read_csv(path, policy=policy)
-    return read_jsonl(path, policy=policy)
+    reader = read_csv if path.suffix == ".csv" else read_jsonl
+    if supervisor is not None and supervisor.breaker is not None:
+        return supervisor.breaker.call(reader, path, policy=policy)
+    return reader(path, policy=policy)
 
 
 def _report_ingest(logs) -> None:
@@ -211,6 +261,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     ingest = _ingest_parent()
     observability = _obs_parent()
+    supervision = _runtime_parent()
 
     gen = sub.add_parser("generate", help="generate synthetic telemetry",
                          parents=[ingest, observability])
@@ -223,7 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="output path (.jsonl, .jsonl.gz or .csv)")
 
     ana = sub.add_parser("analyze", help="compute an NLP curve from a log file",
-                         parents=[ingest, observability])
+                         parents=[ingest, observability, supervision])
     ana.add_argument("logs", help="telemetry file (.jsonl, .jsonl.gz, .csv) "
                               "or an exported counts table (counts .json)")
     ana.add_argument("--action", default=None)
@@ -235,7 +286,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the curve series to this CSV path")
 
     exp = sub.add_parser("experiment", help="run paper experiments",
-                         parents=[observability])
+                         parents=[observability, supervision])
     exp.add_argument("ids", nargs="*", default=[],
                      help="experiment ids (default: all)")
     exp.add_argument("--scale", choices=["small", "full"], default="full")
@@ -317,6 +368,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         time_correction=not args.no_time_correction,
         seed=args.seed,
     )
+    supervisor = _supervisor_from(args)
     if path.suffix == ".json":
         from repro.core.aggregate import curve_from_counts, load_counts
 
@@ -325,6 +377,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                   "are ignored", file=sys.stderr)
         curve = curve_from_counts(load_counts(path), config,
                                   slice_description=path.stem)
+    elif supervisor is not None:
+        with supervisor.scope():
+            logs = _read_logs(path, args, supervisor=supervisor)
+            _report_ingest(logs)
+            engine = AutoSens(config)
+            curve = engine.preference_curve(
+                logs, action=args.action, user_class=args.user_class
+            )
     else:
         logs = _read_logs(path, args)
         _report_ingest(logs)
@@ -364,6 +424,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = args.ids or list(EXPERIMENTS)
     status = 0
     outcomes = []
+    supervisor = _supervisor_from(args)
     for i, experiment_id in enumerate(ids):
         # One manifest per invocation: with several ids, the last run wins
         # the flag's path and earlier ones get an id-suffixed sibling.
@@ -374,7 +435,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"{base.stem}.{experiment_id}{base.suffix}"))
         outcome = run_experiment(experiment_id, seed=args.seed, scale=args.scale,
                                  checkpoint_dir=args.checkpoint_dir,
-                                 manifest_out=manifest_out)
+                                 manifest_out=manifest_out,
+                                 supervisor=supervisor)
         outcomes.append(outcome)
         print(outcome.render(include_plots=not args.no_plots))
         print()

@@ -30,6 +30,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
+from repro.runtime.deadline import check_deadline
 from repro.stats.histogram import Histogram1D, HistogramBins
 from repro.stats.rng import SeedLike, spawn_rng
 from repro.core.unbiased import draw_from_sorted
@@ -225,6 +226,7 @@ def slotted_counts(
     boundaries are attributed whole, an error bounded by the typical
     inter-action gap over the slot length).
     """
+    check_deadline("slotted_counts")
     if logs.is_empty:
         raise EmptyDataError("cannot slot empty logs")
     if estimator not in ("sampling", "voronoi"):
@@ -277,6 +279,7 @@ def slotted_counts(
             sorted_times = logs.times[order]
             sorted_latencies = logs.latencies_ms[order]
             for _ in range(12):  # bounded redraw: 12 batches cover >90% waste
+                check_deadline("slotted_counts.redraw")
                 draw = draw_from_sorted(
                     sorted_times, sorted_latencies, n_samples=target, rng=generator
                 )
@@ -315,6 +318,7 @@ def alpha_from_counts(
     ``"weighted"`` (weights bins by their reference-slot counts — less
     noise on sparse data).
     """
+    check_deadline("alpha_from_counts")
     if bin_average not in ("simple", "weighted"):
         raise ConfigError(f"bin_average must be 'simple' or 'weighted', got {bin_average!r}")
     slot_ids = counts.slot_ids

@@ -21,8 +21,16 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 import repro.obs as obs
-from repro.errors import ConfigError, EmptyDataError, InsufficientDataError
+from repro.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    EmptyDataError,
+    InsufficientDataError,
+)
 from repro.parallel import SerialExecutor, resolve_executor
+from repro.runtime.deadline import check_deadline
+from repro.runtime.memory import estimate_counts_bytes, estimate_nbytes
+from repro.runtime.supervisor import active_supervisor
 from repro.stats.histogram import Histogram1D, HistogramBins, latency_bins
 from repro.stats.rng import RngFactory, SeedLike
 from repro.core.alpha import (
@@ -139,6 +147,13 @@ class DegradePolicy:
       histograms cannot support a curve is dropped; the remaining
       references are averaged as long as at least ``min_references``
       survive.
+    - ``on_over_budget="shed"`` — when an ambient supervised deadline
+      (see :mod:`repro.runtime`) expires mid-sweep, the not-yet-computed
+      slices are *shed* (dropped with a recorded ``deadline_exceeded``
+      degradation) and the sweep returns the slices it finished in time;
+      ``"raise"`` instead propagates
+      :class:`~repro.errors.DeadlineExceededError`. Without a supervised
+      deadline this knob is inert.
 
     Warnings accumulate on :attr:`AutoSens.degradations` (and per-curve in
     ``result.metadata["degradations"]``) — degradation is always visible,
@@ -148,6 +163,7 @@ class DegradePolicy:
     on_starved_slice: str = "skip"
     on_starved_reference: str = "skip"
     min_references: int = 1
+    on_over_budget: str = "shed"
 
     def __post_init__(self) -> None:
         for name in ("on_starved_slice", "on_starved_reference"):
@@ -158,11 +174,23 @@ class DegradePolicy:
             raise ConfigError(
                 f"min_references must be >= 1, got {self.min_references}"
             )
+        if self.on_over_budget not in ("raise", "shed"):
+            raise ConfigError(
+                f"on_over_budget must be 'raise' or 'shed', "
+                f"got {self.on_over_budget!r}"
+            )
 
 
 @dataclass(frozen=True)
 class _StarvedSlice:
     """Picklable marker a worker returns for a skipped (degraded) slice."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class _ShedSlice:
+    """Marker for a sweep slice shed by the supervisor (never computed)."""
 
     reason: str
 
@@ -358,9 +386,21 @@ class AutoSens:
             logs, action, user_class, period, month, days_per_month
         )
         curve_span.set(slice=description, n_actions=len(sliced))
+        check_deadline(f"curve [{description}]")
         bins = cfg.bins()
         computer = cfg.computer()
         n_unbiased = int(np.ceil(cfg.unbiased_oversample * len(sliced)))
+        supervisor = active_supervisor()
+        if supervisor is not None and supervisor.memory is not None:
+            # Admission control: refuse a slice whose working set cannot
+            # fit the hard budget at all, before the expensive pass runs.
+            supervisor.memory.admit(
+                estimate_counts_bytes(
+                    len(sliced), bins.count,
+                    oversample=cfg.unbiased_oversample,
+                ),
+                what=f"slice [{description}]",
+            )
         # A *pure* stream keyed by the slice: serial, process-pool and cached
         # evaluations of the same slice all see identical randomness.
         make_rng = lambda: self._rng.stream(f"curve/{description}")
@@ -401,6 +441,7 @@ class AutoSens:
         used_references = []
         degraded: List[str] = []
         for reference in references:
+            check_deadline(f"reference slot {int(reference)} [{description}]")
             try:
                 with obs.span("corrected_reference", slot=int(reference)):
                     alpha = alpha_from_counts(
@@ -455,13 +496,25 @@ class AutoSens:
         :attr:`degradations`) instead of aborting the sweep; the
         ``curves_by_*`` wrappers drop those entries from their result
         dicts.
+
+        Inside an entered :class:`~repro.runtime.supervisor.Supervisor`
+        scope the sweep additionally honors the supervision concerns:
+        slices that cannot run before the deadline are *shed* (recorded as
+        ``deadline_exceeded`` degradations) rather than computed, the
+        memory governor bounds how many working sets run concurrently and
+        spills completed results past its soft limit, and per-slice
+        randomness stays pure — so the slices that do complete are
+        bit-identical to an unsupervised run's.
         """
         skip_slices = (
             self.degrade is not None and self.degrade.on_starved_slice == "skip"
         )
+        supervisor = active_supervisor()
         with obs.span("sweep", n_tasks=len(tasks),
                       backend=type(self.executor).__name__):
-            if isinstance(self.executor, SerialExecutor):
+            if supervisor is not None and supervisor.enabled:
+                results = self._sweep_supervised(tasks, supervisor, skip_slices)
+            elif isinstance(self.executor, SerialExecutor):
                 results: List[Any] = []
                 for lg, kw in tasks:
                     try:
@@ -479,9 +532,121 @@ class AutoSens:
                 self.degradations.append(f"slice skipped: {result.reason}")
                 obs.record_degradation("starved_slice", detail=result.reason)
                 out.append(None)
+            elif isinstance(result, _ShedSlice):
+                # The degradation was recorded by the supervisor when the
+                # slice was shed; keep the local human-readable log too.
+                self.degradations.append(f"slice shed: {result.reason}")
+                out.append(None)
             else:
                 out.append(result)
         return out
+
+    def _sweep_supervised(
+        self,
+        tasks: List[Tuple[LogStore, Dict[str, Any]]],
+        supervisor: Any,
+        skip_slices: bool,
+    ) -> List[Any]:
+        """The sweep loop under an entered supervisor scope.
+
+        Tasks run in bounded *waves* (the memory governor's admission
+        decides how many working sets may be live at once; without a
+        governor one wave holds everything). Between tasks and waves the
+        deadline is consulted: once over budget the remaining slices are
+        shed under ``on_over_budget="shed"`` (the default, also used when
+        no degrade policy is set) or the sweep raises under ``"raise"``.
+        Completed results are accounted to the governor, which spills the
+        least-recently-finished ones to disk past its soft limit; spilled
+        results reload bit-identically before the sweep returns.
+        """
+        cfg = self.config
+        deadline = supervisor.deadline
+        governor = supervisor.memory
+        shed_over_budget = (
+            self.degrade is None or self.degrade.on_over_budget == "shed"
+        )
+
+        def over_budget() -> bool:
+            if deadline is None or not deadline.expired():
+                return False
+            if not shed_over_budget:
+                deadline.check("sweep")  # raises DeadlineExceededError
+            return True
+
+        def shed(idx: int) -> _ShedSlice:
+            reason = (
+                f"sweep task {idx} shed: deadline of "
+                f"{deadline.budget_s:.4g}s exceeded after "
+                f"{deadline.elapsed():.4g}s"
+            )
+            supervisor.shed("deadline_exceeded", task=idx, detail=reason)
+            return _ShedSlice(reason)
+
+        n_tasks = len(tasks)
+        wave_size = n_tasks
+        if governor is not None and n_tasks:
+            per_task = max(
+                estimate_counts_bytes(
+                    len(lg), cfg.bins().count,
+                    oversample=cfg.unbiased_oversample,
+                )
+                for lg, _ in tasks
+            )
+            wave_size = governor.max_concurrent(per_task, n_tasks)
+
+        serial = isinstance(self.executor, SerialExecutor)
+        results: List[Any] = []
+        for start in range(0, n_tasks, max(1, wave_size)):
+            wave = tasks[start:start + max(1, wave_size)]
+            if over_budget():
+                results.extend(shed(start + j) for j in range(len(wave)))
+                continue
+            if serial:
+                for j, (lg, kw) in enumerate(wave):
+                    if over_budget():
+                        results.append(shed(start + j))
+                        continue
+                    try:
+                        results.append(self.preference_curve(lg, **kw))
+                    except InsufficientDataError as exc:
+                        if not skip_slices:
+                            raise
+                        results.append(_StarvedSlice(str(exc)))
+            else:
+                payloads = [
+                    (self.config, self.degrade, lg, kw) for lg, kw in wave
+                ]
+                try:
+                    results.extend(
+                        self.executor.map_ordered(_curve_task, payloads)
+                    )
+                except DeadlineExceededError:
+                    if not shed_over_budget:
+                        raise
+                    # The pool-side wait ran out mid-wave; shed the wave
+                    # whole — partial pool results are not recoverable
+                    # without exceeding the budget further.
+                    results.extend(shed(start + j) for j in range(len(wave)))
+            if governor is not None:
+                for j in range(start, min(start + len(wave), len(results))):
+                    value = results[j]
+                    if value is None or isinstance(
+                        value, (_StarvedSlice, _ShedSlice)
+                    ):
+                        continue
+                    governor.hold(
+                        ("sweep", j), value, nbytes=estimate_nbytes(value)
+                    )
+        if governor is not None:
+            # Reload anything the governor spilled (pickled NumPy arrays
+            # round-trip bit-identically) and release the sweep's keys so
+            # consecutive sweeps never accumulate accounting state.
+            for idx in range(len(results)):
+                hit, value = governor.fetch(("sweep", idx))
+                if hit:
+                    results[idx] = value
+                governor.release(("sweep", idx))
+        return results
 
     def curves_by_action(
         self,

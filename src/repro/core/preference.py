@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError, InsufficientDataError
+from repro.runtime.deadline import check_deadline
 from repro.stats.histogram import Histogram1D
 from repro.stats.savgol import SavitzkyGolay
 from repro.core.result import PreferenceResult
@@ -56,6 +57,7 @@ class PreferenceComputer:
         n_actions: int | None = None,
     ) -> PreferenceResult:
         """Produce the full :class:`PreferenceResult` from B and U."""
+        check_deadline("preference.compute")
         if biased.bins != unbiased.bins:
             raise ConfigError("B and U must share one bin grid")
         bins = biased.bins

@@ -30,6 +30,15 @@ maps each class to a distinct exit code) can react differently:
 - :class:`TaskFailedError` — the fault-tolerant runtime exhausted its
   retries for one task; carries the task name, attempt count and last
   cause (see :mod:`repro.parallel.retry`). CLI exit code 7.
+- :class:`DeadlineExceededError` — a supervised run blew its wall-clock
+  budget and was cooperatively cancelled (see
+  :mod:`repro.runtime.deadline`). CLI exit code 8.
+- :class:`CircuitOpenError` — a call was refused because its circuit
+  breaker is open after repeated failures (see
+  :mod:`repro.runtime.breaker`). CLI exit code 9.
+- :class:`MemoryBudgetError` — the memory governor refused an allocation
+  that cannot fit the configured budget (see
+  :mod:`repro.runtime.memory`). CLI exit code 10.
 """
 
 from __future__ import annotations
@@ -105,3 +114,51 @@ class TaskFailedError(ReproError):
         self.task_name = task_name
         self.attempts = attempts
         self.last_cause = last_cause
+
+
+class DeadlineExceededError(ReproError):
+    """A supervised run exceeded its wall-clock budget.
+
+    Raised at cooperative cancellation checkpoints (sweep loops, the alpha
+    and preference stages, executor waits) once the active
+    :class:`~repro.runtime.deadline.Deadline` has expired. Under a
+    :class:`~repro.core.pipeline.DegradePolicy` with
+    ``on_over_budget="shed"`` the sweep layer converts this into recorded
+    ``deadline_exceeded`` degradations instead of propagating it.
+    """
+
+    def __init__(self, message: str, budget_s: Optional[float] = None,
+                 elapsed_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker refused the call because its circuit is open.
+
+    Carries the breaker name and how long until the breaker will admit a
+    half-open probe, so callers can distinguish "dependency known bad,
+    back off" from the underlying failure itself.
+    """
+
+    def __init__(self, name: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(
+            f"circuit {name!r} is open; retry after {retry_after_s:.3g}s"
+        )
+        self.breaker_name = name
+        self.retry_after_s = retry_after_s
+
+
+class MemoryBudgetError(ReproError):
+    """The memory governor cannot admit an allocation within its budget.
+
+    Raised when a single working set is estimated to exceed the hard
+    memory budget — spilling cannot help, the tensor simply does not fit.
+    """
+
+    def __init__(self, message: str, requested_bytes: Optional[int] = None,
+                 budget_bytes: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes

@@ -7,9 +7,15 @@ each of those failure modes into a seeded, composable
 chaos test — the ingestion layer (:mod:`repro.telemetry.ingest`) and the
 fault-tolerant runtime (:mod:`repro.parallel`) are exercised against them
 in ``tests/faults/``.
+
+:mod:`repro.faults.tasks` adds *execution-level* faults — tasks that hang
+(:class:`~repro.faults.tasks.StalledTask`) or balloon their working set
+(:class:`~repro.faults.tasks.MemoryHog`) — for chaos-testing the
+supervision layer in :mod:`repro.runtime`.
 """
 
 from repro.faults.inject import corrupt_jsonl, corrupt_records, write_corrupted
+from repro.faults.tasks import MemoryHog, StalledTask
 from repro.faults.specs import (
     DEFAULT_FAULT_SPECS,
     ClockSkew,
@@ -40,6 +46,8 @@ __all__ = [
     "DropFields",
     "GapWindow",
     "DEFAULT_FAULT_SPECS",
+    "StalledTask",
+    "MemoryHog",
     "corrupt_records",
     "corrupt_jsonl",
     "write_corrupted",

@@ -31,8 +31,9 @@ import os
 from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Union
 
 import repro.obs as obs
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlineExceededError
 from repro.parallel.retry import RetryPolicy, call_with_retry
+from repro.runtime.deadline import active_deadline, check_deadline
 
 __all__ = [
     "Executor",
@@ -79,6 +80,7 @@ def _run_task_spans(fn: Callable[[Any], Any], items: Sequence[Any],
     name = _task_name(fn)
     out: List[Any] = []
     for i, item in enumerate(items):
+        check_deadline(f"task {name}[{base + i}]")
         with obs.span("task", key=f"{name}[{base + i}]", task=name,
                       index=base + i):
             out.append(fn(item))
@@ -95,7 +97,11 @@ class SerialExecutor:
         chunk_size: Optional[int] = None,
     ) -> List[Any]:
         if not obs.enabled():
-            return [fn(item) for item in items]
+            out: List[Any] = []
+            for item in items:
+                check_deadline("serial task")
+                out.append(fn(item))
+            return out
         return _run_task_spans(fn, items)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -154,6 +160,19 @@ class ProcessExecutor:
     chunk's wall-clock via ``timeout_s`` and governs the serial re-execution
     of chunks lost to worker crashes or timeouts. The default policy
     recovers crashes but applies no timeout.
+
+    ``watchdog`` (a :class:`~repro.runtime.watchdog.Watchdog`) enables
+    hung-worker supervision: every task is wrapped in a heartbeat shim and
+    a worker whose heartbeat stalls is killed — breaking the pool, which
+    lands the lost chunks on the same serial recovery path as a crash, so
+    the requeued results stay bit-identical. The executor starts the
+    watchdog thread on demand; whoever owns the watchdog stops it.
+
+    An ambient :class:`~repro.runtime.deadline.Deadline` (see
+    :func:`repro.runtime.deadline.deadline_scope`) additionally bounds
+    every blocking wait on a chunk: an over-budget map raises
+    :class:`~repro.errors.DeadlineExceededError` at the next chunk
+    boundary instead of waiting out a stuck pool.
     """
 
     def __init__(
@@ -161,6 +180,7 @@ class ProcessExecutor:
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
+        watchdog: Optional[Any] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -169,6 +189,7 @@ class ProcessExecutor:
         self.max_workers = max_workers or max(1, os.cpu_count() or 1)
         self.chunk_size = chunk_size
         self.retry = retry or RetryPolicy()
+        self.watchdog = watchdog
 
     def _chunks(self, items: Sequence[Any], chunk_size: Optional[int]) -> List[Sequence[Any]]:
         size = chunk_size or self.chunk_size
@@ -185,6 +206,7 @@ class ProcessExecutor:
         out: List[Any] = []
         name = _task_name(fn)
         for i, item in enumerate(chunk):
+            check_deadline(f"recovery {name}[{base + i}]")
             span = (obs.span("task", key=f"{name}[{base + i}]", task=name,
                              index=base + i, recovered=True)
                     if traced else obs.NOOP_SPAN)
@@ -219,6 +241,13 @@ class ProcessExecutor:
             bases.append(base)
             base += len(chunk)
         timeout = self.retry.timeout_s
+        deadline = active_deadline()
+        work_fn = fn
+        if self.watchdog is not None:
+            # Heartbeat shim + supervision thread: a live-but-stuck worker
+            # is killed, breaking the pool onto the serial recovery path.
+            work_fn = self.watchdog.wrap(fn)
+            self.watchdog.start()
         out: List[Any] = []
         recovered = False
         chunk_span = obs.span("pool_map", n_items=len(items),
@@ -230,14 +259,18 @@ class ProcessExecutor:
                 futures = [
                     pool.submit(
                         _apply_chunk,
-                        (fn, chunk) if spec is None
-                        else (fn, chunk, b, spec),
+                        (work_fn, chunk) if spec is None
+                        else (work_fn, chunk, b, spec),
                     )
                     for chunk, b in zip(chunks, bases)
                 ]
                 for future, chunk, b in zip(futures, chunks, bases):  # input order
+                    if deadline is not None:
+                        deadline.check("pool_map")
+                    wait_s = (deadline.timeout_or(timeout)
+                              if deadline is not None else timeout)
                     try:
-                        value = future.result(timeout=timeout)
+                        value = future.result(timeout=wait_s)
                         if spec is not None:
                             results, records = value
                             ctx = obs.current()

@@ -17,6 +17,13 @@ inner executor's ``map_ordered``:
    :class:`~repro.errors.TaskFailedError` with the task name, attempt
    count and last cause.
 
+A :class:`~repro.runtime.breaker.CircuitBreaker` may additionally guard
+the serial recovery path: once recoveries keep failing the breaker opens
+and the executor stops feeding retries into a known-bad dependency,
+raising :class:`~repro.errors.CircuitOpenError` instead. An ambient
+:class:`~repro.runtime.deadline.Deadline` bounds the recovery loop at
+every task boundary.
+
 Determinism is preserved throughout: results always come back in input
 order, and which backend (or journal) produced a result is unobservable.
 """
@@ -30,6 +37,7 @@ import repro.obs as obs
 from repro.parallel.checkpoint import CheckpointJournal
 from repro.parallel.executor import Executor, SerialExecutor, _task_name
 from repro.parallel.retry import RetryPolicy, call_with_retry, is_retryable
+from repro.runtime.deadline import check_deadline
 
 __all__ = ["ResilientExecutor"]
 
@@ -77,11 +85,13 @@ class ResilientExecutor:
         retry: Optional[RetryPolicy] = None,
         checkpoint: Optional[CheckpointJournal] = None,
         sleep: Callable[[float], None] = time.sleep,
+        breaker: Optional[Any] = None,
     ) -> None:
         self.inner = inner if inner is not None else SerialExecutor()
         self.retry = retry or RetryPolicy()
         self.checkpoint = checkpoint
         self._sleep = sleep
+        self.breaker = breaker
 
     def map_ordered(
         self,
@@ -136,6 +146,7 @@ class ResilientExecutor:
                         error=type(exc).__name__)
                 fresh = []
                 for i in pending:
+                    check_deadline(f"resilient recovery task[{i}]")
                     if self.checkpoint is not None:
                         hit, value = self.checkpoint.fetch(
                             _task_key(self.checkpoint, fn, items[i])
@@ -148,6 +159,7 @@ class ResilientExecutor:
                         policy=self.retry,
                         task_name=f"task[{i}]",
                         sleep=self._sleep,
+                        breaker=self.breaker,
                     ))
             for i, value in zip(pending, fresh):
                 results[i] = value

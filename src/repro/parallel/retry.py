@@ -1,27 +1,44 @@
 """Retry-with-backoff and per-task timeout semantics.
 
 A :class:`RetryPolicy` says how often to re-attempt a failed task and how
-long to wait between attempts (exponential backoff, capped). It is
-deliberately free of randomness — deterministic delays keep the runtime's
-behavior reproducible — and the sleep function is injectable so tests run
-instantly.
+long to wait between attempts (exponential backoff, capped). Delays are
+deterministic by default; the opt-in ``jitter="decorrelated"`` mode adds
+*seed-derived* decorrelated jitter — still a pure function of the policy's
+``jitter_seed``, so reproducibility survives while fleet-wide retries stop
+synchronizing into thundering herds. The sleep function is injectable so
+tests run instantly.
 
 Data errors (:class:`~repro.errors.ReproError`) are *not* retried by
 default: a slice that is too sparse stays too sparse, and retrying it only
 burns time. The retryable set targets infrastructure faults — crashed
 workers, broken pools, timeouts, transient OS errors.
+
+A :class:`~repro.runtime.breaker.CircuitBreaker` can be threaded through
+:func:`call_with_retry`: attempts route through the breaker, so once the
+circuit opens the retry loop stops immediately with
+:class:`~repro.errors.CircuitOpenError` instead of burning its remaining
+attempts into a known-bad dependency.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Tuple, Type
 
 import repro.obs as obs
-from repro.errors import ConfigError, ReproError, TaskFailedError
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    ReproError,
+    TaskFailedError,
+)
 
-__all__ = ["RetryPolicy", "call_with_retry", "is_retryable"]
+__all__ = ["RetryPolicy", "call_with_retry", "is_retryable", "JITTER_MODES"]
+
+#: Accepted ``RetryPolicy.jitter`` values.
+JITTER_MODES = ("none", "decorrelated")
 
 
 @dataclass(frozen=True)
@@ -32,6 +49,12 @@ class RetryPolicy:
     bound a task (the process backend); in-process callers cannot preempt
     a running function, so they ignore it. ``max_attempts=1`` means "no
     retries" — the first failure is final.
+
+    ``jitter="decorrelated"`` switches :meth:`delays` to the decorrelated
+    jitter scheme (each delay drawn uniformly from ``[base, 3 × previous]``,
+    capped): retries across a fleet de-synchronize, yet the sequence is a
+    pure function of ``jitter_seed`` — identical seeds give identical delay
+    sequences, so chaos tests stay reproducible.
     """
 
     max_attempts: int = 3
@@ -39,6 +62,8 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     max_backoff_s: float = 5.0
     timeout_s: Optional[float] = None
+    jitter: str = "none"
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -49,9 +74,30 @@ class RetryPolicy:
             raise ConfigError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ConfigError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.jitter not in JITTER_MODES:
+            raise ConfigError(
+                f"jitter must be one of {JITTER_MODES}, got {self.jitter!r}"
+            )
 
     def delays(self) -> Iterator[float]:
-        """The capped exponential backoff sequence, one delay per retry."""
+        """The backoff sequence, one delay per retry.
+
+        Deterministic capped-exponential by default; under
+        ``jitter="decorrelated"`` each delay is drawn from a private
+        ``random.Random(jitter_seed)`` stream, so the sequence is
+        reproducible yet uncorrelated across differently-seeded policies.
+        """
+        if self.jitter == "decorrelated":
+            rng = random.Random(self.jitter_seed)
+            delay = self.backoff_base_s
+            for _ in range(self.max_attempts - 1):
+                delay = min(
+                    self.max_backoff_s,
+                    rng.uniform(self.backoff_base_s, max(
+                        self.backoff_base_s, delay * 3.0)),
+                )
+                yield delay
+            return
         delay = self.backoff_base_s
         for _ in range(self.max_attempts - 1):
             yield min(delay, self.max_backoff_s)
@@ -91,6 +137,7 @@ def call_with_retry(
     task_name: str = "task",
     sleep: Callable[[float], None] = time.sleep,
     retryable: Callable[[BaseException], bool] = is_retryable,
+    breaker: Optional[Any] = None,
 ) -> Any:
     """Invoke ``fn(*args)`` under a retry policy.
 
@@ -98,13 +145,22 @@ def call_with_retry(
     Retryable ones are re-attempted with backoff; once attempts are
     exhausted a :class:`~repro.errors.TaskFailedError` is raised carrying
     the task name, the attempt count and the last cause.
+
+    ``breaker`` (a :class:`~repro.runtime.breaker.CircuitBreaker`) routes
+    every attempt through the circuit: failures trip it, and once open the
+    loop stops immediately with :class:`~repro.errors.CircuitOpenError`
+    (never retried — the breaker already encodes "back off").
     """
     policy = policy or RetryPolicy()
     delays = policy.delays()
     last: Optional[BaseException] = None
     for attempt in range(1, policy.max_attempts + 1):
         try:
+            if breaker is not None:
+                return breaker.call(fn, *args)
             return fn(*args)
+        except CircuitOpenError:
+            raise  # the breaker said stop; retrying would defeat it
         except BaseException as exc:
             if not retryable(exc):
                 raise

@@ -21,6 +21,7 @@ from repro.telemetry.ingest import (
     IngestCollector,
     IngestPolicy,
     IngestReport,
+    read_quarantine,
     validate_record,
 )
 from repro.telemetry.jsonl import iter_jsonl, read_jsonl, write_jsonl
@@ -46,6 +47,7 @@ __all__ = [
     "IngestCollector",
     "IngestPolicy",
     "IngestReport",
+    "read_quarantine",
     "validate_record",
     "read_jsonl",
     "write_jsonl",

@@ -12,6 +12,14 @@ what happens to them. Every telemetry reader threads its rows through an
   written to a quarantine JSONL sink (one object per bad row: line number,
   reason, raw text) so nothing is silently lost.
 
+The quarantine sink is *crash-safe*: every record is serialized whole
+(newline included) and lands in one ``os.write`` on an ``O_APPEND``
+descriptor, so a process dying mid-quarantine can at worst truncate the
+final record — it can never interleave or tear an earlier line. The sink
+is fsynced on close, and :func:`read_quarantine` tolerates a truncated
+trailing record, so a quarantine file survives its writer's crash and
+never poisons re-ingestion.
+
 Every read produces an :class:`IngestReport` — row/bad-row counts, a
 per-reason breakdown, a sample of the first offenders — which the readers
 attach to the returned :class:`~repro.telemetry.log_store.LogStore` and the
@@ -22,6 +30,7 @@ raises :class:`~repro.errors.IngestError` carrying the report.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -37,6 +46,7 @@ __all__ = [
     "IngestPolicy",
     "IngestReport",
     "IngestCollector",
+    "read_quarantine",
     "validate_record",
 ]
 
@@ -223,15 +233,22 @@ class IngestCollector:
             if self._sink is None:
                 path = Path(self.policy.quarantine_path)
                 path.parent.mkdir(parents=True, exist_ok=True)
-                self._sink = open(path, "w", encoding="utf-8")
-            self._sink.write(json.dumps({
+                # A fresh file per read, appended atomically thereafter:
+                # each record goes down in ONE os.write of the complete
+                # line, so a crash mid-quarantine can only truncate the
+                # final record, never tear or interleave an earlier one.
+                self._sink = os.open(
+                    path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC | os.O_APPEND,
+                    0o644,
+                )
+            line = json.dumps({
                 "source": self.report.source,
                 "lineno": lineno,
                 "reason": reason,
                 "error": str(exc),
                 "raw": truncated,
-            }, separators=(",", ":")))
-            self._sink.write("\n")
+            }, separators=(",", ":")) + "\n"
+            os.write(self._sink, line.encode("utf-8"))
 
     def finish(self) -> IngestReport:
         """Close the quarantine sink and enforce the error budget.
@@ -243,7 +260,8 @@ class IngestCollector:
         ``quarantined`` (rejected and written to the quarantine sink).
         """
         if self._sink is not None:
-            self._sink.close()
+            os.fsync(self._sink)
+            os.close(self._sink)
             self._sink = None
         report = self.report
         mode = self.policy.mode
@@ -269,3 +287,39 @@ class IngestCollector:
                 report=report,
             )
         return report
+
+
+def read_quarantine(path: Union[str, Path]) -> List[dict]:
+    """Read a quarantine JSONL file back, surviving a torn final record.
+
+    Because the sink appends each record in a single write, the only
+    possible corruption is a truncated *trailing* line (the writer died
+    mid-record). That line is dropped with a counted warning; a torn line
+    anywhere else means the file was not produced by the atomic sink and
+    raises :class:`~repro.errors.IngestError`.
+    """
+    path = Path(path)
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().split("\n")
+    # A well-formed file ends with "\n" → the final split element is "".
+    if lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                obs.inc("autosens_quarantine_torn_total")
+                _log.warning(
+                    "quarantine file ends in a torn record; dropped",
+                    source=str(path), lineno=i + 1,
+                )
+                continue
+            raise IngestError(
+                f"{path}: line {i + 1} is not valid JSON — the file was "
+                "not written by the atomic quarantine sink"
+            )
+    return records

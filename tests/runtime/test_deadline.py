@@ -1,0 +1,104 @@
+"""Deadline budgets and the ambient cooperative-cancellation checkpoint."""
+
+import pytest
+
+from repro.errors import ConfigError, DeadlineExceededError
+from repro.runtime import (
+    Deadline,
+    active_deadline,
+    check_deadline,
+    deadline_scope,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestDeadline:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigError):
+            Deadline(0.0)
+        with pytest.raises(ConfigError):
+            Deadline(-5.0)
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.advance(3.0)
+        assert deadline.elapsed() == pytest.approx(3.0)
+        assert deadline.remaining() == pytest.approx(7.0)
+        assert not deadline.expired()
+
+    def test_remaining_clamps_at_zero(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+
+    def test_check_raises_with_context(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        deadline.check("sweep")  # within budget: no-op
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            deadline.check("sweep")
+        assert "sweep" in str(info.value)
+        assert info.value.budget_s == 2.0
+        assert info.value.elapsed_s >= 2.0
+
+    def test_timeout_or_takes_the_tighter_bound(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.timeout_or(None) == pytest.approx(10.0)
+        assert deadline.timeout_or(3.0) == pytest.approx(3.0)
+        clock.advance(9.0)
+        assert deadline.timeout_or(3.0) == pytest.approx(1.0)
+
+
+class TestAmbientScope:
+    def test_no_deadline_installed(self):
+        assert active_deadline() is None
+        check_deadline("anywhere")  # no-op, must not raise
+
+    def test_scope_installs_and_uninstalls(self):
+        deadline = Deadline(60.0)
+        with deadline_scope(deadline) as installed:
+            assert installed is deadline
+            assert active_deadline() is deadline
+        assert active_deadline() is None
+
+    def test_none_scope_is_a_noop(self):
+        with deadline_scope(None) as installed:
+            assert installed is None
+            assert active_deadline() is None
+
+    def test_scopes_nest_innermost_wins(self):
+        outer, inner = Deadline(60.0), Deadline(30.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert active_deadline() is inner
+            assert active_deadline() is outer
+        assert active_deadline() is None
+
+    def test_checkpoint_observes_ambient_expiry(self):
+        clock = FakeClock()
+        with deadline_scope(Deadline(1.0, clock=clock)):
+            check_deadline("stage")
+            clock.advance(1.5)
+            with pytest.raises(DeadlineExceededError):
+                check_deadline("stage")
+
+    def test_scope_pops_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(60.0)):
+                raise RuntimeError("boom")
+        assert active_deadline() is None

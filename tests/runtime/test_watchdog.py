@@ -1,0 +1,153 @@
+"""Watchdog stall detection, driven by fake clocks and a fake kill."""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import HeartbeatWriter, TaskHeartbeat, Watchdog
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture()
+def spool(tmp_path):
+    return tmp_path / "heartbeats"
+
+
+def _plant_beat(spool, pid, t, task="work"):
+    """Write a heartbeat file for an arbitrary (possibly fictional) pid."""
+    spool.mkdir(parents=True, exist_ok=True)
+    path = spool / f"hb-{pid}.json"
+    path.write_text(json.dumps({"pid": pid, "t": t, "task": task}))
+    return path
+
+
+def _free_pid():
+    """A pid that does not currently exist on this machine."""
+    pid = 2 ** 21 - 7
+    while True:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return pid
+        except PermissionError:
+            pass
+        pid -= 1
+
+
+class TestHeartbeatWriter:
+    def test_beat_writes_atomic_record(self, spool):
+        clock = FakeClock(50.0)
+        writer = HeartbeatWriter(spool, clock=clock)
+        writer.beat(task="slice [weekday]")
+        payload = json.loads(writer.path_for().read_text())
+        assert payload == {
+            "pid": os.getpid(), "t": 50.0, "task": "slice [weekday]",
+        }
+        assert not list(spool.glob("*.tmp.*"))  # tmp file was renamed away
+
+    def test_clear_removes_the_file(self, spool):
+        writer = HeartbeatWriter(spool)
+        writer.beat()
+        writer.clear()
+        assert not writer.path_for().exists()
+        writer.clear()  # idempotent
+
+
+class TestTaskHeartbeat:
+    def test_runs_the_task_and_beats_around_it(self, spool):
+        shim = TaskHeartbeat(lambda x: x * 2, spool)
+        assert shim(21) == 42
+        payload = json.loads((spool / f"hb-{os.getpid()}.json").read_text())
+        assert payload["task"] == ""  # the after-beat marks the task done
+
+    def test_mirrors_wrapped_identity(self, spool):
+        def my_task(x):
+            return x
+
+        shim = TaskHeartbeat(my_task, spool)
+        assert shim.__qualname__.endswith("my_task")
+
+    def test_survives_pickling(self, spool):
+        shim = TaskHeartbeat(len, spool)
+        clone = pickle.loads(pickle.dumps(shim))
+        assert clone([1, 2, 3]) == 3
+        assert clone.spool_dir == str(spool)
+
+
+class TestWatchdog:
+    def test_rejects_bad_timeout(self, spool):
+        with pytest.raises(ConfigError):
+            Watchdog(spool, stall_timeout_s=0.0)
+
+    def test_fresh_beats_are_left_alone(self, spool):
+        clock = FakeClock()
+        kills = []
+        dog = Watchdog(spool, stall_timeout_s=30.0, kill=kills.append,
+                       clock=clock)
+        _plant_beat(spool, _free_pid(), t=clock.t - 5.0)
+        assert dog.scan_once() == []
+        assert kills == []
+
+    def test_stalled_live_pid_is_killed_and_recorded(self, spool):
+        clock = FakeClock()
+        kills = []
+        dog = Watchdog(spool, stall_timeout_s=30.0, kill=kills.append,
+                       clock=clock)
+        # Use a real live pid that is not us: our parent.
+        pid = os.getppid()
+        path = _plant_beat(spool, pid, t=clock.t)
+        clock.advance(31.0)
+        assert dog.scan_once() == [pid]
+        assert kills == [pid]
+        assert dog.kills == [pid]
+        assert not path.exists()  # heartbeat file cleaned up after the kill
+
+    def test_never_kills_its_own_process(self, spool):
+        clock = FakeClock()
+        kills = []
+        dog = Watchdog(spool, stall_timeout_s=30.0, kill=kills.append,
+                       clock=clock)
+        _plant_beat(spool, os.getpid(), t=clock.t)
+        clock.advance(1000.0)
+        assert dog.scan_once() == []
+        assert kills == []
+
+    def test_dead_pid_file_is_cleaned_not_killed(self, spool):
+        clock = FakeClock()
+        kills = []
+        dog = Watchdog(spool, stall_timeout_s=30.0, kill=kills.append,
+                       clock=clock)
+        path = _plant_beat(spool, _free_pid(), t=clock.t)
+        clock.advance(1000.0)
+        assert dog.scan_once() == []
+        assert kills == []
+        assert not path.exists()  # crash recovery's territory: just tidy up
+
+    def test_garbage_heartbeat_files_are_ignored(self, spool):
+        spool.mkdir(parents=True, exist_ok=True)
+        (spool / "hb-999.json").write_text("{torn")
+        (spool / "hb-998.json").write_text('"not a dict"')
+        dog = Watchdog(spool, stall_timeout_s=30.0, kill=lambda pid: None)
+        assert dog.scan_once() == []
+
+    def test_thread_lifecycle_is_idempotent(self, spool):
+        dog = Watchdog(spool, stall_timeout_s=30.0, poll_interval_s=0.01,
+                       kill=lambda pid: None)
+        with dog:
+            dog.start()  # second start is a no-op
+            assert dog._thread.is_alive()
+        assert dog._thread is None
+        dog.stop()  # second stop is a no-op

@@ -6,10 +6,13 @@ import pytest
 
 from repro.cli.main import _exit_code_for, main
 from repro.errors import (
+    CircuitOpenError,
     ConfigError,
+    DeadlineExceededError,
     EmptyDataError,
     IngestError,
     InsufficientDataError,
+    MemoryBudgetError,
     PrivacyError,
     ReproError,
     SchemaError,
@@ -38,6 +41,9 @@ class TestExitCodeMapping:
         (InsufficientDataError("x"), 5),
         (PrivacyError("x"), 6),
         (TaskFailedError("t", 3), 7),
+        (DeadlineExceededError("x"), 8),
+        (CircuitOpenError("dep"), 9),
+        (MemoryBudgetError("x"), 10),
         (ReproError("x"), 1),
     ])
     def test_each_class_has_its_code(self, exc, code):
@@ -99,6 +105,52 @@ class TestIngestFlags:
         status = main(["preflight", str(dirty_log), "--on-bad-rows", "lenient"])
         assert status in (0, 1)  # readiness depends on the data, not a crash
         assert "check" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def clean_log(tmp_path):
+    """A small valid log for the supervision-flag tests."""
+    path = tmp_path / "clean.jsonl"
+    main(["generate", "--scenario", "owa", "--seed", "9",
+          "--days", "1", "--users", "60", "--out", str(path)])
+    return path
+
+
+class TestSupervisionExits:
+    def test_deadline_exceeded_exits_8(self, clean_log, capsys):
+        # A sub-microsecond budget expires before the first cooperative
+        # checkpoint; analyze (no degrade policy) propagates the error.
+        status = main(["analyze", str(clean_log), "--deadline-s", "0.000001"])
+        assert status == 8
+        err = capsys.readouterr().err
+        assert "deadline" in err and len(err.strip().splitlines()) == 1
+
+    def test_memory_budget_exits_10(self, clean_log, capsys):
+        # A microscopic budget refuses the slice's working set outright.
+        status = main(["analyze", str(clean_log),
+                       "--memory-budget-mb", "0.001"])
+        assert status == 10
+        assert "budget" in capsys.readouterr().err
+
+    def test_circuit_open_maps_to_9(self):
+        from repro.runtime import CircuitBreaker
+
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=60.0)
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.call(_boom)
+        assert _exit_code_for(info.value) == 9
+
+    def test_generous_budgets_run_clean(self, clean_log, capsys):
+        status = main(["analyze", str(clean_log), "--deadline-s", "600",
+                       "--memory-budget-mb", "4096", "--breaker"])
+        assert status == 0
+        assert "NLP" in capsys.readouterr().out
+
+
+def _boom():
+    raise OSError("dependency down")
 
 
 class TestExperimentCheckpointFlag:

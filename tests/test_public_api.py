@@ -19,6 +19,9 @@ PACKAGES = [
     "repro.analysis",
     "repro.viz",
     "repro.obs",
+    "repro.parallel",
+    "repro.faults",
+    "repro.runtime",
 ]
 
 
@@ -69,6 +72,7 @@ def test_error_hierarchy():
     from repro import errors
 
     for name in ("SchemaError", "EmptyDataError", "InsufficientDataError",
-                 "ConfigError", "PrivacyError"):
+                 "ConfigError", "PrivacyError", "DeadlineExceededError",
+                 "CircuitOpenError", "MemoryBudgetError"):
         exc = getattr(errors, name)
         assert issubclass(exc, errors.ReproError)
