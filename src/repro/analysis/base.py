@@ -59,6 +59,10 @@ class ExperimentOutcome:
     series: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
     checks: List[Check] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Serialized estimator-health report (repro.obs.health), attached by
+    #: run_experiment when observability is enabled. Optional so outcomes
+    #: checkpointed before this field existed still unpickle cleanly.
+    health: Optional[Dict] = None
 
     @property
     def passed(self) -> bool:

@@ -76,6 +76,7 @@ def _experiment_manifest(
     manifest_out: Union[str, Path],
     cached: bool,
     supervisor: Optional[Supervisor] = None,
+    health: Optional[Dict[str, object]] = None,
 ) -> Path:
     """Build and atomically write the run manifest next to the outputs."""
     ctx = obs.current()
@@ -94,6 +95,12 @@ def _experiment_manifest(
     extra: Dict[str, object] = {"outcome_cached": cached}
     if supervisor is not None and supervisor.enabled:
         extra["supervision"] = supervisor.summary()
+    if health is not None:
+        extra["health"] = health
+    if ctx.enabled and ctx.tracer.enabled:
+        span_timings = obs.aggregate_span_timings(ctx.tracer.finished())
+        if span_timings:
+            extra["span_timings"] = span_timings
     manifest = obs.build_manifest(
         experiment_id=experiment_id,
         seed=seed if seed is not None else -1,
@@ -203,9 +210,18 @@ def run_experiment(
             if journal is not None:
                 journal.put(outcome_key, outcome)
 
+    health: Optional[Dict[str, object]] = None
+    if obs.current().enabled:
+        health = obs.build_health_report().to_dict()
+        # Attribute defensively: cached outcomes may predate the field.
+        try:
+            outcome.health = health
+        except AttributeError:  # pragma: no cover - frozen/odd outcome types
+            pass
     if manifest_out is not None:
         _experiment_manifest(experiment_id, seed, scale, manifest_out,
-                             cached=cached_hit, supervisor=supervisor)
+                             cached=cached_hit, supervisor=supervisor,
+                             health=health)
     return outcome
 
 

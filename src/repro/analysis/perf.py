@@ -527,11 +527,7 @@ def run_perf_suite(
     off_s, _ = _timed(lambda: _corrected_path(sliced, config, legacy=False), repeats)
     with obs.session(enabled=True, level="error"):
         on_s, _ = _timed(lambda: _corrected_path(sliced, config, legacy=False), repeats)
-        for record in obs.trace_records():
-            agg = report.span_timings.setdefault(
-                record["name"], {"count": 0, "seconds": 0.0})
-            agg["count"] += 1
-            agg["seconds"] = round(agg["seconds"] + record["dur_us"] / 1e6, 6)
+        report.span_timings = obs.aggregate_span_timings(obs.trace_records())
     report.stages.append(StageTiming(
         name="obs_overhead", seconds=on_s, baseline_seconds=off_s,
         detail="corrected path traced vs untraced; ratio ~1.0 means "

@@ -92,6 +92,15 @@ def _obs_parent() -> argparse.ArgumentParser:
         help="timestamp spans from a monotonic event clock instead of wall "
              "time, making every emitted artifact byte-deterministic for a "
              "fixed seed")
+    group.add_argument(
+        "--health-out", default=None,
+        help="write the estimator-health report (probe findings + per-stage "
+             "verdicts, see 'autosens doctor') here as JSON")
+    group.add_argument(
+        "--profile-out", default=None,
+        help="attach the span profiler and write per-span CPU/RSS "
+             "attribution plus folded stacks here as JSON; all other "
+             "artifacts stay byte-identical with or without this flag")
     return parent
 
 
@@ -105,6 +114,8 @@ def _configure_obs(args: argparse.Namespace) -> bool:
         or getattr(args, "metrics_out", None)
         or getattr(args, "manifest_out", None)
         or getattr(args, "deterministic_trace", False)
+        or getattr(args, "health_out", None)
+        or getattr(args, "profile_out", None)
     )
     if not wants:
         return False
@@ -116,6 +127,7 @@ def _configure_obs(args: argparse.Namespace) -> bool:
         log_json=getattr(args, "log_json", False),
         deterministic=getattr(args, "deterministic_trace", False),
         run_id=run_id,
+        profile=bool(getattr(args, "profile_out", None)),
     )
     return True
 
@@ -157,6 +169,21 @@ def _export_obs(args: argparse.Namespace) -> None:
         )
         obs.write_manifest(manifest, manifest_out)
         print(f"manifest written to {manifest_out}", file=sys.stderr)
+    health_out = getattr(args, "health_out", None)
+    if health_out:
+        report = obs.build_health_report()
+        obs.write_health_report(report, health_out)
+        print(f"health: verdict {report.verdict} "
+              f"({len(report.findings)} findings) written to {health_out}",
+              file=sys.stderr)
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out:
+        payload = obs.build_profile(
+            obs.profiler(), records=ctx.tracer.finished(),
+            run_id=ctx.run_id or "autosens")
+        obs.write_profile(payload, profile_out)
+        print(f"profile: {len(payload['spans'])} spans written to "
+              f"{profile_out}", file=sys.stderr)
 
 
 def _runtime_parent() -> argparse.ArgumentParser:
@@ -324,6 +351,34 @@ def _build_parser() -> argparse.ArgumentParser:
     summary = obs_sub.add_parser(
         "summary", help="render a run manifest as a human-readable table")
     summary.add_argument("manifest", help="path to a run manifest JSON file")
+    diff = obs_sub.add_parser(
+        "diff", help="compare two run artifacts (manifest/bench/metrics/"
+                     "curve/health) with tolerance classification")
+    diff.add_argument("a", help="baseline artifact (JSON file or run dir)")
+    diff.add_argument("b", help="candidate artifact (JSON file or run dir)")
+    diff.add_argument("--rel-tol", type=float, default=None,
+                      help="relative tolerance for ratio-ish quantities "
+                           "(default: 0.10)")
+    diff.add_argument("--curve-tol", type=float, default=None,
+                      help="absolute tolerance for NLP curve values "
+                           "(default: 0.02)")
+    diff.add_argument("--out", default=None,
+                      help="also write the classified diff as JSON here")
+    diff.add_argument("--show-unchanged", action="store_true",
+                      help="list unchanged entries too, not just drift")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="diagnose a finished run: estimator-health findings and "
+             "per-stage verdicts")
+    doctor.add_argument(
+        "run", help="a run directory (containing manifest.json), a manifest "
+                    "file, or a health-report file")
+    doctor.add_argument("--strict", action="store_true",
+                        help="exit non-zero on 'warn' too, not just 'fail'")
+    doctor.add_argument("--max-findings", type=int, default=15,
+                        help="how many findings to list, worst first "
+                             "(default: 15)")
 
     sub.add_parser("list", help="list scenarios and experiments")
     return parser
@@ -508,12 +563,95 @@ def _cmd_preflight(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
     from repro.obs import load_manifest, manifest_rows
     from repro.viz.table import format_table
 
     manifest = load_manifest(args.manifest)
     print(format_table(["field", "value"], manifest_rows(manifest)))
     return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import repro.obs as obs
+    from repro.obs.diff import DEFAULT_CURVE_TOL, DEFAULT_REL_TOL
+
+    report = obs.diff_paths(
+        args.a, args.b,
+        rel_tol=args.rel_tol if args.rel_tol is not None else DEFAULT_REL_TOL,
+        curve_tol=(args.curve_tol if args.curve_tol is not None
+                   else DEFAULT_CURVE_TOL),
+    )
+    print(obs.render_diff(report, show_unchanged=args.show_unchanged))
+    if args.out:
+        obs.write_diff(report, args.out)
+        print(f"diff written to {args.out}", file=sys.stderr)
+    return obs.diff_exit_code(report)
+
+
+def _resolve_doctor_source(run: Path):
+    """A health report from a run dir, a manifest file, or a health file."""
+    import json as _json
+
+    from repro.obs import load_health_report, load_manifest
+
+    if run.is_dir():
+        candidates = ([run / "manifest.json"]
+                      + sorted(run.glob("*manifest*.json"))
+                      + sorted(run.glob("*health*.json")))
+        for candidate in candidates:
+            if candidate.exists():
+                run = candidate
+                break
+        else:
+            raise SchemaError(
+                f"{run} holds no manifest.json or health report to diagnose")
+    try:
+        payload = _json.loads(run.read_text(encoding="utf-8"))
+    except (OSError, _json.JSONDecodeError) as exc:
+        raise SchemaError(f"cannot read {run}: {exc}") from exc
+    if isinstance(payload, dict) and "verdict" in payload and "findings" in payload:
+        return load_health_report(payload), None
+    manifest = load_manifest(run)
+    health = manifest.get("health")
+    if not isinstance(health, dict):
+        raise SchemaError(
+            f"{run} carries no health report; rerun the experiment with an "
+            "observability flag (e.g. --manifest-out) so probes run, or "
+            "pass a --health-out artifact")
+    return load_health_report(health), manifest
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.viz.table import format_table
+
+    report, manifest = _resolve_doctor_source(Path(args.run))
+    if manifest is not None:
+        print(f"run {manifest.get('run_id', '?')} "
+              f"({manifest.get('experiment_id', '?')}, "
+              f"seed {manifest.get('seed', '?')})")
+    counts = report.counts()
+    print(f"verdict: {report.verdict}  "
+          f"(ok={counts['ok']} warn={counts['warn']} fail={counts['fail']})")
+    stage_rows = [[stage, verdict] for stage, verdict in
+                  sorted(report.stages.items())]
+    if stage_rows:
+        print(format_table(["stage", "verdict"], stage_rows))
+    shown = report.worst_findings(args.max_findings)
+    interesting = [f for f in shown if f.get("severity") != "ok"]
+    for finding in interesting:
+        print(f"[{finding.get('severity', '?').upper()}] "
+              f"{finding.get('stage', '?')}/{finding.get('probe', '?')}: "
+              f"{finding.get('message', '')}")
+    if not interesting:
+        print("no warnings or failures; all probes within thresholds")
+    hidden = len(report.findings) - len(shown)
+    if hidden > 0:
+        print(f"({hidden} more findings not shown; raise --max-findings)")
+    if args.strict and report.verdict != "ok":
+        return 1
+    return report.exit_code
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -547,6 +685,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quality": _cmd_quality,
         "preflight": _cmd_preflight,
         "obs": _cmd_obs,
+        "doctor": _cmd_doctor,
         "list": _cmd_list,
     }
     observing = _configure_obs(args)

@@ -334,35 +334,42 @@ def alpha_from_counts(
         raise ConfigError(f"reference slot {reference_slot} has no data")
     ref_row = slot_index[int(reference_slot)]
 
-    with np.errstate(invalid="ignore", divide="ignore"):
-        rate = np.where(f > min_time_fraction, c / f, np.nan)
-    ref_rate = rate[ref_row]
+    with obs.span("alpha", n_slots=n_slots, reference=int(reference_slot)):
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rate = np.where(f > min_time_fraction, c / f, np.nan)
+        ref_rate = rate[ref_row]
 
-    alpha_matrix = np.full((n_slots, bins.count), np.nan)
-    valid_ref = (~np.isnan(ref_rate)) & (c[ref_row] >= min_bin_count)
-    for row in range(n_slots):
-        valid = valid_ref & (~np.isnan(rate[row])) & (c[row] >= min_bin_count)
-        alpha_matrix[row, valid] = rate[row, valid] / ref_rate[valid]
+        alpha_matrix = np.full((n_slots, bins.count), np.nan)
+        valid_ref = (~np.isnan(ref_rate)) & (c[ref_row] >= min_bin_count)
+        for row in range(n_slots):
+            valid = valid_ref & (~np.isnan(rate[row])) & (c[row] >= min_bin_count)
+            alpha_matrix[row, valid] = rate[row, valid] / ref_rate[valid]
 
-    alpha_by_slot = np.full(n_slots, np.nan)
-    for row in range(n_slots):
-        vals = alpha_matrix[row]
-        ok = ~np.isnan(vals)
-        if not np.any(ok):
-            continue
-        if bin_average == "simple":
-            alpha_by_slot[row] = float(vals[ok].mean())
-        else:
-            weights = c[ref_row][ok]
-            alpha_by_slot[row] = float(np.average(vals[ok], weights=weights))
-    # Slots with no overlapping valid bins: fall back to total-count ratio,
-    # which is exact when α is truly flat across bins.
-    totals = c.sum(axis=1)
-    ref_total = totals[ref_row]
-    for row in range(n_slots):
-        if np.isnan(alpha_by_slot[row]) and ref_total > 0:
-            alpha_by_slot[row] = totals[row] / ref_total
-    alpha_by_slot[ref_row] = 1.0
+        alpha_by_slot = np.full(n_slots, np.nan)
+        for row in range(n_slots):
+            vals = alpha_matrix[row]
+            ok = ~np.isnan(vals)
+            if not np.any(ok):
+                continue
+            if bin_average == "simple":
+                alpha_by_slot[row] = float(vals[ok].mean())
+            else:
+                weights = c[ref_row][ok]
+                alpha_by_slot[row] = float(np.average(vals[ok], weights=weights))
+        # Slots with no overlapping valid bins: fall back to total-count ratio,
+        # which is exact when α is truly flat across bins.
+        totals = c.sum(axis=1)
+        ref_total = totals[ref_row]
+        for row in range(n_slots):
+            if np.isnan(alpha_by_slot[row]) and ref_total > 0:
+                alpha_by_slot[row] = totals[row] / ref_total
+        alpha_by_slot[ref_row] = 1.0
+
+    if obs.current().enabled:
+        from repro.obs import probes
+
+        probes.emit(probes.probe_alpha_dispersion(
+            alpha_matrix, alpha_by_slot, int(reference_slot)))
 
     return AlphaEstimate(
         scheme=counts.scheme,

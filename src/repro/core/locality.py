@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import EmptyDataError, InsufficientDataError
 from repro.stats.correlation import pearson, spearman
 from repro.stats.msd import LocalityComparison, compare_locality
@@ -33,7 +34,13 @@ def locality_report(logs: LogStore, rng: SeedLike = None) -> LocalityComparison:
     if len(logs) < 3:
         raise EmptyDataError("need at least three actions for a locality report")
     ordered = logs.sorted_by_time()
-    return compare_locality(ordered.latencies_ms, rng=rng)
+    comparison = compare_locality(ordered.latencies_ms, rng=rng)
+    if obs.current().enabled:
+        from repro.obs import probes
+
+        probes.emit(probes.probe_locality(
+            comparison.actual, comparison.shuffled, comparison.sorted))
+    return comparison
 
 
 @dataclass
@@ -116,9 +123,18 @@ def density_latency_series(
     with np.errstate(invalid="ignore", divide="ignore"):
         means = np.where(counts > 0, sums / counts, np.nan)
     starts = t0 + window_seconds * np.arange(n_windows)
-    return DensityLatencySeries(
+    series = DensityLatencySeries(
         window_starts=starts,
         action_counts=counts,
         mean_latency_ms=means,
         window_seconds=window_seconds,
     )
+    if obs.current().enabled:
+        from repro.obs import probes
+
+        try:
+            corr = series.detrended_correlation()
+        except InsufficientDataError:
+            corr = float("nan")
+        probes.emit(probes.probe_density_correlation(corr, kind="detrended"))
+    return series

@@ -475,6 +475,15 @@ class AutoSens:
                 f"{self.degrade.min_references}"
             )
         self.degradations.extend(degraded)
+        if obs.current().enabled:
+            from repro.obs import probes
+
+            probes.emit(probes.probe_slot_support(
+                n_slots=int(counts.slot_ids.size),
+                n_reference_slots=len(references),
+                n_used_references=len(used_references),
+                slice_description=description,
+            ))
         result = average_results(per_reference, slice_description=description)
         result.metadata["reference_slots"] = used_references
         if degraded:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConfigError, InsufficientDataError
 from repro.runtime.deadline import check_deadline
 from repro.stats.histogram import Histogram1D
@@ -71,30 +72,43 @@ class PreferenceComputer:
         u_counts = unbiased.counts
         raw = np.full(bins.count, np.nan)
         stable = u_counts >= self.min_unbiased_count
+        if obs.current().enabled:
+            # Estimator-health probes run on the pre-ratio intermediates so
+            # a run that raises below still carries its fail findings.
+            from repro.obs import probes
+
+            probes.emit(probes.probe_bin_occupancy(
+                b_counts, u_counts, self.min_unbiased_count, slice_description))
+            probes.emit(probes.probe_u_coverage(
+                b_counts, u_counts, self.min_unbiased_count, slice_description))
+            probes.emit(probes.probe_smoothing_edges(
+                stable, self.smoothing_window, slice_description))
         if not np.any(stable):
             raise InsufficientDataError(
                 "no latency bin has enough unbiased samples "
                 f"(min_unbiased_count={self.min_unbiased_count})"
             )
-        b_pdf = biased.pdf()
-        u_pdf = unbiased.pdf()
-        raw[stable] = b_pdf[stable] / u_pdf[stable]
+        with obs.span("preference_compute", slice=slice_description):
+            b_pdf = biased.pdf()
+            u_pdf = unbiased.pdf()
+            raw[stable] = b_pdf[stable] / u_pdf[stable]
 
-        smoother = SavitzkyGolay(self.smoothing_window, self.smoothing_degree)
-        smoothed = smoother(raw, handle_nan=True)
-        # Smoothing can extrapolate a little into unstable bins; keep the
-        # curve only where the ratio itself was defined.
-        smoothed[~stable] = np.nan
+            smoother = SavitzkyGolay(self.smoothing_window, self.smoothing_degree)
+            smoothed = smoother(raw, handle_nan=True)
+            # Smoothing can extrapolate a little into unstable bins; keep the
+            # curve only where the ratio itself was defined.
+            smoothed[~stable] = np.nan
 
-        ref_value = smoothed[ref_idx]
-        if np.isnan(ref_value) or ref_value <= 0:
-            # Fall back to the nearest valid bin to the reference.
-            valid_idx = np.flatnonzero(~np.isnan(smoothed) & (smoothed > 0))
-            if valid_idx.size == 0:
-                raise InsufficientDataError("smoothed preference has no valid bins")
-            nearest = valid_idx[np.argmin(np.abs(valid_idx - ref_idx))]
-            ref_value = smoothed[nearest]
-        nlp = smoothed / ref_value
+            ref_value = smoothed[ref_idx]
+            if np.isnan(ref_value) or ref_value <= 0:
+                # Fall back to the nearest valid bin to the reference.
+                valid_idx = np.flatnonzero(~np.isnan(smoothed) & (smoothed > 0))
+                if valid_idx.size == 0:
+                    raise InsufficientDataError(
+                        "smoothed preference has no valid bins")
+                nearest = valid_idx[np.argmin(np.abs(valid_idx - ref_idx))]
+                ref_value = smoothed[nearest]
+            nlp = smoothed / ref_value
 
         return PreferenceResult(
             bins=bins,

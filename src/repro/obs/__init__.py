@@ -29,6 +29,19 @@ from typing import Any, Dict, Iterator, List, Optional, TextIO
 
 from repro.obs import _runtime
 from repro.obs._runtime import LEVELS, ObsContext
+from repro.obs.diff import (
+    diff_artifacts,
+    diff_exit_code,
+    diff_paths,
+    render_diff,
+    write_diff,
+)
+from repro.obs.health import (
+    HealthReport,
+    build_health_report,
+    load_health_report,
+    write_health_report,
+)
 from repro.obs.log import Logger, get_logger
 from repro.obs.manifest import (
     build_manifest,
@@ -43,11 +56,20 @@ from repro.obs.metrics import (
     write_metrics_json,
     write_metrics_prometheus,
 )
+from repro.obs.probes import HealthFinding
+from repro.obs.profile import (
+    SpanProfiler,
+    StackSampler,
+    build_profile,
+    load_profile,
+    write_profile,
+)
 from repro.obs.trace import (
     DISABLED_TRACER,
     NOOP_SPAN,
     Span,
     Tracer,
+    aggregate_span_timings,
     chrome_trace_events,
     span_identity,
     write_chrome_trace,
@@ -75,6 +97,25 @@ __all__ = [
     "observe",
     "set_gauge",
     "record_degradation",
+    "record_finding",
+    "findings",
+    "profiler",
+    "HealthFinding",
+    "HealthReport",
+    "build_health_report",
+    "write_health_report",
+    "load_health_report",
+    "SpanProfiler",
+    "StackSampler",
+    "build_profile",
+    "write_profile",
+    "load_profile",
+    "diff_artifacts",
+    "diff_paths",
+    "diff_exit_code",
+    "render_diff",
+    "write_diff",
+    "aggregate_span_timings",
     "build_manifest",
     "write_manifest",
     "load_manifest",
@@ -97,12 +138,16 @@ def configure(
     trace: bool = True,
     deterministic: bool = False,
     run_id: str = "",
+    profile: bool = False,
 ) -> ObsContext:
     """Install a fresh observability context and return it.
 
     ``trace=False`` keeps logging/metrics while spans stay no-ops. The
     previous context is discarded — runs are expected to configure once at
     entry (the CLI does this from ``--log-level``/``--trace-out`` flags).
+    ``profile=True`` attaches a :class:`SpanProfiler` to the tracer; the
+    profiler reads its own clocks and never touches span records, so every
+    other artifact stays byte-identical with profiling on or off.
     """
     tracer = None if trace else DISABLED_TRACER
     ctx = ObsContext(
@@ -114,6 +159,8 @@ def configure(
         deterministic=deterministic,
         run_id=run_id,
     )
+    if profile and ctx.tracer.enabled:
+        ctx.tracer.profiler = SpanProfiler()
     _runtime.install(ctx)
     return ctx
 
@@ -201,3 +248,23 @@ def record_degradation(kind: str, **detail: Any) -> None:
     entry.update(detail)
     ctx.degradations.append(entry)
     ctx.metrics.inc("autosens_degradations_total", 1.0, kind=kind)
+
+
+def record_finding(finding: HealthFinding) -> None:
+    """Accumulate one estimator-health finding (no-op while disabled)."""
+    ctx = _runtime.current()
+    if not ctx.enabled:
+        return
+    ctx.findings.append(finding.to_dict())
+    ctx.metrics.inc("autosens_health_findings_total", 1.0,
+                    stage=finding.stage, severity=finding.severity)
+
+
+def findings() -> List[Dict[str, Any]]:
+    """The findings accumulated on the active context (a copy)."""
+    return list(_runtime.current().findings)
+
+
+def profiler() -> Optional[SpanProfiler]:
+    """The active tracer's span profiler, if one is attached."""
+    return getattr(_runtime.current().tracer, "profiler", None)

@@ -33,12 +33,15 @@ class ObsContext:
 
     ``enabled`` gates span creation; ``level_no`` gates log emission
     independently (a run may want logs without tracing). ``degradations``
-    accumulates free-form notes (e.g. starved slices) for the run manifest.
+    accumulates free-form notes (e.g. starved slices) for the run manifest;
+    ``findings`` accumulates estimator-health probe results
+    (:mod:`repro.obs.probes`) for the health report.
     """
 
     __slots__ = (
         "enabled", "level_no", "log_json", "log_stream",
         "tracer", "metrics", "deterministic", "run_id", "degradations",
+        "findings",
     )
 
     def __init__(
@@ -67,6 +70,7 @@ class ObsContext:
         self.deterministic = deterministic
         self.run_id = run_id
         self.degradations: List[Dict[str, Any]] = []
+        self.findings: List[Dict[str, Any]] = []
 
 
 #: The do-nothing context active unless :func:`repro.obs.configure` ran.

@@ -170,4 +170,22 @@ def manifest_rows(manifest: Dict[str, Any]) -> List[Tuple[str, Any]]:
         label = d.get("kind", "degraded") if isinstance(d, dict) else str(d)
         detail = d.get("detail", "") if isinstance(d, dict) else ""
         rows.append((f"  {label}", detail))
+    health = manifest.get("health")
+    if isinstance(health, dict):
+        counts = health.get("counts") or {}
+        rows.append(("health verdict", health.get("verdict", "?")))
+        rows.append(("health findings",
+                     " ".join(f"{k}={counts.get(k, 0)}"
+                              for k in ("ok", "warn", "fail"))))
+        for stage, verdict in sorted((health.get("stages") or {}).items()):
+            rows.append((f"  health[{stage}]", verdict))
+    for name, metric in sorted((manifest.get("metrics") or {}).items()):
+        if not isinstance(metric, dict) or metric.get("kind") != "histogram":
+            continue
+        for labels, entry in sorted((metric.get("series") or {}).items()):
+            quantiles = entry.get("quantiles") if isinstance(entry, dict) else None
+            if quantiles:
+                rows.append((
+                    f"{name}{labels}",
+                    " ".join(f"{k}={quantiles[k]}" for k in sorted(quantiles))))
     return rows

@@ -28,6 +28,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_DURATION_BUCKETS_S",
+    "SUMMARY_QUANTILES",
+    "bucket_quantile",
     "write_metrics_json",
     "write_metrics_prometheus",
 ]
@@ -35,6 +37,11 @@ __all__ = [
 #: Seconds buckets suiting both sub-ms cache hits and multi-second sweeps.
 DEFAULT_DURATION_BUCKETS_S: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Quantiles summarized from histogram buckets in both exporters.
+SUMMARY_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p90", 0.90), ("p99", 0.99),
 )
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -102,6 +109,31 @@ class Gauge(Counter):
         self.series[key] = self.series.get(key, 0.0) + amount
 
 
+def bucket_quantile(bounds: Sequence[float], counts: Sequence[int],
+                    q: float) -> float:
+    """Quantile estimate from fixed buckets by linear interpolation.
+
+    ``counts`` holds one count per finite bound plus the trailing ``+Inf``
+    count. Within the crossing bucket the value is interpolated linearly
+    (the first bucket's lower edge is 0 — these are durations/sizes); a
+    crossing that lands in the ``+Inf`` bucket clamps to the last finite
+    bound, which is the most honest answer fixed buckets can give.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return float("nan")
+    target = q * total
+    cumulative = 0
+    for i, bound in enumerate(bounds):
+        previous = cumulative
+        cumulative += counts[i]
+        if cumulative >= target and counts[i] > 0:
+            lo = bounds[i - 1] if i else 0.0
+            fraction = (target - previous) / counts[i]
+            return lo + (bound - lo) * fraction
+    return float(bounds[-1])
+
+
 class Histogram:
     """Fixed-bucket distribution with cumulative (``le``) bucket counts."""
 
@@ -140,6 +172,19 @@ class Histogram:
             return (0.0, 0)
         return (state[1], state[2])
 
+    def quantiles(self, **labels: Any) -> Dict[str, float]:
+        """Bucket-interpolated summary quantiles for one label set."""
+        state = self.series.get(_label_key(labels))
+        if state is None:
+            return {}
+        return self._quantiles_for(state[0])
+
+    def _quantiles_for(self, counts: Sequence[int]) -> Dict[str, float]:
+        return {
+            name: round(bucket_quantile(self.buckets, counts, q), 6)
+            for name, q in SUMMARY_QUANTILES
+        }
+
     def render(self) -> Iterable[str]:
         for key in sorted(self.series):
             counts, total, n = self.series[key]
@@ -163,8 +208,19 @@ class Histogram:
                 "inf": counts[-1],
                 "sum": total,
                 "count": n,
+                "quantiles": self._quantiles_for(counts),
             }
         return out
+
+    def render_quantile_comments(self) -> Iterable[str]:
+        """``# QUANTILE`` comment lines — scrapers ignore ``#``, humans and
+        ``validate_obs.py`` read the p50/p90/p99 summaries."""
+        for key in sorted(self.series):
+            parts = " ".join(
+                f"{name}={_fmt(value)}"
+                for name, value in self._quantiles_for(self.series[key][0]).items()
+            )
+            yield f"# QUANTILE {self.name}{_render_labels(key)} {parts}"
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -229,6 +285,8 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
             lines.extend(metric.render())
+            if isinstance(metric, Histogram):
+                lines.extend(metric.render_quantile_comments())
         return "\n".join(lines) + ("\n" if lines else "")
 
     def snapshot(self) -> Dict[str, Any]:

@@ -1,0 +1,520 @@
+"""Estimator-health probes: statistical diagnostics as structured findings.
+
+PR 3 made the pipeline *observable* (spans, counters, manifests); this
+module makes the *science* observable. Each probe inspects one stage's
+statistical intermediates — B/U bin occupancy, U-coverage of the B support,
+α per-slot dispersion, smoothing-window edge effects, the paper's locality
+diagnostics (MSD/MAD, density–latency anti-correlation) — and returns
+:class:`HealthFinding` records with an ``ok``/``warn``/``fail`` severity.
+
+Design rules, enforced by ``tests/obs/test_probes.py``:
+
+- **Probes never raise.** Degenerate inputs (empty bins, a single slot, a
+  constant-latency series where MSD/MAD is undefined) produce ``warn`` or
+  ``fail`` findings, not exceptions — a diagnostics layer that crashes the
+  run it is diagnosing is worse than none.
+- **Probes are pure.** They take plain arrays/floats and return findings;
+  they import nothing from :mod:`repro.core`, so the core pipeline can
+  import them without cycles.
+- **Probes are cheap.** Every probe is O(n_bins) or O(n_slots); call sites
+  gate on the active context's ``enabled`` flag so a non-observed run pays
+  one attribute load.
+
+Emitted findings accumulate on the active
+:class:`~repro.obs._runtime.ObsContext` (see :func:`emit`) and are composed
+into a :class:`~repro.obs.health.HealthReport` at the end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "HealthFinding",
+    "SEVERITIES",
+    "emit",
+    "probe_bin_occupancy",
+    "probe_u_coverage",
+    "probe_alpha_dispersion",
+    "probe_slot_support",
+    "probe_smoothing_edges",
+    "probe_locality",
+    "probe_density_correlation",
+]
+
+#: Severities in increasing badness; :mod:`repro.obs.health` folds a run's
+#: findings to the worst one.
+SEVERITIES = ("ok", "warn", "fail")
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One probe observation: a value, a threshold, and a severity.
+
+    ``ok`` findings are recorded too — a health report that only lists
+    problems cannot show *how far* a healthy run sits from its thresholds.
+    """
+
+    probe: str
+    stage: str
+    severity: str
+    message: str
+    value: Optional[float] = None
+    threshold: Optional[float] = None
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "probe": self.probe,
+            "stage": self.stage,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.value is not None:
+            out["value"] = round(float(self.value), 6)
+        if self.threshold is not None:
+            out["threshold"] = float(self.threshold)
+        if self.context:
+            out["context"] = {k: _json_safe(v) for k, v in self.context.items()}
+        return out
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    return str(value)
+
+
+def _finite(x: Any, default: float = float("nan")) -> float:
+    """A plain float, NaN-safe (probes never trust their inputs)."""
+    try:
+        v = float(x)
+    except (TypeError, ValueError):
+        return default
+    return v
+
+
+def emit(findings: Iterable[HealthFinding]) -> None:
+    """Record findings on the active observability context (no-op when off)."""
+    from repro.obs import _runtime
+
+    ctx = _runtime.current()
+    if not ctx.enabled:
+        return
+    for finding in findings:
+        ctx.findings.append(finding.to_dict())
+        ctx.metrics.inc("autosens_health_findings_total", 1.0,
+                        stage=finding.stage, severity=finding.severity)
+
+
+# ---------------------------------------------------------------------------
+# Distribution probes (B/U histograms, paper Section 2.2/2.3).
+# ---------------------------------------------------------------------------
+
+
+def probe_bin_occupancy(
+    biased_counts: np.ndarray,
+    unbiased_counts: np.ndarray,
+    min_unbiased_count: float,
+    slice_description: str = "",
+    min_stable_share: float = 0.02,
+    min_unbiased_total: float = 400.0,
+) -> List[HealthFinding]:
+    """B/U bin occupancy and the unbiased draw's effective sample size.
+
+    A preference curve is only defined on bins where U has at least
+    ``min_unbiased_count`` mass; this probe reports how much of the grid
+    that is, and how large the unbiased draw actually was. An all-empty U
+    is a ``fail`` (no curve can exist); a sliver of stable bins or a tiny
+    draw is a ``warn``.
+    """
+    b = np.nan_to_num(np.asarray(biased_counts, dtype=float), nan=0.0)
+    u = np.nan_to_num(np.asarray(unbiased_counts, dtype=float), nan=0.0)
+    n_bins = int(u.size)
+    context: Dict[str, Any] = {"slice": slice_description, "n_bins": n_bins}
+    if n_bins == 0 or not np.any(u > 0):
+        return [HealthFinding(
+            probe="bin_occupancy", stage="preference", severity="fail",
+            message="unbiased distribution is empty; no latency bin is usable",
+            value=0.0, threshold=min_stable_share, context=context,
+        )]
+    stable = u >= float(min_unbiased_count)
+    stable_share = float(stable.mean())
+    u_total = float(u.sum())
+    # Effective sample size of the (possibly weighted) biased histogram:
+    # (Σw)² / Σw² — equals the raw count for unit weights, shrinks when the
+    # α normalization concentrates weight on few bins.
+    b_sq = float(np.square(b).sum())
+    ess_b = (float(b.sum()) ** 2 / b_sq) if b_sq > 0 else 0.0
+    context.update({
+        "n_stable_bins": int(stable.sum()),
+        "unbiased_total": round(u_total, 3),
+        "biased_ess_bins": round(ess_b, 3),
+    })
+    findings: List[HealthFinding] = []
+    if not np.any(stable):
+        findings.append(HealthFinding(
+            probe="bin_occupancy", stage="preference", severity="fail",
+            message=(
+                "no latency bin reaches the minimum unbiased count "
+                f"({min_unbiased_count:g}); the curve has no support"),
+            value=stable_share, threshold=min_stable_share, context=context,
+        ))
+        return findings
+    severity = "warn" if stable_share < min_stable_share else "ok"
+    findings.append(HealthFinding(
+        probe="bin_occupancy", stage="preference", severity=severity,
+        message=(
+            f"{int(stable.sum())}/{n_bins} bins stable "
+            f"(share {stable_share:.3f})"),
+        value=stable_share, threshold=min_stable_share, context=context,
+    ))
+    findings.append(HealthFinding(
+        probe="unbiased_sample_size", stage="preference",
+        severity="warn" if u_total < min_unbiased_total else "ok",
+        message=f"unbiased draw holds {u_total:.0f} samples",
+        value=u_total, threshold=min_unbiased_total,
+        context={"slice": slice_description},
+    ))
+    return findings
+
+
+def probe_u_coverage(
+    biased_counts: np.ndarray,
+    unbiased_counts: np.ndarray,
+    min_unbiased_count: float,
+    slice_description: str = "",
+    warn_share: float = 0.75,
+    fail_share: float = 0.40,
+) -> List[HealthFinding]:
+    """How much of the *biased mass* sits on bins where U is stable.
+
+    B mass on U-starved bins is invisible to the curve: the ratio B/U is
+    undefined there. A low covered share means the answer silently ignores
+    a large part of what users actually experienced.
+    """
+    b = np.nan_to_num(np.asarray(biased_counts, dtype=float), nan=0.0)
+    u = np.nan_to_num(np.asarray(unbiased_counts, dtype=float), nan=0.0)
+    b_total = float(b.sum())
+    context: Dict[str, Any] = {"slice": slice_description}
+    if b_total <= 0 or b.size == 0:
+        return [HealthFinding(
+            probe="u_coverage", stage="preference", severity="fail",
+            message="biased distribution is empty",
+            value=0.0, threshold=fail_share, context=context,
+        )]
+    stable = u >= float(min_unbiased_count)
+    covered = float(b[stable].sum() / b_total)
+    if covered < fail_share:
+        severity, threshold = "fail", fail_share
+    elif covered < warn_share:
+        severity, threshold = "warn", warn_share
+    else:
+        severity, threshold = "ok", warn_share
+    context["covered_mass_share"] = round(covered, 4)
+    return [HealthFinding(
+        probe="u_coverage", stage="preference", severity=severity,
+        message=(
+            f"{covered:.1%} of biased mass lies on U-stable bins"),
+        value=covered, threshold=threshold, context=context,
+    )]
+
+
+# ---------------------------------------------------------------------------
+# α probes (paper Section 2.4.1, Figure 8).
+# ---------------------------------------------------------------------------
+
+
+def probe_alpha_dispersion(
+    alpha_matrix: np.ndarray,
+    alpha_by_slot: np.ndarray,
+    reference_slot: int,
+    warn_cv: float = 0.80,
+    fail_cv: float = 1.60,
+    warn_fallback_share: float = 0.50,
+) -> List[HealthFinding]:
+    """Per-slot dispersion of α across latency bins (the flatness premise).
+
+    The paper's Figure 8 argues α[T, L] is flat across L, which is what
+    licenses averaging it into one α[T] per slot. A large mean coefficient
+    of variation across bins means the time correction is applying one
+    number to a quantity that is *not* one number — the corrected curve is
+    then biased in a latency-dependent way.
+    """
+    matrix = np.asarray(alpha_matrix, dtype=float)
+    by_slot = np.asarray(alpha_by_slot, dtype=float)
+    n_slots = int(matrix.shape[0]) if matrix.ndim == 2 else 0
+    context: Dict[str, Any] = {
+        "n_slots": n_slots, "reference_slot": int(reference_slot)}
+    if n_slots == 0:
+        return [HealthFinding(
+            probe="alpha_dispersion", stage="alpha", severity="fail",
+            message="alpha matrix is empty; no slots were estimated",
+            context=context,
+        )]
+    cvs: List[float] = []
+    n_fallback = 0
+    for row in matrix:
+        vals = row[np.isfinite(row)]
+        if vals.size >= 2 and vals.mean() > 0:
+            cvs.append(float(vals.std() / vals.mean()))
+        elif vals.size == 0:
+            # No overlapping valid bin with the reference: α for this slot
+            # came from the total-count fallback, not the per-bin ratios.
+            n_fallback += 1
+    fallback_share = n_fallback / n_slots
+    context["fallback_slot_share"] = round(fallback_share, 4)
+    findings: List[HealthFinding] = []
+    if not cvs:
+        # Small-scale runs routinely have no per-bin overlap; the
+        # total-count fallback is exact under flatness, so this is
+        # informational — sparse *data* is caught by the occupancy probes.
+        findings.append(HealthFinding(
+            probe="alpha_dispersion", stage="alpha", severity="ok",
+            message=(
+                "no slot has >=2 valid bins; alpha flatness not assessable "
+                "(slots used the total-count fallback)"),
+            value=fallback_share, threshold=warn_fallback_share,
+            context=context,
+        ))
+        return findings
+    mean_cv = float(np.mean(cvs))
+    if mean_cv > fail_cv:
+        severity, threshold = "fail", fail_cv
+    elif mean_cv > warn_cv:
+        severity, threshold = "warn", warn_cv
+    else:
+        severity, threshold = "ok", warn_cv
+    findings.append(HealthFinding(
+        probe="alpha_dispersion", stage="alpha", severity=severity,
+        message=(
+            f"mean per-slot CV of alpha across bins = {mean_cv:.3f} "
+            f"(flatness premise {'holds' if severity == 'ok' else 'is strained'})"),
+        value=mean_cv, threshold=threshold, context=context,
+    ))
+    if cvs and fallback_share > warn_fallback_share:
+        findings.append(HealthFinding(
+            probe="alpha_fallback", stage="alpha", severity="warn",
+            message=(
+                f"{n_fallback}/{n_slots} slots fell back to total-count "
+                "alpha (no bin overlaps the reference slot)"),
+            value=fallback_share, threshold=warn_fallback_share,
+            context=context,
+        ))
+    # Wildly scaled slots (α far from 1 both ways) are informative but not
+    # by themselves wrong; surface the spread as an ok-severity value.
+    finite = by_slot[np.isfinite(by_slot) & (by_slot > 0)]
+    if finite.size:
+        spread = float(finite.max() / finite.min())
+        findings.append(HealthFinding(
+            probe="alpha_spread", stage="alpha", severity="ok",
+            message=f"alpha spans {finite.min():.3f}..{finite.max():.3f} "
+                    f"across slots (ratio {spread:.2f})",
+            value=spread, context={"n_slots": n_slots},
+        ))
+    return findings
+
+
+def probe_slot_support(
+    n_slots: int,
+    n_reference_slots: int,
+    n_used_references: int,
+    slice_description: str = "",
+) -> List[HealthFinding]:
+    """Slot coverage of the time correction.
+
+    With one slot the α correction is an identity (nothing to normalize
+    against); with fewer surviving reference slots than configured, the
+    multi-reference averaging the paper calls for is running thin.
+    """
+    findings: List[HealthFinding] = []
+    context = {"slice": slice_description, "n_slots": int(n_slots)}
+    if n_slots <= 1:
+        findings.append(HealthFinding(
+            probe="slot_support", stage="alpha", severity="warn",
+            message=(
+                "single-slot run: the time correction is an identity and "
+                "cannot mitigate the diurnal confounder"),
+            value=float(n_slots), threshold=2.0, context=context,
+        ))
+    else:
+        findings.append(HealthFinding(
+            probe="slot_support", stage="alpha", severity="ok",
+            message=f"{n_slots} time slots populated",
+            value=float(n_slots), threshold=2.0, context=context,
+        ))
+    if n_used_references < n_reference_slots:
+        findings.append(HealthFinding(
+            probe="reference_slots", stage="alpha", severity="warn",
+            message=(
+                f"only {n_used_references} of {n_reference_slots} "
+                "configured reference slots were usable"),
+            value=float(n_used_references), threshold=float(n_reference_slots),
+            context=context,
+        ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Smoothing probes (paper Section 2.3).
+# ---------------------------------------------------------------------------
+
+
+def probe_smoothing_edges(
+    stable_mask: np.ndarray,
+    smoothing_window: int,
+    slice_description: str = "",
+) -> List[HealthFinding]:
+    """Savitzky–Golay window vs the curve's actual support.
+
+    The filter needs ``window`` contiguous bins to produce an interior
+    (non-edge) estimate; a run narrower than half the window means even the
+    run's *center* fits under half a window — the smoothed shape is then
+    mostly an artifact of the filter's edge extrapolation.
+    """
+    mask = np.asarray(stable_mask, dtype=bool)
+    window = int(smoothing_window)
+    half_window = (window + 1) // 2
+    context: Dict[str, Any] = {
+        "slice": slice_description, "window": window,
+        "n_stable_bins": int(mask.sum()),
+    }
+    if mask.size == 0 or not mask.any():
+        return [HealthFinding(
+            probe="smoothing_edges", stage="smoothing", severity="fail",
+            message="no stable bins; the smoother has nothing to fit",
+            value=0.0, threshold=float(half_window), context=context,
+        )]
+    # Longest run of consecutive stable bins.
+    padded = np.concatenate(([0], mask.astype(np.int8), [0]))
+    changes = np.flatnonzero(np.diff(padded))
+    run_lengths = changes[1::2] - changes[0::2]
+    longest = int(run_lengths.max()) if run_lengths.size else 0
+    context["longest_stable_run"] = longest
+    context["edge_free"] = bool(longest >= window)
+    if longest < half_window:
+        return [HealthFinding(
+            probe="smoothing_edges", stage="smoothing", severity="warn",
+            message=(
+                f"longest stable run ({longest} bins) is under half the "
+                f"smoothing window ({window}); the curve is edge-dominated"),
+            value=float(longest), threshold=float(half_window),
+            context=context,
+        )]
+    return [HealthFinding(
+        probe="smoothing_edges", stage="smoothing", severity="ok",
+        message=(
+            f"longest stable run ({longest} bins) supports the smoothing "
+            f"window ({window})"),
+        value=float(longest), threshold=float(half_window), context=context,
+    )]
+
+
+# ---------------------------------------------------------------------------
+# Locality probes (paper Section 2.1, Figures 1 and 2).
+# ---------------------------------------------------------------------------
+
+
+def probe_locality(
+    actual: float,
+    shuffled: float,
+    sorted_ratio: float,
+    warn_strength: float = 0.15,
+) -> List[HealthFinding]:
+    """The MSD/MAD locality premise: latency must be locally predictable.
+
+    ``actual`` well below ``shuffled`` (≈1) is what makes the natural
+    experiment possible. A degenerate (constant-latency) series has
+    MAD = 0 everywhere, so the three ratios collapse and locality is
+    *undefined* — a ``warn``, never an exception.
+    """
+    actual = _finite(actual)
+    shuffled = _finite(shuffled)
+    sorted_ratio = _finite(sorted_ratio)
+    context = {
+        "actual": round(actual, 6) if np.isfinite(actual) else None,
+        "shuffled": round(shuffled, 6) if np.isfinite(shuffled) else None,
+        "sorted": round(sorted_ratio, 6) if np.isfinite(sorted_ratio) else None,
+    }
+    if not (np.isfinite(actual) and np.isfinite(shuffled)
+            and np.isfinite(sorted_ratio)):
+        return [HealthFinding(
+            probe="locality_msd_mad", stage="locality", severity="warn",
+            message="MSD/MAD comparison contains non-finite ratios",
+            context=context,
+        )]
+    span = shuffled - sorted_ratio
+    if span <= 0:
+        return [HealthFinding(
+            probe="locality_msd_mad", stage="locality", severity="warn",
+            message=(
+                "degenerate latency series: shuffled and sorted MSD/MAD "
+                "coincide (constant or near-constant latencies); locality "
+                "is undefined"),
+            value=0.0, threshold=warn_strength, context=context,
+        )]
+    strength = float(np.clip((shuffled - actual) / span, 0.0, 1.0))
+    context["strength"] = round(strength, 4)
+    if actual >= shuffled:
+        return [HealthFinding(
+            probe="locality_msd_mad", stage="locality", severity="fail",
+            message=(
+                f"no locality: actual MSD/MAD ({actual:.3f}) is not below "
+                f"the shuffled baseline ({shuffled:.3f}); the natural "
+                "experiment premise does not hold"),
+            value=strength, threshold=warn_strength, context=context,
+        )]
+    severity = "warn" if strength < warn_strength else "ok"
+    return [HealthFinding(
+        probe="locality_msd_mad", stage="locality", severity=severity,
+        message=(
+            f"locality strength {strength:.3f} "
+            f"(actual {actual:.3f} vs shuffled {shuffled:.3f})"),
+        value=strength, threshold=warn_strength, context=context,
+    )]
+
+
+def probe_density_correlation(
+    correlation: float,
+    kind: str = "detrended",
+    warn_at: float = 0.0,
+) -> List[HealthFinding]:
+    """Density–latency anti-correlation (the paper's Figure 2 behaviour).
+
+    Activity should concentrate in low-latency periods: the (detrended)
+    correlation of per-window action count against window mean latency
+    should be negative. A non-negative value means the latency signal the
+    estimator feeds on is absent or swamped by confounders.
+    """
+    corr = _finite(correlation)
+    context = {"kind": kind}
+    if not np.isfinite(corr):
+        return [HealthFinding(
+            probe="density_latency_correlation", stage="locality",
+            severity="warn",
+            message=(
+                f"{kind} density–latency correlation is undefined "
+                "(too few non-empty windows or constant series)"),
+            context=context,
+        )]
+    severity = "warn" if corr >= warn_at else "ok"
+    return [HealthFinding(
+        probe="density_latency_correlation", stage="locality",
+        severity=severity,
+        message=(
+            f"{kind} density–latency correlation = {corr:+.3f} "
+            f"({'anti-correlated as expected' if severity == 'ok' else 'no anti-correlation'})"),
+        value=corr, threshold=warn_at, context=context,
+    )]

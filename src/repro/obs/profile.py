@@ -1,0 +1,308 @@
+"""Span-level profiling attribution and a sampling profiler.
+
+Two complementary views of where a run spends its resources:
+
+- :class:`SpanProfiler` piggybacks on the span tree via the tracer's
+  ``profiler`` hook: on every span enter/exit it reads the process CPU
+  clock (``time.process_time``) and peak RSS (``resource.getrusage``) and
+  attributes *self* CPU time (total minus time spent in child spans) to
+  the span's name. The hook **never touches the span record itself** —
+  trace/metrics/manifest artifacts are byte-identical whether profiling is
+  on or off (the ``obs_overhead``-style identity guarantee, enforced by
+  ``tests/obs/test_profile.py`` and the CLI byte-identity tests).
+- :class:`StackSampler` is a background thread that samples the main
+  thread's Python stack at a fixed interval and accumulates folded stacks
+  (``outer;inner;leaf count``) — the flamegraph input format consumed by
+  ``flamegraph.pl`` / speedscope.
+
+Both views export into one schema-1 profile artifact via
+:func:`build_profile` / :func:`write_profile`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "SpanProfiler",
+    "StackSampler",
+    "build_profile",
+    "write_profile",
+    "load_profile",
+    "folded_from_spans",
+    "top_by_self_time",
+]
+
+#: Bump when the profile artifact field set changes.
+PROFILE_SCHEMA = 1
+
+try:  # pragma: no cover - resource is POSIX-only; absent means RSS stays 0.
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+
+def _peak_rss_kb() -> float:
+    """Process peak RSS in KiB (``ru_maxrss`` is KiB on Linux, bytes on macOS)."""
+    if _resource is None:
+        return 0.0
+    rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        rss /= 1024.0
+    return float(rss)
+
+
+class _Frame:
+    __slots__ = ("name", "cpu_enter", "child_cpu", "wall_enter")
+
+    def __init__(self, name: str, cpu_enter: float, wall_enter: float) -> None:
+        self.name = name
+        self.cpu_enter = cpu_enter
+        self.child_cpu = 0.0
+        self.wall_enter = wall_enter
+
+
+class SpanProfiler:
+    """Per-span-name CPU (self and total) and peak-RSS attribution.
+
+    The tracer calls :meth:`on_enter` / :meth:`on_exit` around each span's
+    lifetime. A parallel frame stack mirrors the tracer's span stack and
+    carries a child-CPU accumulator so self time is exact, not estimated.
+    Aggregation is by span *name* (like the perf suite's ``span_timings``),
+    which keeps the artifact small and diffable across runs with different
+    span counts.
+    """
+
+    def __init__(self) -> None:
+        import time
+
+        self._clock = time.process_time
+        self._wall = time.perf_counter
+        self._stack: List[_Frame] = []
+        self.spans: Dict[str, Dict[str, float]] = {}
+
+    # -- tracer hooks --------------------------------------------------------
+
+    def on_enter(self, name: str) -> None:
+        self._stack.append(_Frame(name, self._clock(), self._wall()))
+
+    def on_exit(self, name: str) -> None:
+        now_cpu = self._clock()
+        now_wall = self._wall()
+        # Pop down to the matching frame, mirroring the tracer's tolerance
+        # for out-of-order exits; unmatched frames fold into their parent.
+        while self._stack:
+            frame = self._stack.pop()
+            if frame.name == name:
+                break
+        else:
+            return
+        total_cpu = now_cpu - frame.cpu_enter
+        self_cpu = max(0.0, total_cpu - frame.child_cpu)
+        if self._stack:
+            self._stack[-1].child_cpu += total_cpu
+        entry = self.spans.setdefault(name, {
+            "count": 0.0, "cpu_self_s": 0.0, "cpu_total_s": 0.0,
+            "wall_s": 0.0, "rss_peak_kb": 0.0,
+        })
+        entry["count"] += 1
+        entry["cpu_self_s"] += self_cpu
+        entry["cpu_total_s"] += total_cpu
+        entry["wall_s"] += now_wall - frame.wall_enter
+        entry["rss_peak_kb"] = max(entry["rss_peak_kb"], _peak_rss_kb())
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Aggregates by span name, rounded for a stable artifact."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self.spans):
+            entry = self.spans[name]
+            out[name] = {
+                "count": int(entry["count"]),
+                "cpu_self_s": round(entry["cpu_self_s"], 6),
+                "cpu_total_s": round(entry["cpu_total_s"], 6),
+                "wall_s": round(entry["wall_s"], 6),
+                "rss_peak_kb": round(entry["rss_peak_kb"], 1),
+            }
+        return out
+
+
+class StackSampler:
+    """Fixed-interval Python stack sampler for one target thread.
+
+    A daemon thread wakes every ``interval_s`` and snapshots the target
+    thread's frame via ``sys._current_frames()``, folding it into
+    ``outer;inner;leaf`` stack strings with sample counts. Pure-Python
+    sampling ticks at wall intervals, so counts approximate wall time —
+    good enough to see *where* a multi-second stage lives.
+    """
+
+    def __init__(self, interval_s: float = 0.005,
+                 target_thread_id: Optional[int] = None,
+                 max_depth: int = 64) -> None:
+        self.interval_s = max(0.001, float(interval_s))
+        self.target_thread_id = (
+            target_thread_id if target_thread_id is not None
+            else threading.main_thread().ident)
+        self.max_depth = max_depth
+        self.samples: Dict[str, int] = {}
+        self.n_samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _fold(self, frame: Any) -> str:
+        parts: List[str] = []
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            code = frame.f_code
+            parts.append(f"{Path(code.co_filename).name}:{code.co_name}")
+            frame = frame.f_back
+            depth += 1
+        return ";".join(reversed(parts))
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self.target_thread_id)
+            if frame is None:
+                continue
+            stack = self._fold(frame)
+            if stack:
+                self.samples[stack] = self.samples.get(stack, 0) + 1
+                self.n_samples += 1
+
+    def start(self) -> "StackSampler":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="autosens-stack-sampler", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def folded(self) -> List[str]:
+        """Folded-stack lines (``a;b;c count``), deterministic order."""
+        return [f"{stack} {count}"
+                for stack, count in sorted(self.samples.items())]
+
+
+def folded_from_spans(span_snapshot: Dict[str, Dict[str, float]],
+                      records: Optional[List[Dict[str, Any]]] = None,
+                      ) -> List[str]:
+    """Folded stacks built from the span *tree* weighted by self-CPU ms.
+
+    When trace records are available the span paths give real nesting
+    (``/experiment/sweep/slice 42``); otherwise each profiled name stands
+    alone. Values are integer self-CPU milliseconds so flamegraph tooling
+    gets whole numbers.
+    """
+    lines: List[str] = []
+    if records:
+        # Total wall per path from the trace, scaled into each name's
+        # measured self-CPU share.
+        path_wall: Dict[str, float] = {}
+        name_wall: Dict[str, float] = {}
+        for record in records:
+            path = str(record.get("path", "")).strip("/")
+            if not path:
+                continue
+            dur = float(record.get("dur_us", 0)) / 1e6
+            path_wall[path] = path_wall.get(path, 0.0) + dur
+            name = str(record.get("name", ""))
+            name_wall[name] = name_wall.get(name, 0.0) + dur
+        for path in sorted(path_wall):
+            name = path.rsplit("/", 1)[-1]
+            prof = span_snapshot.get(name)
+            if prof is None or name_wall.get(name, 0.0) <= 0:
+                continue
+            share = path_wall[path] / name_wall[name]
+            value = int(round(prof["cpu_self_s"] * share * 1000))
+            if value > 0:
+                lines.append(f"{path.replace('/', ';')} {value}")
+        if lines:
+            return lines
+    for name in sorted(span_snapshot):
+        value = int(round(span_snapshot[name]["cpu_self_s"] * 1000))
+        if value > 0:
+            lines.append(f"{name} {value}")
+    return lines
+
+
+def top_by_self_time(span_snapshot: Dict[str, Dict[str, float]],
+                     limit: int = 10) -> List[Dict[str, Any]]:
+    """Top-N table rows by self CPU time (ties broken by name for stability)."""
+    ranked = sorted(
+        span_snapshot.items(),
+        key=lambda item: (-item[1]["cpu_self_s"], item[0]),
+    )
+    return [
+        {
+            "span": name,
+            "count": entry["count"],
+            "cpu_self_s": entry["cpu_self_s"],
+            "cpu_total_s": entry["cpu_total_s"],
+            "wall_s": entry["wall_s"],
+            "rss_peak_kb": entry["rss_peak_kb"],
+        }
+        for name, entry in ranked[:limit]
+    ]
+
+
+def build_profile(profiler: Optional[SpanProfiler],
+                  sampler: Optional[StackSampler] = None,
+                  records: Optional[List[Dict[str, Any]]] = None,
+                  run_id: str = "") -> Dict[str, Any]:
+    """The schema-1 profile artifact from whichever collectors ran."""
+    span_snapshot = profiler.snapshot() if profiler is not None else {}
+    payload: Dict[str, Any] = {
+        "schema": PROFILE_SCHEMA,
+        "run_id": run_id,
+        "spans": span_snapshot,
+        "top": top_by_self_time(span_snapshot),
+        "folded_spans": folded_from_spans(span_snapshot, records),
+        "folded_stacks": sampler.folded() if sampler is not None else [],
+        "n_stack_samples": sampler.n_samples if sampler is not None else 0,
+    }
+    return payload
+
+
+def write_profile(payload: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Serialize the profile artifact atomically."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    tmp.replace(path)
+    return path
+
+
+def load_profile(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and schema-check a profile artifact."""
+    from repro.errors import SchemaError
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"cannot read profile {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != PROFILE_SCHEMA:
+        raise SchemaError(f"not a schema-{PROFILE_SCHEMA} profile: {path}")
+    return payload

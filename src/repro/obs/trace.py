@@ -35,6 +35,7 @@ __all__ = [
     "NOOP_SPAN",
     "DISABLED_TRACER",
     "span_identity",
+    "aggregate_span_timings",
     "chrome_trace_events",
     "write_trace_jsonl",
     "write_chrome_trace",
@@ -187,6 +188,10 @@ class Tracer:
         self.namespace = namespace if namespace is not None else trace_id
         self.deterministic = deterministic
         self.tid = tid
+        # Optional repro.obs.profile.SpanProfiler; the hook reads its own
+        # clocks and never touches span records, so trace artifacts are
+        # byte-identical whether profiling is attached or not.
+        self.profiler: Optional[Any] = None
         self._t0 = time.perf_counter()
         self._tick = 0
         self._stack: List[Span] = []
@@ -221,8 +226,12 @@ class Tracer:
             span.span_id = _path_identity(self.namespace, span.path, n)
         span.start_us = self.now_us()
         self._stack.append(span)
+        if self.profiler is not None:
+            self.profiler.on_enter(span.name)
 
     def _exit(self, span: Span) -> None:
+        if self.profiler is not None:
+            self.profiler.on_exit(span.name)
         end = self.now_us()
         span.dur_us = end - span.start_us
         # Tolerate out-of-order exits (a span kept past its parent) by
@@ -253,6 +262,25 @@ class Tracer:
             if tid is not None:
                 adopted["tid"] = tid
             self._records.append(adopted)
+
+
+def aggregate_span_timings(records: Iterable[Dict[str, Any]]
+                           ) -> Dict[str, Dict[str, Any]]:
+    """Per-span-name totals (``{name: {count, seconds}}``) from records.
+
+    The shape the perf suite persists in ``BENCH_pipeline.json`` and run
+    manifests carry under ``span_timings`` — and that ``obs diff`` compares
+    as shares of the total.
+    """
+    timings: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        name = str(record.get("name", ""))
+        entry = timings.setdefault(name, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += float(record.get("dur_us", 0)) / 1e6
+    for entry in timings.values():
+        entry["seconds"] = round(entry["seconds"], 6)
+    return {name: timings[name] for name in sorted(timings)}
 
 
 # -- exporters ----------------------------------------------------------------

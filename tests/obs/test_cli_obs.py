@@ -7,7 +7,7 @@ import pytest
 from repro.cli.main import main
 
 
-def _run(tmp_path, tag, seed="11"):
+def _run(tmp_path, tag, seed="11", extra_flags=()):
     """One instrumented smoke experiment; returns the artifact paths."""
     trace = tmp_path / f"{tag}-trace.json"
     metrics = tmp_path / f"{tag}-metrics.prom"
@@ -19,6 +19,7 @@ def _run(tmp_path, tag, seed="11"):
         "--metrics-out", str(metrics),
         "--manifest-out", str(manifest),
         "--deterministic-trace",
+        *extra_flags,
     ])
     assert status == 0
     return trace, metrics, manifest
@@ -70,6 +71,120 @@ class TestByteIdentity:
         second = _run(tmp_path, "b")
         for one, two in zip(first, second):
             assert one.read_bytes() == two.read_bytes(), one.name
+
+
+class TestHealthAndProfileFlags:
+    def test_health_out_writes_an_ok_report(self, tmp_path):
+        health = tmp_path / "health.json"
+        _run(tmp_path, "h", extra_flags=("--health-out", str(health)))
+        payload = json.loads(health.read_text())
+        assert payload["verdict"] == "ok"
+        assert payload["findings"]
+
+    def test_manifest_embeds_the_health_report(self, artifacts):
+        _, _, manifest = artifacts
+        data = json.loads(manifest.read_text())
+        assert data["health"]["verdict"] == "ok"
+        assert data["span_timings"]
+
+    def test_profile_out_writes_span_attribution(self, tmp_path):
+        profile = tmp_path / "profile.json"
+        _run(tmp_path, "p", extra_flags=("--profile-out", str(profile)))
+        payload = json.loads(profile.read_text())
+        assert payload["schema"] == 1
+        assert "experiment" in payload["spans"]
+        assert payload["top"]
+
+    def test_profiling_leaves_other_artifacts_byte_identical(self, tmp_path):
+        """The identity guarantee, end to end through the CLI: a profiled
+        run's trace/metrics/manifest match an unprofiled run byte for byte."""
+        plain = _run(tmp_path, "plain")
+        profiled = _run(
+            tmp_path, "profiled",
+            extra_flags=("--profile-out", str(tmp_path / "prof.json")))
+        for one, two in zip(plain, profiled):
+            assert one.read_bytes() == two.read_bytes(), one.name
+
+
+class TestDoctor:
+    def test_doctor_on_a_clean_run_exits_ok(self, artifacts, capsys):
+        _, _, manifest = artifacts
+        assert main(["doctor", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+
+    def test_doctor_accepts_a_run_directory(self, tmp_path, capsys):
+        _run(tmp_path, "run", extra_flags=(
+            "--health-out", str(tmp_path / "run-health.json")))
+        (tmp_path / "run-manifest.json").rename(tmp_path / "manifest.json")
+        assert main(["doctor", str(tmp_path)]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_doctor_strict_flags_warnings(self, tmp_path, capsys):
+        from repro.obs.health import HealthReport, write_health_report
+
+        report = HealthReport([{
+            "probe": "p", "stage": "runtime", "severity": "warn",
+            "message": "synthetic warning",
+        }])
+        path = write_health_report(report, tmp_path / "health.json")
+        assert main(["doctor", str(path)]) == 0  # warnings are advisory
+        assert main(["doctor", str(path), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "synthetic warning" in out
+
+    def test_doctor_fail_verdict_exits_nonzero(self, tmp_path):
+        from repro.obs.health import HealthReport, write_health_report
+
+        report = HealthReport([{
+            "probe": "p", "stage": "preference", "severity": "fail",
+            "message": "no support",
+        }])
+        path = write_health_report(report, tmp_path / "health.json")
+        assert main(["doctor", str(path)]) == 1
+
+    def test_doctor_on_a_manifest_without_health_is_a_schema_error(
+            self, tmp_path):
+        import repro.obs as obs
+
+        manifest = obs.build_manifest(
+            experiment_id="x", seed=0, deterministic=True)
+        path = obs.write_manifest(manifest, tmp_path / "manifest.json")
+        assert main(["doctor", str(path)]) == 3
+
+
+class TestObsDiffCommand:
+    def test_self_diff_exits_zero_and_reports_unchanged(
+            self, artifacts, capsys):
+        _, _, manifest = artifacts
+        assert main(["obs", "diff", str(manifest), str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "regressed=0" in out
+
+    def test_diff_out_writes_the_report(self, artifacts, tmp_path):
+        _, _, manifest = artifacts
+        out_path = tmp_path / "diff.json"
+        assert main(["obs", "diff", str(manifest), str(manifest),
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["regressed"] == 0
+
+    def test_regression_exits_nonzero(self, artifacts, tmp_path, capsys):
+        _, _, manifest = artifacts
+        data = json.loads(manifest.read_text())
+        data["degradations"] = [{"kind": "starved_slice"}]
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(data))
+        assert main(["obs", "diff", str(manifest), str(worse)]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_kind_mismatch_is_a_schema_error(self, artifacts, tmp_path):
+        _, _, manifest = artifacts
+        health = tmp_path / "health.json"
+        health.write_text(json.dumps(
+            {"schema": 1, "verdict": "ok", "findings": [],
+             "counts": {"ok": 0, "warn": 0, "fail": 0}, "stages": {}}))
+        assert main(["obs", "diff", str(manifest), str(health)]) == 3
 
 
 class TestJsonlTrace:

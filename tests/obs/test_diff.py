@@ -1,0 +1,234 @@
+"""Cross-run regression detection: classification, tolerances, exit codes.
+
+The acceptance property pinned first: a self-comparison of any artifact —
+including the committed ``BENCH_pipeline.json`` perf baseline — is 100 %
+``unchanged``, because every comparator takes an exact-equality fast path
+before any tolerance math.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import SchemaError
+from repro.obs.diff import (
+    diff_artifacts,
+    diff_exit_code,
+    diff_paths,
+    load_artifact,
+    render_diff,
+    sniff_kind,
+    write_diff,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _manifest(tmp_path, name="manifest.json", **overrides):
+    manifest = obs.build_manifest(
+        experiment_id="fig4", seed=3,
+        config_fingerprint=(("n_users", 150),),
+        degradations=overrides.pop("degradations", []),
+        metrics=overrides.pop("metrics", {}),
+        deterministic=True,
+        extra=overrides,
+    )
+    return obs.write_manifest(manifest, tmp_path / name)
+
+
+class TestSelfDiff:
+    def test_manifest_self_diff_is_all_unchanged(self, tmp_path):
+        path = _manifest(tmp_path, metrics={
+            "autosens_cache_total": {
+                "kind": "counter", "help": "",
+                "series": {'{outcome="hit"}': 31, '{outcome="miss"}': 2},
+            },
+        })
+        report = diff_paths(path, path)
+        summary = report["summary"]
+        assert summary["regressed"] == 0
+        assert summary["improved"] == 0
+        assert summary["added"] == 0
+        assert summary["removed"] == 0
+        assert summary["unchanged"] == len(report["entries"]) > 0
+        assert diff_exit_code(report) == 0
+
+    def test_committed_bench_baseline_self_diff_is_all_unchanged(self):
+        bench = REPO_ROOT / "BENCH_pipeline.json"
+        report = diff_paths(bench, bench)
+        assert report["kind"] == "bench"
+        summary = report["summary"]
+        assert summary["unchanged"] == len(report["entries"]) > 0
+        assert summary["regressed"] == summary["improved"] == 0
+        assert diff_exit_code(report) == 0
+
+    def test_fresh_deterministic_run_matches_committed_baseline(self, tmp_path):
+        """The CI ``obs-health`` property: a deterministic seed-11 smoke run
+        diffs 100 % unchanged against the committed baseline manifest.
+        If this fails after an intentional pipeline change, regenerate
+        ``tests/obs/golden/baseline_manifest.json`` (see OBSERVABILITY.md)."""
+        from repro.cli.main import main
+
+        manifest = tmp_path / "manifest.json"
+        assert main([
+            "experiment", "bottleneck", "--scale", "small", "--seed", "11",
+            "--no-plots", "--deterministic-trace",
+            "--manifest-out", str(manifest),
+        ]) == 0
+        baseline = Path(__file__).parent / "golden" / "baseline_manifest.json"
+        report = diff_paths(baseline, manifest)
+        summary = report["summary"]
+        assert summary["unchanged"] == len(report["entries"]) > 0, summary
+        assert diff_exit_code(report) == 0
+
+
+class TestClassification:
+    def test_direction_heuristics(self):
+        a = {"m": {"kind": "counter", "series": {
+            '{outcome="hit"}': 100.0, '{outcome="miss"}': 100.0,
+            '{kind="other"}': 100.0}}}
+        b = {"m": {"kind": "counter", "series": {
+            '{outcome="hit"}': 200.0, '{outcome="miss"}': 200.0,
+            '{kind="other"}': 200.0}}}
+        report = diff_artifacts(a, b)
+        by_key = {e["key"]: e["classification"] for e in report["entries"]}
+        assert by_key['m{outcome="hit"}'] == "improved"
+        assert by_key['m{outcome="miss"}'] == "regressed"
+        # No known direction: any drift beyond tolerance is a regression.
+        assert by_key['m{kind="other"}'] == "regressed"
+
+    def test_drift_within_tolerance_is_unchanged(self):
+        a = {"m": {"kind": "counter", "series": {"{}": 100.0}}}
+        b = {"m": {"kind": "counter", "series": {"{}": 105.0}}}
+        report = diff_artifacts(a, b, rel_tol=0.10)
+        assert report["entries"][0]["classification"] == "unchanged"
+        report = diff_artifacts(a, b, rel_tol=0.01)
+        assert report["entries"][0]["classification"] == "regressed"
+
+    def test_added_and_removed_series(self):
+        a = {"m": {"kind": "counter", "series": {"{a}": 1.0}}}
+        b = {"m": {"kind": "counter", "series": {"{b}": 1.0}}}
+        report = diff_artifacts(a, b)
+        by_key = {e["key"]: e["classification"] for e in report["entries"]}
+        assert by_key["m{a}"] == "removed"
+        assert by_key["m{b}"] == "added"
+        assert diff_exit_code(report) == 1  # removed counts as drift
+
+    def test_histograms_compare_count_and_sum(self):
+        a = {"h": {"kind": "histogram", "series": {"{}": {
+            "buckets": {"1": 3}, "inf": 0, "sum": 2.5, "count": 3}}}}
+        b = json.loads(json.dumps(a))
+        report = diff_artifacts(a, b)
+        keys = {e["key"] for e in report["entries"]}
+        assert keys == {"h{}.count", "h{}.sum"}
+        assert all(e["classification"] == "unchanged"
+                   for e in report["entries"])
+
+
+class TestManifestDiff:
+    def test_new_degradations_regress(self, tmp_path):
+        a = _manifest(tmp_path, "a.json")
+        b = _manifest(tmp_path, "b.json",
+                      degradations=[{"kind": "starved_slice"}])
+        report = diff_paths(a, b)
+        entry = next(e for e in report["entries"]
+                     if e["key"] == "degradations")
+        assert entry["classification"] == "regressed"
+        assert diff_exit_code(report) == 1
+
+    def test_health_verdict_regression_is_flagged(self, tmp_path):
+        ok = {"verdict": "ok", "counts": {"ok": 5, "warn": 0, "fail": 0},
+              "schema": 1, "findings": [], "stages": {}}
+        warn = {"verdict": "warn", "counts": {"ok": 4, "warn": 1, "fail": 0},
+                "schema": 1, "findings": [], "stages": {}}
+        a = _manifest(tmp_path, "a.json", health=ok)
+        b = _manifest(tmp_path, "b.json", health=warn)
+        report = diff_paths(a, b)
+        by_key = {e["key"]: e["classification"] for e in report["entries"]}
+        assert by_key["health.verdict_rank"] == "regressed"
+        assert by_key["health.findings[warn]"] == "regressed"
+
+    def test_span_share_shift_is_detected(self, tmp_path):
+        a = _manifest(tmp_path, "a.json", span_timings={
+            "alpha": {"count": 4, "seconds": 1.0},
+            "sweep": {"count": 1, "seconds": 9.0},
+        })
+        b = _manifest(tmp_path, "b.json", span_timings={
+            "alpha": {"count": 4, "seconds": 9.0},
+            "sweep": {"count": 1, "seconds": 1.0},
+        })
+        report = diff_paths(a, b)
+        by_key = {e["key"]: e["classification"] for e in report["entries"]}
+        assert by_key["span_share[alpha]"] == "regressed"
+        assert by_key["span_share[sweep]"] == "improved"
+        assert by_key["span_count[alpha]"] == "unchanged"
+
+    def test_run_directory_resolves_to_its_manifest(self, tmp_path):
+        _manifest(tmp_path)
+        report = diff_paths(tmp_path, tmp_path)
+        assert report["kind"] == "manifest"
+
+
+class TestCurveDiff:
+    def _curve(self, nlp):
+        return {"series": {"nlp": nlp}, "bins": list(range(len(nlp)))}
+
+    def test_identical_curves_unchanged(self):
+        a = self._curve([1.0, 0.8, None, 0.5])
+        report = diff_artifacts(a, json.loads(json.dumps(a)))
+        assert report["kind"] == "curve"
+        assert report["summary"]["regressed"] == 0
+
+    def test_deviation_beyond_tolerance_regresses(self):
+        a = self._curve([1.0, 0.8, 0.5])
+        b = self._curve([1.0, 0.8, 0.4])
+        assert diff_artifacts(a, b, curve_tol=0.02)["summary"]["regressed"] == 1
+        assert diff_artifacts(a, b, curve_tol=0.2)["summary"]["regressed"] == 0
+
+    def test_lost_support_regresses(self):
+        a = self._curve([1.0, 0.8, 0.5])
+        b = self._curve([1.0, None, None])
+        report = diff_artifacts(a, b)
+        entry = next(e for e in report["entries"]
+                     if e["key"] == "curve.n_valid_bins")
+        assert entry["classification"] == "regressed"
+
+
+class TestPlumbing:
+    def test_kind_sniffing(self):
+        assert sniff_kind({"schema": 1, "scales": {}}) == "bench"
+        assert sniff_kind({"run_id": "x"}) == "manifest"
+        assert sniff_kind({"verdict": "ok", "findings": []}) == "health"
+        assert sniff_kind({"series": {"nlp": []}}) == "curve"
+        with pytest.raises(SchemaError):
+            sniff_kind({"what": "ever"})
+
+    def test_kind_mismatch_refuses(self):
+        with pytest.raises(SchemaError):
+            diff_artifacts({"run_id": "x"}, {"verdict": "ok", "findings": []})
+
+    def test_render_lists_regressions_first(self):
+        a = {"m": {"kind": "counter", "series": {
+            '{outcome="miss"}': 1.0, '{outcome="hit"}': 1.0}}}
+        b = {"m": {"kind": "counter", "series": {
+            '{outcome="miss"}': 50.0, '{outcome="hit"}': 50.0}}}
+        text = render_diff(diff_artifacts(a, b))
+        regressed_at = text.index("regressed")
+        improved_at = text.index("improved")
+        assert regressed_at < improved_at
+        assert "summary:" in text
+
+    def test_write_diff_roundtrip(self, tmp_path):
+        report = diff_artifacts({"run_id": "x"}, {"run_id": "x"})
+        path = write_diff(report, tmp_path / "diff.json")
+        assert json.loads(path.read_text()) == report
+
+    def test_load_artifact_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(SchemaError):
+            load_artifact(bad)
+        with pytest.raises(SchemaError):
+            load_artifact(tmp_path / "missing.json")

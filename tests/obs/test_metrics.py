@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.obs.metrics import (
     MetricsRegistry,
+    bucket_quantile,
     write_metrics_json,
     write_metrics_prometheus,
 )
@@ -71,6 +72,46 @@ class TestHistogram:
     def test_unsorted_buckets_rejected(self):
         with pytest.raises(ConfigError):
             MetricsRegistry().histogram("h", buckets=(10.0, 1.0))
+
+
+class TestQuantiles:
+    def test_interpolates_within_the_crossing_bucket(self):
+        # 10 observations spread evenly across (0, 10]: p50 crosses the
+        # single bucket at 50% of its width.
+        assert bucket_quantile((10.0,), (10, 0), 0.5) == pytest.approx(5.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert bucket_quantile((1.0, 10.0), (4, 0, 0), 0.5) == pytest.approx(0.5)
+
+    def test_inf_crossing_clamps_to_last_finite_bound(self):
+        assert bucket_quantile((1.0, 10.0), (0, 0, 7), 0.99) == 10.0
+
+    def test_empty_series_is_nan(self):
+        import math
+
+        assert math.isnan(bucket_quantile((1.0,), (0, 0), 0.5))
+
+    def test_quantiles_are_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=STAGE_BUCKETS)
+        for v in (0.002, 0.003, 0.02, 0.07, 0.4, 0.9):
+            h.observe(v)
+        q = h.quantiles()
+        assert q["p50"] <= q["p90"] <= q["p99"]
+        assert set(q) == {"p50", "p90", "p99"}
+
+    def test_unknown_label_set_is_empty(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").quantiles(stage="never") == {}
+
+    def test_snapshot_and_prometheus_carry_quantiles(self):
+        reg = sample_registry()
+        snap = reg.snapshot()["autosens_stage_seconds"]["series"]
+        assert snap['{stage="sweep"}']["quantiles"] == {
+            "p50": 0.01, "p90": 0.82, "p99": 0.982}
+        text = reg.render_prometheus()
+        assert ('# QUANTILE autosens_stage_seconds{stage="sweep"} '
+                "p50=0.01 p90=0.82 p99=0.982") in text
 
 
 class TestRegistry:

@@ -45,6 +45,21 @@ class TestNoopMetrics:
         assert len(obs.metrics()) == 0
 
 
+class TestNoopHealthAndProfile:
+    def test_disabled_findings_are_swallowed(self):
+        from repro.obs.probes import probe_density_correlation, emit
+
+        emit(probe_density_correlation(-0.5))
+        obs.record_finding(probe_density_correlation(-0.5)[0])
+        assert obs.findings() == []
+
+    def test_disabled_context_has_no_profiler(self):
+        assert obs.profiler() is None
+        report = obs.build_health_report()
+        assert report.verdict == "ok"
+        assert report.findings == []
+
+
 class TestNoopExecutor:
     def test_serial_map_produces_no_spans_when_disabled(self):
         assert not obs.enabled()

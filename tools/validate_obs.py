@@ -1,23 +1,35 @@
 #!/usr/bin/env python
 """Validate observability artifacts against their schemas (CI gate).
 
-Checks any combination of the three artifact kinds the CLI emits::
+Checks any combination of the artifact kinds the CLI emits::
 
     PYTHONPATH=src python tools/validate_obs.py \\
         --trace out/trace.json --metrics out/metrics.prom \\
-        --manifest out/manifest.json
+        --manifest out/manifest.json --health out/health.json \\
+        --profile out/profile.json --diff out/diff.json
 
 - ``--trace``: a Chrome ``trace_event`` file (``*.json``) or a span JSONL
   file (``*.jsonl``). Every event/record must carry the trace schema
   version and the required span fields, and parents must resolve.
 - ``--metrics``: a Prometheus text file (``*.prom``/``*.txt``) — every
-  sample line must parse and belong to a declared ``# TYPE`` — or a JSON
-  snapshot (``*.json``).
+  sample line must parse and belong to a declared ``# TYPE``, and every
+  histogram series must carry a well-formed ``# QUANTILE`` summary line —
+  or a JSON snapshot (``*.json``) whose histogram series each embed
+  monotone ``p50 <= p90 <= p99`` quantiles.
 - ``--manifest``: a run manifest; validated through
-  :func:`repro.obs.manifest.load_manifest` plus required-field checks.
+  :func:`repro.obs.manifest.load_manifest` plus required-field checks
+  (including the embedded health report when present).
+- ``--health``: an ``autosens doctor`` health report — schema, verdict,
+  per-finding fields, and stage verdicts consistent with the findings.
+- ``--profile``: a span profile — schema, per-span resource fields,
+  folded-stack line format, top table sorted by self CPU.
+- ``--diff``: an ``autosens obs diff`` report — schema, classification
+  vocabulary, and a summary that tallies the entries exactly.
 
 Exit status 0 when everything validates, 1 with one line per violation
-otherwise. Zero third-party dependencies, same as ``repro.obs`` itself.
+otherwise (drift between a summary and its entries, an out-of-order top
+table, an inconsistent verdict — all exit non-zero). Zero third-party
+dependencies, same as ``repro.obs`` itself.
 """
 
 from __future__ import annotations
@@ -31,7 +43,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.diff import DIFF_SCHEMA  # noqa: E402
+from repro.obs.health import HEALTH_SCHEMA  # noqa: E402
 from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest  # noqa: E402
+from repro.obs.profile import PROFILE_SCHEMA  # noqa: E402
 from repro.obs.trace import TRACE_SCHEMA  # noqa: E402
 
 SPAN_FIELDS = ("name", "id", "parent", "path", "tid", "start_us", "dur_us",
@@ -46,6 +61,21 @@ _PROM_SAMPLE = re.compile(
     r'(?P<labels>\{[^}]*\})?'
     r' (?P<value>[0-9eE+.\-]+|\+Inf|-Inf|NaN)$'
 )
+
+_PROM_QUANTILE = re.compile(
+    r'^# QUANTILE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})?'
+    r'(?P<pairs>( p\d+=[0-9eE+.\-]+|\ p\d+=NaN)+)$'
+)
+
+_FOLDED_STACK = re.compile(r'^\S.* \d+$')
+
+SEVERITIES = ("ok", "warn", "fail")
+FINDING_FIELDS = ("probe", "stage", "severity", "message")
+PROFILE_SPAN_FIELDS = ("count", "cpu_self_s", "cpu_total_s", "wall_s",
+                       "rss_peak_kb")
+DIFF_CLASSIFICATIONS = ("improved", "regressed", "unchanged", "added",
+                        "removed")
 
 
 def _validate_span_jsonl(path: Path) -> list:
@@ -104,6 +134,8 @@ def _validate_chrome_trace(path: Path) -> list:
 def _validate_metrics_prom(path: Path) -> list:
     errors = []
     declared = set()
+    histograms = set()
+    quantile_names = set()
     samples = 0
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         if not line.strip():
@@ -115,6 +147,15 @@ def _validate_metrics_prom(path: Path) -> list:
                 errors.append(f"{path}:{lineno}: malformed TYPE line")
             else:
                 declared.add(parts[2])
+                if parts[3] == "histogram":
+                    histograms.add(parts[2])
+            continue
+        if line.startswith("# QUANTILE "):
+            match = _PROM_QUANTILE.match(line)
+            if match is None:
+                errors.append(f"{path}:{lineno}: malformed QUANTILE line")
+            else:
+                quantile_names.add(match.group("name"))
             continue
         if line.startswith("#"):
             continue
@@ -127,9 +168,23 @@ def _validate_metrics_prom(path: Path) -> list:
         base = re.sub(r"_(bucket|sum|count)$", "", name)
         if name not in declared and base not in declared:
             errors.append(f"{path}:{lineno}: {name} has no # TYPE declaration")
+    for name in sorted(histograms - quantile_names):
+        errors.append(f"{path}: histogram {name} has no # QUANTILE summary")
     if samples == 0 and not errors:
         errors.append(f"{path}: no metric samples")
     return errors
+
+
+def _check_quantiles(owner: str, quantiles) -> list:
+    if not isinstance(quantiles, dict):
+        return [f"{owner}: quantiles missing"]
+    missing = [k for k in ("p50", "p90", "p99") if k not in quantiles]
+    if missing:
+        return [f"{owner}: quantiles missing {missing}"]
+    p50, p90, p99 = (quantiles[k] for k in ("p50", "p90", "p99"))
+    if not (p50 <= p90 <= p99):
+        return [f"{owner}: quantiles not monotone ({p50}, {p90}, {p99})"]
+    return []
 
 
 def _validate_metrics_json(path: Path) -> list:
@@ -145,6 +200,12 @@ def _validate_metrics_json(path: Path) -> list:
             errors.append(f"{path}: {name} has bad kind {entry.get('kind')!r}")
         if not isinstance(entry.get("series"), dict):
             errors.append(f"{path}: {name} has no series map")
+        elif entry.get("kind") == "histogram":
+            for labels, series in entry["series"].items():
+                errors += _check_quantiles(
+                    f"{path}: {name}{labels}",
+                    series.get("quantiles") if isinstance(series, dict)
+                    else None)
     return errors
 
 
@@ -163,6 +224,123 @@ def _validate_manifest(path: Path) -> list:
         errors.append(f"{path}: schema != {MANIFEST_SCHEMA}")
     if manifest.get("deterministic") and "created_at" in manifest:
         errors.append(f"{path}: deterministic manifest carries created_at")
+    if "health" in manifest:
+        errors += _check_health_payload(f"{path} (embedded)",
+                                        manifest["health"])
+    return errors
+
+
+def _check_health_payload(owner: str, payload) -> list:
+    if not isinstance(payload, dict):
+        return [f"{owner}: health report is not an object"]
+    errors = []
+    if payload.get("schema") != HEALTH_SCHEMA:
+        errors.append(f"{owner}: health schema != {HEALTH_SCHEMA}")
+    if payload.get("verdict") not in SEVERITIES:
+        errors.append(f"{owner}: bad verdict {payload.get('verdict')!r}")
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        return errors + [f"{owner}: findings missing"]
+    worst_by_stage = {}
+    rank = {s: i for i, s in enumerate(SEVERITIES)}
+    for i, finding in enumerate(findings):
+        missing = [f for f in FINDING_FIELDS if f not in finding]
+        if missing:
+            errors.append(f"{owner}: finding {i} missing fields {missing}")
+            continue
+        if finding["severity"] not in SEVERITIES:
+            errors.append(
+                f"{owner}: finding {i} has bad severity "
+                f"{finding['severity']!r}")
+            continue
+        stage = finding["stage"]
+        worst_by_stage.setdefault(stage, "ok")
+        if rank[finding["severity"]] > rank[worst_by_stage[stage]]:
+            worst_by_stage[stage] = finding["severity"]
+    stages = payload.get("stages")
+    if isinstance(stages, dict) and stages != worst_by_stage:
+        errors.append(
+            f"{owner}: stage verdicts {stages} disagree with the findings "
+            f"({worst_by_stage})")
+    counts = payload.get("counts")
+    if isinstance(counts, dict):
+        tally = {s: 0 for s in SEVERITIES}
+        for finding in findings:
+            tally[finding.get("severity", "warn")] = (
+                tally.get(finding.get("severity", "warn"), 0) + 1)
+        if counts != tally:
+            errors.append(f"{owner}: counts {counts} disagree with the "
+                          f"findings ({tally})")
+    return errors
+
+
+def _validate_health(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    return _check_health_payload(str(path), payload)
+
+
+def _validate_profile(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if payload.get("schema") != PROFILE_SCHEMA:
+        errors.append(f"{path}: schema != {PROFILE_SCHEMA}")
+    spans = payload.get("spans")
+    if not isinstance(spans, dict):
+        return errors + [f"{path}: spans missing"]
+    for name, entry in spans.items():
+        missing = [f for f in PROFILE_SPAN_FIELDS if f not in entry]
+        if missing:
+            errors.append(f"{path}: span {name!r} missing fields {missing}")
+            continue
+        if entry["cpu_self_s"] > entry["cpu_total_s"] + 1e-6:
+            errors.append(
+                f"{path}: span {name!r} self CPU exceeds total CPU")
+    top = payload.get("top", [])
+    self_times = [row.get("cpu_self_s", 0.0) for row in top]
+    if self_times != sorted(self_times, reverse=True):
+        errors.append(f"{path}: top table is not sorted by self CPU")
+    for key in ("folded_spans", "folded_stacks"):
+        for i, line in enumerate(payload.get(key, [])):
+            if not _FOLDED_STACK.match(line):
+                errors.append(f"{path}: {key}[{i}] is not 'stack count'")
+    return errors
+
+
+def _validate_diff(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if payload.get("schema") != DIFF_SCHEMA:
+        errors.append(f"{path}: schema != {DIFF_SCHEMA}")
+    if payload.get("kind") not in ("bench", "manifest", "metrics", "curve",
+                                   "health"):
+        errors.append(f"{path}: bad kind {payload.get('kind')!r}")
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        return errors + [f"{path}: entries missing"]
+    tally = {c: 0 for c in DIFF_CLASSIFICATIONS}
+    for i, entry in enumerate(entries):
+        cls = entry.get("classification")
+        if cls not in DIFF_CLASSIFICATIONS:
+            errors.append(f"{path}: entry {i} has bad classification {cls!r}")
+            continue
+        tally[cls] += 1
+        if "key" not in entry:
+            errors.append(f"{path}: entry {i} has no key")
+    summary = payload.get("summary")
+    if isinstance(summary, dict) and {
+        k: summary.get(k, 0) for k in DIFF_CLASSIFICATIONS
+    } != tally:
+        errors.append(
+            f"{path}: summary {summary} disagrees with the entries ({tally})")
     return errors
 
 
@@ -174,9 +352,18 @@ def main(argv=None) -> int:
                         help="Prometheus text (*.prom) or snapshot (*.json)")
     parser.add_argument("--manifest", type=Path, default=None,
                         help="run manifest JSON")
+    parser.add_argument("--health", type=Path, default=None,
+                        help="health report JSON (autosens doctor)")
+    parser.add_argument("--profile", type=Path, default=None,
+                        help="span profile JSON (--profile-out)")
+    parser.add_argument("--diff", type=Path, default=None,
+                        help="diff report JSON (autosens obs diff --out)")
     args = parser.parse_args(argv)
-    if args.trace is None and args.metrics is None and args.manifest is None:
-        parser.error("nothing to validate; pass --trace/--metrics/--manifest")
+    if all(getattr(args, name) is None
+           for name in ("trace", "metrics", "manifest", "health",
+                        "profile", "diff")):
+        parser.error("nothing to validate; pass --trace/--metrics/--manifest/"
+                     "--health/--profile/--diff")
 
     errors = []
     if args.trace is not None:
@@ -191,6 +378,12 @@ def main(argv=None) -> int:
             errors += _validate_metrics_prom(args.metrics)
     if args.manifest is not None:
         errors += _validate_manifest(args.manifest)
+    if args.health is not None:
+        errors += _validate_health(args.health)
+    if args.profile is not None:
+        errors += _validate_profile(args.profile)
+    if args.diff is not None:
+        errors += _validate_diff(args.diff)
 
     if errors:
         for line in errors:
