@@ -13,12 +13,16 @@ def test_bottleneck(run_paper_experiment):
 def test_perf_stages(benchmark, output_dir):
     """Time generator → pipeline → sweep at full scale, old vs new.
 
-    Asserts the acceptance criterion of the tensor refactor: the
-    time-corrected multi-reference path runs at least 2x faster than the
-    per-slot/per-sample reference implementation, while agreeing with it
-    numerically. The stage report is exported next to the other benchmark
-    artifacts; ``tools/bench_report.py`` maintains the committed
-    ``BENCH_pipeline.json`` trajectory.
+    Asserts the acceptance criteria of the perf work: the time-corrected
+    multi-reference path runs at least 2x faster than the per-slot /
+    per-sample reference, and the single-draw sampler beats the legacy
+    12-batch redraw loop by at least 5x. The deterministic halves still
+    agree bitwise (checked inside the suite; biased_diff in the stage
+    detail); the Monte Carlo time fractions and the curves built from them
+    use a different draw schedule, so they are held to statistical bounds
+    (~4x the observed full-scale noise). The stage report is exported next
+    to the other benchmark artifacts; ``tools/bench_report.py`` maintains
+    the committed ``BENCH_pipeline.json`` trajectory.
     """
     report = benchmark.pedantic(
         lambda: run_perf_suite(scale="full", seed=0), rounds=1, iterations=1
@@ -33,6 +37,21 @@ def test_perf_stages(benchmark, output_dir):
     assert corrected.speedup is not None and corrected.speedup >= 2.0, (
         f"corrected multi-reference path speedup {corrected.speedup}, expected >= 2x"
     )
-    assert corrected.max_abs_diff is not None and corrected.max_abs_diff < 1e-9
+    assert corrected.max_abs_diff is not None and corrected.max_abs_diff < 0.05, (
+        "corrected curves drifted beyond Monte Carlo noise from the legacy path"
+    )
     counts = report.stage("slotted_counts")
-    assert counts.max_abs_diff == 0.0, "tensorized counts diverged from the legacy loops"
+    assert counts.speedup is not None and counts.speedup >= 5.0, (
+        f"single-draw sampler speedup {counts.speedup}, expected >= 5x over "
+        "the legacy redraw loop"
+    )
+    assert counts.max_abs_diff is not None and counts.max_abs_diff < 0.01, (
+        "unbiased time fractions drifted beyond Monte Carlo noise"
+    )
+    assert "biased_diff=0 (bitwise)" in counts.detail, (
+        "deterministic biased counts diverged from the legacy loops"
+    )
+    sharded = report.stage("slotted_counts_sharded")
+    assert sharded.max_abs_diff is not None and sharded.max_abs_diff < 0.02, (
+        "sharded draw drifted beyond stratified Monte Carlo noise"
+    )

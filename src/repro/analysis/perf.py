@@ -8,9 +8,13 @@ per-slot / per-sample Python loops), and the results land in
 guess.
 
 The legacy copies below are deliberately verbatim ports of the old
-``repro.core.alpha`` loops — they consume the RNG in exactly the same order
-as the vectorized versions, so every timed pair can also be checked for
+``repro.core.alpha`` loops, so every timed pair is also checked for
 numerical agreement (``PerfReport.stage('slotted_counts').max_abs_diff``).
+Deterministic stages (biased counts, period slots, corrected contraction)
+agree bit-for-bit; the Monte Carlo unbiased draw changed its batch schedule
+in the single-draw sampler rewrite, so its time fractions agree only up to
+sampling noise — the reported ``max_abs_diff`` for those stages is the
+statistical equivalence bound, not a bitwise one.
 
 Run from the CLI::
 
@@ -56,8 +60,14 @@ from repro.workload.scenarios import owa_scenario
 #: genuine O(n_slots·N) → O(N) regression still shows up as >2×.
 SMOKE = Scale(duration_days=2.0, n_users=80, candidates_per_user_day=40.0)
 
+#: Millions-of-actions scale (~5M candidates, >2M accepted actions): the
+#: headroom proof for the single-draw sampler. Run with ``legacy=False``
+#: (``bench_report.py --no-legacy``) — the per-slot legacy loops take
+#: minutes at this size and prove nothing new.
+XL = Scale(duration_days=14.0, n_users=1800, candidates_per_user_day=200.0)
+
 #: Named scales accepted by :func:`run_perf_suite` and the CLI.
-PERF_SCALES: Dict[str, Scale] = {"full": FULL, "smoke": SMOKE}
+PERF_SCALES: Dict[str, Scale] = {"full": FULL, "smoke": SMOKE, "xl": XL}
 
 
 # --------------------------------------------------------------------------
@@ -180,8 +190,11 @@ def _legacy_slotted_counts(
 ) -> SlottedCounts:
     """The old ``slotted_counts``: one masked pass over the data per slot.
 
-    RNG consumption matches the vectorized version draw for draw, so with
-    the same seed the two return bit-identical tensors.
+    Deterministic outputs (biased counts, slot ids, slot seconds) are
+    bit-identical to the shipped version. The unbiased time fractions are
+    not: this reference keeps the old fixed-size 12-batch redraw schedule,
+    while the shipped sampler draws one waste-compensated batch, so the two
+    consume the RNG differently and agree only statistically.
     """
     if logs.is_empty:
         raise EmptyDataError("cannot slot empty logs")
@@ -322,7 +335,23 @@ class PerfReport:
                 return s
         raise KeyError(f"no stage named {name!r}")
 
+    def span_shares(self) -> Dict[str, float]:
+        """Each span's share of the total traced wall time (0..1).
+
+        The "where does the next optimization live" column: the largest
+        share is the current bottleneck, readable straight from
+        ``BENCH_pipeline.json`` without summing anything by hand.
+        """
+        total = sum(agg.get("seconds", 0.0) for agg in self.span_timings.values())
+        if total <= 0:
+            return {name: 0.0 for name in self.span_timings}
+        return {
+            name: agg.get("seconds", 0.0) / total
+            for name, agg in self.span_timings.items()
+        }
+
     def to_dict(self) -> Dict:
+        shares = self.span_shares()
         return {
             "scale": self.scale_name,
             "seed": self.seed,
@@ -331,7 +360,8 @@ class PerfReport:
             "duration_days": self.duration_days,
             "stages": {s.name: s.to_dict() for s in self.stages},
             "span_timings": {
-                name: dict(agg) for name, agg in sorted(self.span_timings.items())
+                name: {**agg, "share": round(shares[name], 4)}
+                for name, agg in sorted(self.span_timings.items())
             },
         }
 
@@ -348,10 +378,12 @@ class PerfReport:
             if s.detail:
                 lines.append(f"    {s.detail}")
         if self.span_timings:
-            lines.append(f"  {'span':<28} {'count':>7} {'total (s)':>10}")
+            shares = self.span_shares()
+            lines.append(f"  {'span':<28} {'count':>7} {'total (s)':>10} {'share':>7}")
             for name, agg in sorted(self.span_timings.items()):
                 lines.append(
-                    f"  {name:<28} {int(agg['count']):7d} {agg['seconds']:10.4f}")
+                    f"  {name:<28} {int(agg['count']):7d} {agg['seconds']:10.4f} "
+                    f"{shares[name]:6.1%}")
         return "\n".join(lines)
 
 
@@ -415,6 +447,7 @@ def run_perf_suite(
     scale: Union[str, Scale] = "full",
     seed: int = 0,
     repeats: int = 2,
+    legacy: bool = True,
 ) -> PerfReport:
     """Time every refactored stage at the given scale.
 
@@ -422,12 +455,20 @@ def run_perf_suite(
 
     - ``generate``: workload synthesis (chunked; serial executor).
     - ``period_slots``: the hour→period lookup vs the old Python loop.
-    - ``slotted_counts``: the single-pass count tensor vs per-slot masks.
+    - ``slotted_counts``: the single-draw sampler + count tensor vs the
+      old per-slot masks and 12-batch redraw loop.
+    - ``slotted_counts_sharded``: the same draw split over 4 serial time
+      shards — documents the stratification overhead and the
+      sharded-vs-unsharded equivalence bound (no legacy baseline).
     - ``corrected_multi_reference``: the full time-corrected
       multi-reference path — the acceptance-criterion stage.
     - ``preference_curve``: one cold engine call (absolute time only).
     - ``sweep_by_action``: ``curves_by_action`` cold, then re-swept with a
       warm slice cache as the baselineless "cached" variant.
+
+    ``legacy=False`` skips every legacy reference run (their baselines and
+    diffs are reported as null) — the only practical way to run the ``xl``
+    scale, where the per-slot Python loops take minutes.
     """
     if isinstance(scale, str):
         try:
@@ -470,36 +511,65 @@ def run_perf_suite(
 
     # Stage: period slot lookup (satellite vectorization).
     new_s, new_slots = _timed(lambda: slot_of_times(sliced.times, "period", sliced.tz_offsets), repeats)
-    old_s, old_slots = _timed(lambda: _legacy_period_slots(sliced.times, sliced.tz_offsets), repeats)
+    if legacy:
+        old_s, old_slots = _timed(lambda: _legacy_period_slots(sliced.times, sliced.tz_offsets), repeats)
+        slots_diff = float(np.max(np.abs(new_slots - old_slots))) if len(sliced) else 0.0
+    else:
+        old_s, slots_diff = None, None
     report.stages.append(StageTiming(
         name="period_slots", seconds=new_s, baseline_seconds=old_s,
-        max_abs_diff=float(np.max(np.abs(new_slots - old_slots))) if len(sliced) else 0.0,
+        max_abs_diff=slots_diff,
     ))
 
-    # Stage: the count tensor. Same seed on both sides → identical RNG
-    # consumption → bit-identical tensors (max_abs_diff checks it).
+    # Stage: the count tensor + single-draw sampler. The deterministic half
+    # (biased counts) stays bit-identical to the legacy loops; the Monte
+    # Carlo half (time fractions) uses a different draw schedule, so its
+    # diff is sampling noise — max_abs_diff reports that statistical bound,
+    # and the detail line records the (always 0) biased diff separately.
     n_unbiased = int(np.ceil(config.unbiased_oversample * len(sliced)))
     new_s, new_counts = _timed(lambda: slotted_counts(
         sliced, bins, n_unbiased_samples=n_unbiased, rng=seed), repeats)
-    old_s, old_counts = _timed(lambda: _legacy_slotted_counts(
-        sliced, bins, n_unbiased_samples=n_unbiased, rng=seed), repeats)
-    diff = max(
-        float(np.max(np.abs(new_counts.biased_counts - old_counts.biased_counts))),
-        float(np.max(np.abs(new_counts.time_fractions - old_counts.time_fractions))),
-    )
+    if legacy:
+        old_s, old_counts = _timed(lambda: _legacy_slotted_counts(
+            sliced, bins, n_unbiased_samples=n_unbiased, rng=seed), repeats)
+        biased_diff = float(np.max(np.abs(new_counts.biased_counts - old_counts.biased_counts)))
+        fraction_diff = float(np.max(np.abs(new_counts.time_fractions - old_counts.time_fractions)))
+        counts_detail = (
+            f"{new_counts.slot_ids.size} slots x {bins.count} bins; "
+            f"biased_diff={biased_diff:g} (bitwise), fraction diff is MC noise"
+        )
+    else:
+        old_s, fraction_diff = None, None
+        counts_detail = f"{new_counts.slot_ids.size} slots x {bins.count} bins"
     report.stages.append(StageTiming(
         name="slotted_counts", seconds=new_s, baseline_seconds=old_s,
-        max_abs_diff=diff,
-        detail=f"{new_counts.slot_ids.size} slots x {bins.count} bins",
+        max_abs_diff=fraction_diff,
+        detail=counts_detail,
+    ))
+
+    # Stage: the same draw stratified over 4 serial time shards. No legacy
+    # baseline — this documents the sharding overhead (expected ~1x on one
+    # core) and the sharded-vs-unsharded equivalence bound in one place.
+    shard_s, shard_counts = _timed(lambda: slotted_counts(
+        sliced, bins, n_unbiased_samples=n_unbiased, rng=seed, n_shards=4), repeats)
+    report.stages.append(StageTiming(
+        name="slotted_counts_sharded", seconds=shard_s,
+        max_abs_diff=float(np.max(np.abs(
+            shard_counts.time_fractions - new_counts.time_fractions))),
+        detail="4 serial time shards vs unsharded; diff is stratified-MC noise",
     ))
 
     # Stage: the acceptance criterion — the end-to-end time-corrected
     # multi-reference path (counts + one correction per reference slot).
     new_s, new_curve = _timed(lambda: _corrected_path(sliced, config, legacy=False), repeats)
-    old_s, old_curve = _timed(lambda: _corrected_path(sliced, config, legacy=True), repeats)
+    if legacy:
+        old_s, old_curve = _timed(lambda: _corrected_path(sliced, config, legacy=True), repeats)
+        curve_diff = _curve_diff(new_curve, old_curve)
+    else:
+        old_s, curve_diff = None, None
     report.stages.append(StageTiming(
         name="corrected_multi_reference", seconds=new_s, baseline_seconds=old_s,
-        max_abs_diff=_curve_diff(new_curve, old_curve),
+        max_abs_diff=curve_diff,
         detail=f"{config.n_reference_slots} reference slots",
     ))
 

@@ -308,6 +308,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--user-class", default=None)
     ana.add_argument("--reference-ms", type=float, default=300.0)
     ana.add_argument("--no-time-correction", action="store_true")
+    ana.add_argument("--u-shards", type=int, default=1, metavar="N",
+                     help="time shards for the unbiased draw (N>1 runs them "
+                          "on the process executor; same result on any backend)")
     ana.add_argument("--seed", type=int, default=0)
     ana.add_argument("--export", default=None,
                      help="write the curve series to this CSV path")
@@ -331,6 +334,9 @@ def _build_parser() -> argparse.ArgumentParser:
     counts.add_argument("--action", default=None)
     counts.add_argument("--user-class", default=None)
     counts.add_argument("--scheme", default="hour-of-day")
+    counts.add_argument("--u-shards", type=int, default=1, metavar="N",
+                        help="time shards for the unbiased draw (N>1 runs them "
+                             "on the process executor)")
     counts.add_argument("--seed", type=int, default=0)
     counts.add_argument("--out", required=True, help="output JSON path")
 
@@ -421,8 +427,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     config = AutoSensConfig(
         reference_ms=args.reference_ms,
         time_correction=not args.no_time_correction,
+        unbiased_shards=args.u_shards,
         seed=args.seed,
     )
+    # Shards only pay off on a multi-core process pool; a single stratum
+    # stays on the default serial executor.
+    shard_executor = "process" if args.u_shards > 1 else None
     supervisor = _supervisor_from(args)
     if path.suffix == ".json":
         from repro.core.aggregate import curve_from_counts, load_counts
@@ -436,14 +446,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         with supervisor.scope():
             logs = _read_logs(path, args, supervisor=supervisor)
             _report_ingest(logs)
-            engine = AutoSens(config)
+            engine = AutoSens(config, executor=shard_executor)
             curve = engine.preference_curve(
                 logs, action=args.action, user_class=args.user_class
             )
     else:
         logs = _read_logs(path, args)
         _report_ingest(logs)
-        engine = AutoSens(config)
+        engine = AutoSens(config, executor=shard_executor)
         curve = engine.preference_curve(
             logs, action=args.action, user_class=args.user_class
         )
@@ -521,6 +531,8 @@ def _cmd_export_counts(args: argparse.Namespace) -> int:
         sliced, config.bins(), scheme=args.scheme,
         n_unbiased_samples=int(np.ceil(config.unbiased_oversample * len(sliced))),
         rng=args.seed,
+        n_shards=args.u_shards,
+        executor="process" if args.u_shards > 1 else None,
     )
     save_counts(counts, args.out)
     print(f"wrote sufficient statistics for {len(sliced)} actions "

@@ -70,6 +70,10 @@ class AutoSensConfig:
     #: 'sampling' = the paper's Monte Carlo unbiased draw;
     #: 'voronoi' = its deterministic infinite-draw limit.
     unbiased_estimator: str = "sampling"
+    #: Time shards for the sampling U-estimator (1 = one stratum). Results
+    #: depend on the value (stratified draw) but never on the executor
+    #: backend that runs the shards.
+    unbiased_shards: int = 1
     slot_scheme: str = "hour-of-day"
     n_reference_slots: int = 3
     alpha_bin_average: str = "simple"
@@ -90,6 +94,10 @@ class AutoSensConfig:
             raise ConfigError(
                 "unbiased_estimator must be 'sampling' or 'voronoi', "
                 f"got {self.unbiased_estimator!r}"
+            )
+        if self.unbiased_shards < 1:
+            raise ConfigError(
+                f"unbiased_shards must be >= 1, got {self.unbiased_shards}"
             )
 
     def bins(self) -> HistogramBins:
@@ -341,6 +349,7 @@ class AutoSens:
             logs, bins, scheme=cfg.slot_scheme,
             n_unbiased_samples=n_unbiased, rng=generator,
             estimator=cfg.unbiased_estimator,
+            n_shards=cfg.unbiased_shards, executor=self.executor,
         )
         alpha = alpha_from_counts(
             counts,
@@ -430,6 +439,7 @@ class AutoSens:
                     sliced, bins, scheme=cfg.slot_scheme,
                     n_unbiased_samples=n_unbiased, rng=make_rng(),
                     estimator=cfg.unbiased_estimator,
+                    n_shards=cfg.unbiased_shards, executor=self.executor,
                 ),
             )
         references = counts.busiest_slots(cfg.n_reference_slots)
@@ -782,6 +792,7 @@ class AutoSens:
             sliced, cfg.bins(), scheme=scheme,
             n_unbiased_samples=n_unbiased, rng=self._rng.child("alpha-profile"),
             estimator=cfg.unbiased_estimator,
+            n_shards=cfg.unbiased_shards, executor=self.executor,
         )
         if reference_slot is None and scheme == "period":
             reference_slot = 0  # 8am-2pm, as in the paper's Figure 8

@@ -10,7 +10,11 @@ so the paper approximates ``U`` by repeatedly:
 
 Because step 2 reuses *observed* samples, ``U`` is an approximation; it is
 good wherever actions are dense relative to the latency level's correlation
-time. The estimator here is vectorized over all random draws.
+time. The estimator here is batched: a caller decides how many query times
+it needs, draws them in one inflated vectorized batch sized by the expected
+acceptance rate (see ``slotted_counts`` in :mod:`repro.core.alpha`), and
+resolves every query against the sorted sample times in a single fused
+nearest-neighbour pass — there is no per-draw loop anywhere on the path.
 """
 
 from __future__ import annotations
@@ -54,13 +58,19 @@ def draw_from_sorted(
     n_samples: Optional[int] = None,
     rng: SeedLike = None,
     time_range: Optional[Tuple[float, float]] = None,
+    midpoints: Optional[np.ndarray] = None,
+    has_duplicates: Optional[bool] = None,
 ) -> UnbiasedDraw:
     """The draw procedure over an already time-sorted sample view.
 
-    Callers that redraw repeatedly from one log slice (the bounded-redraw
-    loop in :func:`repro.core.alpha.slotted_counts`) sort once and come
-    here per batch instead of re-sorting inside
-    :func:`draw_unbiased_samples` every time.
+    Callers that draw repeatedly from one log slice (the waste-compensated
+    top-up path in :func:`repro.core.alpha.slotted_counts`) sort once and
+    come here per batch instead of re-sorting inside
+    :func:`draw_unbiased_samples` every time. The sortedness invariant is
+    the caller's responsibility, so the O(n) re-check is skipped; pass
+    ``midpoints`` (:func:`repro.stats.sampling.midpoints_of`) and
+    ``has_duplicates`` to also amortize the nearest-neighbour setup across
+    batches.
     """
     times = np.asarray(sorted_times, dtype=float)
     if times.size == 0:
@@ -75,7 +85,10 @@ def draw_from_sorted(
     if n_samples is None:
         n_samples = int(np.ceil(DEFAULT_OVERSAMPLE * times.size))
     queries = random_times(lo, hi, n_samples, rng=generator)
-    selected = nearest_time_sample(times, queries, rng=generator)
+    selected = nearest_time_sample(
+        times, queries, rng=generator,
+        assume_sorted=True, midpoints=midpoints, has_duplicates=has_duplicates,
+    )
     return UnbiasedDraw(
         query_times=queries,
         selected_indices=selected,

@@ -38,6 +38,7 @@ __all__ = [
     "emit",
     "probe_bin_occupancy",
     "probe_u_coverage",
+    "probe_unbiased_acceptance",
     "probe_alpha_dispersion",
     "probe_slot_support",
     "probe_smoothing_edges",
@@ -189,6 +190,64 @@ def probe_bin_occupancy(
         context={"slice": slice_description},
     ))
     return findings
+
+
+def probe_unbiased_acceptance(
+    accepted: int,
+    target: int,
+    drawn: int,
+    n_batches: int,
+    warn_rate: float = 0.50,
+) -> List[HealthFinding]:
+    """Acceptance economics of the waste-compensated unbiased draw.
+
+    The sampling estimator inflates its query batch by the expected
+    acceptance rate; a realized rate below ``warn_rate`` means more than
+    half the drawn queries were rejected (sparse slice or off-grid
+    latencies) — invisible waste unless surfaced here. A draw that never
+    reached its target (all top-up batches exhausted, or nothing on the
+    bin grid at all) degrades the U estimate and is flagged accordingly.
+    """
+    def _count(x: Any) -> float:
+        v = _finite(x, 0.0)
+        return v if np.isfinite(v) else 0.0
+
+    accepted_f = _count(accepted)
+    target_f = _count(target)
+    drawn_f = _count(drawn)
+    rate = accepted_f / drawn_f if drawn_f > 0 else 0.0
+    context: Dict[str, Any] = {
+        "accepted": int(accepted_f), "target": int(target_f),
+        "drawn": int(drawn_f), "n_batches": int(_count(n_batches)),
+    }
+    if target_f <= 0:
+        return [HealthFinding(
+            probe="unbiased_acceptance", stage="slotted_counts", severity="ok",
+            message="unbiased draw requested no queries for this slice",
+            value=rate, threshold=warn_rate, context=context,
+        )]
+    if accepted_f <= 0:
+        return [HealthFinding(
+            probe="unbiased_acceptance", stage="slotted_counts", severity="fail",
+            message="unbiased draw accepted no queries; U is empty for this slice",
+            value=rate, threshold=warn_rate, context=context,
+        )]
+    if accepted_f < target_f:
+        return [HealthFinding(
+            probe="unbiased_acceptance", stage="slotted_counts", severity="warn",
+            message=(
+                f"unbiased draw fell short: {accepted_f:.0f}/{target_f:.0f} "
+                "accepted after all top-up batches"),
+            value=rate, threshold=warn_rate, context=context,
+        )]
+    severity = "warn" if rate < warn_rate else "ok"
+    return [HealthFinding(
+        probe="unbiased_acceptance", stage="slotted_counts", severity=severity,
+        message=(
+            f"unbiased draw accepted {rate:.1%} of {drawn_f:.0f} queries "
+            f"({'sparse-slice waste' if severity == 'warn' else 'within budget'})"),
+        value=rate, threshold=warn_rate, context=context,
+    )]
 
 
 def probe_u_coverage(

@@ -82,7 +82,12 @@ class TestCrossSliceFindings:
         curve = recovery_engine.preference_curve(
             recovery_result.logs, action=ActionType.COMPOSE_SEND,
             user_class=UserClass.BUSINESS)
-        assert float(curve.at(800.0)) > 0.9
+        # The truth is 0.98 but the estimate on this ~16k-action slice
+        # scatters around 0.88 (±0.04 across seeds, legacy and current
+        # samplers alike) — SG smoothing bias, not draw noise. The bound
+        # checks "clearly flat", i.e. well above SelectMail's ~0.7 here;
+        # strict flatness ordering lives in test_action_ordering.
+        assert float(curve.at(800.0)) > 0.8
 
 
 class TestNullControl:

@@ -25,6 +25,16 @@ Two modes:
     reversion of the tensor/sampling optimizations shows up as a collapsed
     speedup regardless of how fast the CI runner is; raw wall-clock is
     reported but never gated on.
+
+    ``--span-budget NAME=SHARE`` (repeatable, check mode) additionally
+    asserts that a span's share of the traced wall time stays at or below
+    SHARE — e.g. ``--span-budget slotted_counts.unbiased=0.6`` fails the
+    gate if the unbiased draw creeps back above 60% of the pipeline.
+    Shares are scale-free, so this too is machine-independent.
+
+``--no-legacy`` skips the legacy reference runs (baselines and diffs become
+null) — required for the ``xl`` scale, where the per-slot legacy loops take
+minutes.
 """
 
 from __future__ import annotations
@@ -70,6 +80,38 @@ def check_against(measured: dict, baseline: dict, max_regression: float) -> list
     return failures
 
 
+def parse_span_budgets(specs: list) -> dict:
+    """``NAME=SHARE`` strings → ``{name: max_share}`` (share in 0..1)."""
+    budgets = {}
+    for spec in specs:
+        name, _, share = spec.partition("=")
+        if not name or not share:
+            raise SystemExit(f"bad --span-budget {spec!r}; expected NAME=SHARE")
+        try:
+            budgets[name] = float(share)
+        except ValueError:
+            raise SystemExit(f"bad --span-budget share {share!r} in {spec!r}")
+    return budgets
+
+
+def check_span_budgets(measured: dict, budgets: dict) -> list:
+    """Spans whose share of traced wall time exceeds their budget."""
+    failures = []
+    spans = measured.get("span_timings", {})
+    for name, max_share in sorted(budgets.items()):
+        agg = spans.get(name)
+        if agg is None:
+            failures.append(f"span {name}: missing from measured span timings")
+            continue
+        share = agg.get("share", 0.0)
+        if share > max_share:
+            failures.append(
+                f"span {name}: share {share:.1%} of traced time exceeds "
+                f"budget {max_share:.1%}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(PERF_SCALES), default="full")
@@ -90,9 +132,22 @@ def main(argv=None) -> int:
         "--max-regression", type=float, default=2.0,
         help="fail --check when a stage speedup drops below baseline/this (default 2.0)",
     )
+    parser.add_argument(
+        "--span-budget", action="append", default=[], metavar="NAME=SHARE",
+        help="in --check mode, fail when this span exceeds SHARE of the "
+             "traced wall time (repeatable)",
+    )
+    parser.add_argument(
+        "--no-legacy", action="store_true",
+        help="skip the legacy reference runs (baselines/diffs become null); "
+             "required at --scale xl",
+    )
     args = parser.parse_args(argv)
 
-    report = run_perf_suite(scale=args.scale, seed=args.seed, repeats=args.repeats)
+    report = run_perf_suite(
+        scale=args.scale, seed=args.seed, repeats=args.repeats,
+        legacy=not args.no_legacy,
+    )
     print(report.render())
 
     if args.check is not None:
@@ -101,7 +156,9 @@ def main(argv=None) -> int:
         if entry is None:
             print(f"error: {args.check} has no {args.scale!r} entry", file=sys.stderr)
             return 2
-        failures = check_against(report.to_dict(), entry, args.max_regression)
+        measured = report.to_dict()
+        failures = check_against(measured, entry, args.max_regression)
+        failures += check_span_budgets(measured, parse_span_budgets(args.span_budget))
         if failures:
             print("\nPERF REGRESSION:", file=sys.stderr)
             for line in failures:
