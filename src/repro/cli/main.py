@@ -297,6 +297,10 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=7)
     gen.add_argument("--days", type=float, default=None, help="duration in days")
     gen.add_argument("--users", type=int, default=None, help="population size")
+    gen.add_argument("--latency-backend", choices=["ou", "queue"], default=None,
+                     help="override the scenario's latency generator: 'ou' "
+                          "(diurnal Ornstein-Uhlenbeck level) or 'queue' "
+                          "(M/G/k discrete-event simulation)")
     gen.add_argument("--out", required=True,
                      help="output path (.jsonl, .jsonl.gz or .csv)")
 
@@ -386,6 +390,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="how many findings to list, worst first "
                              "(default: 15)")
 
+    rec = sub.add_parser(
+        "recover",
+        help="run incident recovery fixtures: each must recover the "
+             "incident-free NLP curve or degrade loudly")
+    rec.add_argument("fixtures", nargs="*", default=[],
+                     help="fixture names (default: the whole matrix)")
+    rec.add_argument("--seed", type=int, default=7)
+    rec.add_argument("--scale", choices=["small", "full"], default="small")
+    rec.add_argument("--executor", default="serial",
+                     help="execution backend (serial or process; outcomes "
+                          "are bit-identical across backends)")
+    rec.add_argument("--out-dir", default=None,
+                     help="write per-fixture curve + verdict artifacts and "
+                          "a summary.json here")
+    rec.add_argument("--baseline-dir", default=None,
+                     help="obs-diff each fixture's curve against "
+                          "<dir>/<name>.curve.json and fail on drift "
+                          "(requires --out-dir)")
+    rec.add_argument("--curve-tol", type=float, default=None,
+                     help="absolute NLP tolerance for the baseline diff "
+                          "(default: 0.02)")
+
     sub.add_parser("list", help="list scenarios and experiments")
     return parser
 
@@ -404,6 +430,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.users is not None:
         kwargs["n_users"] = args.users
     scenario = SCENARIOS[args.scenario](**kwargs)
+    if args.latency_backend is not None:
+        scenario = scenario.with_latency_backend(args.latency_backend)
     result = scenario.generate()
     out = Path(args.out)
     records = result.logs.iter_records()
@@ -666,6 +694,77 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.analysis.recovery import RECOVERY_FIXTURES, run_recovery_suite
+    from repro.viz.table import format_table
+
+    names = args.fixtures or sorted(RECOVERY_FIXTURES)
+    unknown = [n for n in names if n not in RECOVERY_FIXTURES]
+    if unknown:
+        print(f"unknown fixture(s) {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(RECOVERY_FIXTURES))}", file=sys.stderr)
+        return 2
+    if args.baseline_dir and not args.out_dir:
+        print("--baseline-dir requires --out-dir (the diff needs the "
+              "candidate curve artifacts on disk)", file=sys.stderr)
+        return 2
+
+    outcomes = run_recovery_suite(
+        names, seed=args.seed, scale=args.scale, executor=args.executor,
+        out_dir=args.out_dir,
+    )
+    rows = []
+    for name in names:
+        outcome = outcomes[name]
+        flagged = sorted({f["probe"] for f in outcome.regime
+                          if f.get("severity") != "ok"})
+        rows.append([
+            name, outcome.verdict,
+            f"{outcome.max_abs_nlp_diff:.4f}", f"{outcome.tolerance:g}",
+            ", ".join(flagged) or "-",
+        ])
+    print(format_table(
+        ["fixture", "verdict", "max |dNLP|", "tol", "regime flags"], rows))
+
+    biased = [n for n in names if not outcomes[n].gate_passed]
+    drifted: List[str] = []
+    if args.baseline_dir:
+        import repro.obs as obs
+        from repro.obs.diff import DEFAULT_CURVE_TOL
+
+        baseline_dir = Path(args.baseline_dir)
+        out_dir = Path(args.out_dir)
+        for name in names:
+            baseline = baseline_dir / f"{name}.curve.json"
+            if not baseline.exists():
+                print(f"{name}: no committed baseline at {baseline}",
+                      file=sys.stderr)
+                drifted.append(name)
+                continue
+            report = obs.diff_paths(
+                baseline, out_dir / f"{name}.curve.json",
+                curve_tol=(args.curve_tol if args.curve_tol is not None
+                           else DEFAULT_CURVE_TOL),
+            )
+            if obs.diff_exit_code(report) != 0:
+                summary = report["summary"]
+                print(f"{name}: curve drifted from baseline "
+                      f"({summary['regressed']} regressed, "
+                      f"{summary['added'] + summary['removed']} "
+                      f"added/removed)", file=sys.stderr)
+                drifted.append(name)
+
+    if biased:
+        print(f"recovery gate: FAIL — silent bias in {', '.join(biased)}")
+        return 1
+    if drifted:
+        print(f"recovery gate: FAIL — baseline drift in {', '.join(drifted)}")
+        return 1
+    print(f"recovery gate: PASS ({len(names)} fixture(s); no silent bias"
+          + (", no baseline drift)" if args.baseline_dir else ")"))
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
     from repro.workload.scenarios import SCENARIOS
@@ -698,6 +797,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "preflight": _cmd_preflight,
         "obs": _cmd_obs,
         "doctor": _cmd_doctor,
+        "recover": _cmd_recover,
         "list": _cmd_list,
     }
     observing = _configure_obs(args)

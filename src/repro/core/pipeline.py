@@ -494,6 +494,10 @@ class AutoSens:
                 n_used_references=len(used_references),
                 slice_description=description,
             ))
+            probes.emit(probes.probe_latency_regime(
+                counts.biased_counts, bins.centers,
+                slice_description=description,
+            ))
         result = average_results(per_reference, slice_description=description)
         result.metadata["reference_slots"] = used_references
         if degraded:

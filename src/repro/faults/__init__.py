@@ -14,6 +14,7 @@ in ``tests/faults/``.
 supervision layer in :mod:`repro.runtime`.
 """
 
+from repro.faults.incidents import INCIDENT_FAULT_SPECS, IncidentFault
 from repro.faults.inject import corrupt_jsonl, corrupt_records, write_corrupted
 from repro.faults.tasks import MemoryHog, StalledTask
 from repro.faults.specs import (
@@ -45,6 +46,8 @@ __all__ = [
     "DuplicateRows",
     "DropFields",
     "GapWindow",
+    "IncidentFault",
+    "INCIDENT_FAULT_SPECS",
     "DEFAULT_FAULT_SPECS",
     "StalledTask",
     "MemoryHog",

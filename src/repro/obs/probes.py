@@ -41,6 +41,7 @@ __all__ = [
     "probe_unbiased_acceptance",
     "probe_alpha_dispersion",
     "probe_slot_support",
+    "probe_latency_regime",
     "probe_smoothing_edges",
     "probe_locality",
     "probe_density_correlation",
@@ -423,6 +424,121 @@ def probe_slot_support(
             value=float(n_used_references), threshold=float(n_reference_slots),
             context=context,
         ))
+    return findings
+
+
+def _weighted_percentile(
+    counts: np.ndarray, centers: np.ndarray, q: float
+) -> float:
+    """Percentile of a binned distribution (counts over bin centers)."""
+    cum = np.cumsum(counts)
+    total = cum[-1]
+    if total <= 0:
+        return float("nan")
+    idx = int(np.searchsorted(cum, q / 100.0 * total, side="left"))
+    idx = min(idx, centers.size - 1)
+    return float(centers[idx])
+
+
+def probe_latency_regime(
+    slot_bin_counts: np.ndarray,
+    bin_centers: np.ndarray,
+    slice_description: str = "",
+    min_slot_count: float = 50.0,
+    warn_tail_ratio: float = 12.0,
+    fail_tail_ratio: float = 40.0,
+    warn_median_spread: float = 8.0,
+    fail_median_spread: float = 30.0,
+) -> List[HealthFinding]:
+    """Regime shift / tail inflation across the per-slot latency bins.
+
+    Incident-contaminated telemetry leaves two fingerprints in the
+    (slots x bins) count tensor that the clean diurnal x OU process does
+    not produce: (a) some slot's latency distribution grows a heavy upper
+    tail (p99/p50 far beyond the lognormal jitter's), and (b) slot medians
+    spread far beyond what the diurnal curve explains — a latency *regime*
+    differs across slots, exactly the non-stationarity that biases a pooled
+    B/U ratio. Both are cheap weighted-percentile reads off the tensor the
+    pipeline already has; neither can raise on degenerate input.
+
+    The default thresholds are a coarse tripwire sized for arbitrary
+    scenarios (the seeded OU bottleneck scenario legitimately reaches a
+    per-slot p99/p50 near 8.3 and a 4.5x median spread, and must stay
+    ``ok``).  Callers with a paired clean reference — the recovery
+    harness in :mod:`repro.analysis.recovery` — pass much tighter
+    thresholds derived from the clean run's own metrics.
+    """
+    matrix = np.nan_to_num(
+        np.atleast_2d(np.asarray(slot_bin_counts, dtype=float)), nan=0.0
+    )
+    centers = np.asarray(bin_centers, dtype=float)
+    context: Dict[str, Any] = {"slice": slice_description}
+    if matrix.size == 0 or centers.size == 0 or matrix.shape[1] != centers.size:
+        return [HealthFinding(
+            probe="latency_regime", stage="regime", severity="warn",
+            message=(
+                "latency regime not assessable: empty or mismatched "
+                "slot/bin tensor"),
+            context=context,
+        )]
+    totals = matrix.sum(axis=1)
+    usable = np.flatnonzero(totals >= float(min_slot_count))
+    context["n_slots"] = int(matrix.shape[0])
+    context["n_usable_slots"] = int(usable.size)
+    if usable.size < 2:
+        return [HealthFinding(
+            probe="latency_regime", stage="regime", severity="ok",
+            message=(
+                f"latency regime not assessable: {usable.size} slot(s) with "
+                f">= {min_slot_count:g} actions"),
+            value=float(usable.size), threshold=2.0, context=context,
+        )]
+    p50 = np.array([
+        _weighted_percentile(matrix[i], centers, 50.0) for i in usable
+    ])
+    p99 = np.array([
+        _weighted_percentile(matrix[i], centers, 99.0) for i in usable
+    ])
+    valid = np.isfinite(p50) & (p50 > 0) & np.isfinite(p99)
+    if valid.sum() < 2:
+        return [HealthFinding(
+            probe="latency_regime", stage="regime", severity="warn",
+            message="latency regime not assessable: slot percentiles degenerate",
+            context=context,
+        )]
+    p50, p99 = p50[valid], p99[valid]
+    tail_ratios = p99 / p50
+    worst_tail = float(tail_ratios.max())
+    worst_slot = int(usable[valid][int(np.argmax(tail_ratios))])
+    median_spread = float(p50.max() / p50.min())
+    findings: List[HealthFinding] = []
+    if worst_tail > fail_tail_ratio:
+        tail_severity, tail_threshold = "fail", fail_tail_ratio
+    elif worst_tail > warn_tail_ratio:
+        tail_severity, tail_threshold = "warn", warn_tail_ratio
+    else:
+        tail_severity, tail_threshold = "ok", warn_tail_ratio
+    findings.append(HealthFinding(
+        probe="latency_tail_inflation", stage="regime", severity=tail_severity,
+        message=(
+            f"worst per-slot p99/p50 = {worst_tail:.2f} (slot {worst_slot}"
+            f"{'; tail-inflated — possible incident contamination' if tail_severity != 'ok' else ''})"),
+        value=worst_tail, threshold=tail_threshold,
+        context=dict(context, worst_slot=worst_slot),
+    ))
+    if median_spread > fail_median_spread:
+        shift_severity, shift_threshold = "fail", fail_median_spread
+    elif median_spread > warn_median_spread:
+        shift_severity, shift_threshold = "warn", warn_median_spread
+    else:
+        shift_severity, shift_threshold = "ok", warn_median_spread
+    findings.append(HealthFinding(
+        probe="latency_regime_shift", stage="regime", severity=shift_severity,
+        message=(
+            f"slot median latencies span a {median_spread:.2f}x range"
+            f"{' — beyond diurnal variation; latency regime shifted' if shift_severity != 'ok' else ''}"),
+        value=median_spread, threshold=shift_threshold, context=context,
+    ))
     return findings
 
 

@@ -19,11 +19,29 @@ from repro.workload.generator import (
     TelemetryResult,
     generate_telemetry,
 )
+from repro.workload.incidents import (
+    DEFAULT_INCIDENT_SPECS,
+    AutoscaleStep,
+    IncidentPlan,
+    IncidentProfile,
+    IncidentSpec,
+    IncidentWindow,
+    LoadSpike,
+    RegionalDegradation,
+    RetryStorm,
+    SlowDependency,
+)
 from repro.workload.latency_model import (
     DiurnalCurve,
     LatencyGrid,
     LatencyModel,
     LatencyModelConfig,
+)
+from repro.workload.queue_model import (
+    QueueModel,
+    QueueModelConfig,
+    QueueSimResult,
+    ServiceTimeConfig,
 )
 from repro.workload.population import (
     Population,
@@ -53,6 +71,7 @@ from repro.workload.scenarios import (
     flat_preference_scenario,
     global_scenario,
     owa_scenario,
+    queue_scenario,
     timeofday_scenario,
     two_month_scenario,
     websearch_scenario,
@@ -74,6 +93,20 @@ __all__ = [
     "LatencyGrid",
     "LatencyModel",
     "LatencyModelConfig",
+    "QueueModel",
+    "QueueModelConfig",
+    "QueueSimResult",
+    "ServiceTimeConfig",
+    "DEFAULT_INCIDENT_SPECS",
+    "AutoscaleStep",
+    "IncidentPlan",
+    "IncidentProfile",
+    "IncidentSpec",
+    "IncidentWindow",
+    "LoadSpike",
+    "RegionalDegradation",
+    "RetryStorm",
+    "SlowDependency",
     "Population",
     "PopulationConfig",
     "synthesize_population",
@@ -92,6 +125,7 @@ __all__ = [
     "read_level_trace",
     "write_level_trace",
     "owa_scenario",
+    "queue_scenario",
     "conditioning_scenario",
     "timeofday_scenario",
     "two_month_scenario",

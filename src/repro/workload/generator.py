@@ -29,7 +29,7 @@ Two response modes (Ablation A; see paper Section 3.5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,13 +40,17 @@ from repro.stats.rng import RngFactory, SeedLike
 from repro.telemetry.log_store import LogStore
 from repro.workload.actions import ActionMix, owa_action_mix
 from repro.workload.activity_model import ActivityModel
+from repro.workload.incidents import IncidentPlan, IncidentWindow
 from repro.workload.latency_model import LatencyGrid, LatencyModel, LatencyModelConfig
 from repro.workload.population import Population, PopulationConfig, synthesize_population
 from repro.workload.preference import GroundTruth, PERIOD_EXPONENTS
+from repro.workload.queue_model import QueueModel, QueueModelConfig
 
 SECONDS_PER_DAY = 86400.0
 
 VALID_RESPONSE_MODES = ("realized", "level")
+
+VALID_LATENCY_BACKENDS = ("ou", "queue")
 
 
 @dataclass(frozen=True)
@@ -62,6 +66,12 @@ class GeneratorConfig:
     chunk_size: int = 1_000_000
     population: PopulationConfig = field(default_factory=PopulationConfig)
     latency: LatencyModelConfig = field(default_factory=LatencyModelConfig)
+    #: Which latency level process drives the grid: the postulated
+    #: diurnal x OU path (``"ou"``) or the M/G/k queue (``"queue"``).
+    latency_backend: str = "ou"
+    queue: QueueModelConfig = field(default_factory=QueueModelConfig)
+    #: Incident scenarios perturbing the queue backend (queue-only).
+    incident_plan: IncidentPlan = field(default_factory=IncidentPlan)
 
     def __post_init__(self) -> None:
         if self.duration_days <= 0:
@@ -78,6 +88,16 @@ class GeneratorConfig:
             raise ConfigError(f"error_rate must be in [0, 1), got {self.error_rate}")
         if self.chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.latency_backend not in VALID_LATENCY_BACKENDS:
+            raise ConfigError(
+                f"latency_backend must be one of {VALID_LATENCY_BACKENDS}, "
+                f"got {self.latency_backend!r}"
+            )
+        if self.incident_plan.specs and self.latency_backend != "queue":
+            raise ConfigError(
+                "incident_plan requires latency_backend='queue' — the OU "
+                "backend has its own IncidentConfig overlay"
+            )
 
 
 @dataclass
@@ -93,6 +113,8 @@ class TelemetryResult:
     config: GeneratorConfig
     n_candidates: int
     n_accepted: int
+    #: Ground-truth incident annotations (queue backend only; else empty).
+    incident_windows: List[IncidentWindow] = field(default_factory=list)
 
     @property
     def acceptance_rate(self) -> float:
@@ -154,6 +176,7 @@ class TelemetryGenerator:
         self.ground_truth = ground_truth or GroundTruth.paper_default()
         self.action_mix = action_mix or owa_action_mix()
         self.activity_model = activity_model or ActivityModel()
+        self._incident_windows: List[IncidentWindow] = []
 
     # -- internal helpers --------------------------------------------------
 
@@ -200,10 +223,29 @@ class TelemetryGenerator:
         return pref
 
     def _make_grid(self, duration_s: float, factory: RngFactory) -> LatencyGrid:
-        """Sample the latency level path; subclasses may replay a trace."""
-        latency_model = LatencyModel(self.config.latency)
+        """Sample the latency level path; subclasses may replay a trace.
+
+        Dispatches on ``config.latency_backend``. The queue backend builds
+        the (seeded) incident profile first and records its ground-truth
+        windows for :attr:`TelemetryResult.incident_windows`.
+        """
+        cfg = self.config
+        if cfg.latency_backend == "queue":
+            profile = None
+            if cfg.incident_plan.specs:
+                n_cells = int(np.ceil(duration_s / cfg.queue.grid_dt_s))
+                profile = cfg.incident_plan.build(
+                    cfg.start, cfg.queue.grid_dt_s, n_cells
+                )
+                self._incident_windows = list(profile.windows)
+            return QueueModel(cfg.queue).sample_grid(
+                duration_s, rng=factory.child("latency-grid"),
+                start=cfg.start, profile=profile,
+            )
+        latency_model = LatencyModel(cfg.latency)
         return latency_model.sample_grid(
-            duration_s, rng=factory.child("latency-grid"), start=self.config.start
+            duration_s, rng=factory.child("latency-grid"), start=cfg.start,
+            incident_rng=factory.child("latency-incidents"),
         )
 
     def _simulate_chunk(
@@ -297,6 +339,7 @@ class TelemetryGenerator:
         population = synthesize_population(cfg.population, rng=factory.child("population"))
         duration_s = cfg.duration_days * SECONDS_PER_DAY
 
+        self._incident_windows = []
         grid = self._make_grid(duration_s, factory)
 
         # Total candidate intensity, bounded above for thinning.
@@ -386,6 +429,7 @@ class TelemetryGenerator:
             config=cfg,
             n_candidates=n_candidates,
             n_accepted=n_accepted,
+            incident_windows=list(self._incident_windows),
         )
 
 

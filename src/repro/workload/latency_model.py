@@ -152,8 +152,16 @@ class LatencyModel:
         duration_s: float,
         rng: SeedLike = None,
         start: float = 0.0,
+        incident_rng: Optional[np.random.Generator] = None,
     ) -> LatencyGrid:
-        """Sample the level process over ``[start, start + duration_s)``."""
+        """Sample the level process over ``[start, start + duration_s)``.
+
+        Incident draws come from ``incident_rng`` — a dedicated stream, so
+        the base (diurnal x OU) path is invariant to incident settings and
+        so are any draws the caller makes from ``rng`` afterwards. When not
+        supplied, a stream is derived from ``rng`` by jumping the bit
+        generator (pure: consumes nothing from the base stream).
+        """
         if duration_s <= 0:
             raise ConfigError(f"duration_s must be positive, got {duration_s}")
         cfg = self.config
@@ -169,10 +177,33 @@ class LatencyModel:
             is_weekend = (day % 7) >= 5
             levels = np.where(is_weekend, levels * cfg.weekend_level_factor, levels)
         if cfg.incidents is not None and cfg.incidents.rate_per_day > 0:
+            if incident_rng is None:
+                incident_rng = self._derive_incident_rng(generator)
             levels = levels * self._incident_multiplier(
-                grid_times, duration_s, cfg.incidents, generator
+                grid_times, duration_s, cfg.incidents, incident_rng
             )
         return LatencyGrid(start=start, dt=cfg.grid_dt_s, levels_ms=levels)
+
+    @staticmethod
+    def _derive_incident_rng(generator: np.random.Generator) -> np.random.Generator:
+        """A stream independent of ``generator`` that consumes nothing from it.
+
+        ``jumped()`` is a pure function of the bit generator's current state
+        (no draws), so incident settings can never perturb the base path or
+        later consumers of the shared generator. Bit generators without
+        ``jumped`` fall back to seeding from the state hash — still
+        non-consuming.
+        """
+        bit_gen = generator.bit_generator
+        try:
+            return np.random.Generator(bit_gen.jumped())
+        except (AttributeError, NotImplementedError):  # pragma: no cover
+            state_key = repr(sorted(bit_gen.state.items())).encode("utf-8")
+            key = np.frombuffer(state_key[:64], dtype=np.uint8)
+            seq = np.random.SeedSequence(
+                entropy=0, spawn_key=tuple(int(b) for b in key)
+            )
+            return np.random.default_rng(seq)
 
     @staticmethod
     def _incident_multiplier(

@@ -1,0 +1,443 @@
+"""An M/G/k discrete-event queue as a second latency-level backend.
+
+The OU backend (:mod:`repro.workload.latency_model`) *postulates* a latency
+level path; this backend *derives* one from service physics: Poisson
+arrivals modulated by the diurnal load curve, heavy-tailed service times
+(lognormal or a lognormal + Pareto mixture), and ``k`` parallel servers.
+Latency then emerges from utilization — busy hours queue, quiet hours
+don't — which is a materially harder confounder regime than OU: tail
+latency inflates nonlinearly near saturation, and incidents
+(:mod:`repro.workload.incidents`) couple load to delay the way real
+outages do.
+
+The simulation is numpy-vectorized end to end. Arrivals are binned to the
+level grid (piecewise-constant rate → per-cell Poisson counts + uniform
+times). Requests route uniformly at random to one of ``k(t)`` servers;
+each server is then an exact FCFS G/G/1 queue, and its waiting times come
+from the Lindley recursion in closed form:
+
+``W_n = S_{n-1} - min(0, S_1, ..., S_{n-1})`` where
+``S_n = sum_{i<=n} (service_i - interarrival-gap_i)``
+
+— one ``cumsum`` + ``minimum.accumulate`` per server, no event loop in
+Python. The per-cell mean sojourn (wait + service + fixed overhead) becomes
+the :class:`~repro.workload.latency_model.LatencyGrid` level path, so the
+backend drops in behind :class:`~repro.workload.generator.TelemetryGenerator`
+unchanged (``GeneratorConfig(latency_backend="queue")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.rng import SeedLike, spawn_rng
+from repro.workload.incidents import IncidentProfile
+from repro.workload.latency_model import SECONDS_PER_DAY, DiurnalCurve, LatencyGrid
+
+__all__ = [
+    "ServiceTimeConfig",
+    "QueueModelConfig",
+    "QueueSimResult",
+    "QueueModel",
+]
+
+VALID_SERVICE_DISTRIBUTIONS = ("lognormal", "pareto-mix")
+
+
+@dataclass(frozen=True)
+class ServiceTimeConfig:
+    """Pluggable service-time distribution (per-request work, seconds).
+
+    - ``"lognormal"`` — a moderately skewed unimodal service time with
+      log-scale sd ``sigma``; mean pinned at ``mean_ms``.
+    - ``"pareto-mix"`` — a lognormal body plus a ``tail_share`` chance of a
+      Pareto(``tail_alpha``) draw with scale ``tail_scale_ms``: genuinely
+      heavy-tailed (infinite variance for ``tail_alpha <= 2``), the regime
+      where mean-based latency intuition breaks. The body mean is solved so
+      the *mixture* mean stays ``mean_ms``.
+    """
+
+    distribution: str = "lognormal"
+    mean_ms: float = 150.0
+    sigma: float = 0.8
+    tail_share: float = 0.08
+    tail_alpha: float = 2.5
+    tail_scale_ms: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.distribution not in VALID_SERVICE_DISTRIBUTIONS:
+            raise ConfigError(
+                f"distribution must be one of {VALID_SERVICE_DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.mean_ms <= 0:
+            raise ConfigError(f"mean_ms must be positive, got {self.mean_ms}")
+        if self.sigma <= 0:
+            raise ConfigError(f"sigma must be positive, got {self.sigma}")
+        if not 0.0 < self.tail_share < 1.0:
+            raise ConfigError(f"tail_share must be in (0, 1), got {self.tail_share}")
+        if self.tail_alpha <= 1.0:
+            raise ConfigError(
+                f"tail_alpha must be > 1 (finite mean), got {self.tail_alpha}"
+            )
+        if self.tail_scale_ms <= 0:
+            raise ConfigError(f"tail_scale_ms must be positive, got {self.tail_scale_ms}")
+        if self.distribution == "pareto-mix" and self._body_mean_ms() <= 0:
+            raise ConfigError(
+                "pareto-mix tail already exceeds mean_ms: lower tail_share or "
+                "tail_scale_ms, or raise mean_ms"
+            )
+
+    def _tail_mean_ms(self) -> float:
+        return self.tail_alpha * self.tail_scale_ms / (self.tail_alpha - 1.0)
+
+    def _body_mean_ms(self) -> float:
+        if self.distribution == "lognormal":
+            return self.mean_ms
+        return (self.mean_ms - self.tail_share * self._tail_mean_ms()) / (
+            1.0 - self.tail_share
+        )
+
+    def mean_s(self) -> float:
+        """The distribution's mean in seconds (used for stability checks)."""
+        return self.mean_ms / 1000.0
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` service times in seconds.
+
+        Draw counts depend only on ``n`` and ``distribution``, never on the
+        numeric knobs, so tuning a knob cannot shift later draws.
+        """
+        body_mean = self._body_mean_ms() / 1000.0
+        mu = np.log(body_mean) - 0.5 * self.sigma**2
+        body = np.exp(rng.normal(mu, self.sigma, size=n))
+        if self.distribution == "lognormal":
+            return body
+        tail = (rng.pareto(self.tail_alpha, size=n) + 1.0) * (self.tail_scale_ms / 1000.0)
+        is_tail = rng.random(n) < self.tail_share
+        return np.where(is_tail, tail, body)
+
+
+@dataclass(frozen=True)
+class QueueModelConfig:
+    """Knobs of the M/G/k latency backend."""
+
+    arrival_rate_hz: float = 8.0
+    servers: int = 3
+    service: ServiceTimeConfig = field(default_factory=ServiceTimeConfig)
+    diurnal: DiurnalCurve = field(default_factory=DiurnalCurve)
+    #: Arrival-rate multiplier on weekends (days 5 and 6 of each week).
+    weekend_load_factor: float = 1.0
+    grid_dt_s: float = 10.0
+    #: Fixed non-queueing latency: network RTT, TLS, rendering.
+    overhead_ms: float = 90.0
+    #: Centered moving-average window (cells) for the level path — keeps
+    #: the level locally predictable, matching the paper's premise.
+    level_window_cells: int = 6
+    #: Peak offered utilization must stay below this (stability headroom).
+    stability_margin: float = 0.95
+    #: Refuse simulations that would draw more events than this.
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_hz <= 0:
+            raise ConfigError(
+                f"arrival_rate_hz must be positive, got {self.arrival_rate_hz}"
+            )
+        if self.servers < 1:
+            raise ConfigError(f"servers must be >= 1, got {self.servers}")
+        if self.weekend_load_factor <= 0:
+            raise ConfigError(
+                f"weekend_load_factor must be positive, got {self.weekend_load_factor}"
+            )
+        if self.grid_dt_s <= 0:
+            raise ConfigError(f"grid_dt_s must be positive, got {self.grid_dt_s}")
+        if self.overhead_ms < 0:
+            raise ConfigError(f"overhead_ms must be >= 0, got {self.overhead_ms}")
+        if self.level_window_cells < 1:
+            raise ConfigError(
+                f"level_window_cells must be >= 1, got {self.level_window_cells}"
+            )
+        if not 0.0 < self.stability_margin <= 1.0:
+            raise ConfigError(
+                f"stability_margin must be in (0, 1], got {self.stability_margin}"
+            )
+        rho_peak = self.peak_utilization()
+        if rho_peak >= self.stability_margin:
+            raise ConfigError(
+                f"unstable queue: peak offered utilization {rho_peak:.3f} >= "
+                f"stability margin {self.stability_margin} "
+                f"(arrival_rate_hz * diurnal.peak * mean service / servers); "
+                f"add servers, shed load, or shorten service times"
+            )
+
+    def peak_utilization(self) -> float:
+        """Offered utilization rho at the diurnal peak, incident-free."""
+        peak_rate = self.arrival_rate_hz * self.diurnal.max_value
+        peak_rate *= max(self.weekend_load_factor, 1.0)
+        return peak_rate * self.service.mean_s() / self.servers
+
+
+@dataclass
+class QueueSimResult:
+    """One simulated queue path plus the diagnostics tests lean on."""
+
+    grid: LatencyGrid
+    config: QueueModelConfig
+    #: Sorted arrival times (s, absolute).
+    arrival_times: np.ndarray
+    #: Per-request queueing delay (s), aligned with ``arrival_times``.
+    wait_s: np.ndarray
+    #: Per-request service time (s), aligned with ``arrival_times``.
+    service_s: np.ndarray
+    #: Server each request was routed to.
+    server_ids: np.ndarray
+    #: Active server count per grid cell.
+    servers_per_cell: np.ndarray
+    duration_s: float
+    profile: Optional[IncidentProfile] = None
+
+    @property
+    def n_arrivals(self) -> int:
+        return int(self.arrival_times.size)
+
+    @property
+    def sojourn_s(self) -> np.ndarray:
+        """Per-request time in system: wait + service (no fixed overhead)."""
+        return self.wait_s + self.service_s
+
+    @property
+    def latency_ms(self) -> np.ndarray:
+        """Per-request end-to-end latency including fixed overhead."""
+        return self.sojourn_s * 1000.0 + self.config.overhead_ms
+
+    def effective_arrival_rate_hz(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.n_arrivals / self.duration_s
+
+    def utilization(self) -> float:
+        """Realized utilization: work demanded over capacity offered."""
+        capacity = self.duration_s * float(np.mean(self.servers_per_cell))
+        if capacity <= 0:
+            return 0.0
+        return float(np.sum(self.service_s)) / capacity
+
+    def mean_occupancy(self) -> float:
+        """Time-averaged number-in-system over the simulated horizon."""
+        n = self.n_arrivals
+        if n == 0 or self.duration_s <= 0:
+            return 0.0
+        t0 = self.grid.start
+        t1 = t0 + self.duration_s
+        events = np.concatenate([self.arrival_times, self.arrival_times + self.sojourn_s])
+        deltas = np.concatenate([np.ones(n), -np.ones(n)])
+        order = np.argsort(events, kind="stable")
+        events = np.clip(events[order], t0, t1)
+        occupancy = np.cumsum(deltas[order])
+        area = float(np.sum(occupancy[:-1] * np.diff(events)))
+        return area / self.duration_s
+
+    def little_law_ratio(self) -> float:
+        """``mean occupancy / (lambda * mean sojourn)`` — ~1 if consistent.
+
+        Little's law is distribution-free, so this is a pure internal
+        consistency check on the event mechanics (edge effects at the
+        horizon push it slightly below 1).
+        """
+        lam = self.effective_arrival_rate_hz()
+        mean_sojourn = float(np.mean(self.sojourn_s)) if self.n_arrivals else 0.0
+        denom = lam * mean_sojourn
+        if denom <= 0:
+            return 0.0
+        return self.mean_occupancy() / denom
+
+    def tail_ratio(self, hi: float = 99.0, lo: float = 50.0) -> float:
+        """p{hi}/p{lo} of per-request latency — the tail-inflation gauge."""
+        if self.n_arrivals == 0:
+            return 1.0
+        latency = self.latency_ms
+        p_lo = float(np.percentile(latency, lo))
+        if p_lo <= 0:
+            return 1.0
+        return float(np.percentile(latency, hi)) / p_lo
+
+
+class QueueModel:
+    """Samples latency level paths from the M/G/k simulation."""
+
+    def __init__(self, config: Optional[QueueModelConfig] = None) -> None:
+        self.config = config or QueueModelConfig()
+
+    # -- internals ---------------------------------------------------------
+
+    def _cell_rates(
+        self, grid_times: np.ndarray, profile: Optional[IncidentProfile]
+    ) -> np.ndarray:
+        cfg = self.config
+        hours = (grid_times % SECONDS_PER_DAY) / 3600.0
+        rate = cfg.arrival_rate_hz * cfg.diurnal(hours)
+        if cfg.weekend_load_factor != 1.0:
+            day = np.floor(grid_times / SECONDS_PER_DAY).astype(np.int64)
+            is_weekend = (day % 7) >= 5
+            rate = np.where(is_weekend, rate * cfg.weekend_load_factor, rate)
+        if profile is not None:
+            rate = rate * profile.arrival_mult
+        return rate
+
+    @staticmethod
+    def _lindley_waits(
+        arrival_times: np.ndarray,
+        service_s: np.ndarray,
+        server_ids: np.ndarray,
+        n_servers: int,
+    ) -> np.ndarray:
+        """Exact FCFS waiting times, one vectorized recursion per server."""
+        waits = np.zeros(arrival_times.size, dtype=float)
+        for server in range(n_servers):
+            idx = np.flatnonzero(server_ids == server)
+            if idx.size < 2:
+                continue
+            gaps = np.diff(arrival_times[idx])
+            slack = service_s[idx][:-1] - gaps
+            path = np.concatenate(([0.0], np.cumsum(slack)))
+            waits[idx] = path - np.minimum.accumulate(path)
+        return waits
+
+    def _level_path(
+        self,
+        cell_idx: np.ndarray,
+        latency_ms: np.ndarray,
+        n_cells: int,
+    ) -> np.ndarray:
+        """Per-cell mean request latency, gap-filled and lightly smoothed."""
+        cfg = self.config
+        sums = np.bincount(cell_idx, weights=latency_ms, minlength=n_cells)
+        counts = np.bincount(cell_idx, minlength=n_cells)
+        levels = np.full(n_cells, cfg.overhead_ms + cfg.service.mean_ms, dtype=float)
+        observed = counts > 0
+        levels[observed] = sums[observed] / counts[observed]
+        if np.any(observed) and not np.all(observed):
+            # Forward-fill from the last observed cell, then back-fill the head.
+            carry = np.where(observed, np.arange(n_cells), -1)
+            carry = np.maximum.accumulate(carry)
+            head = carry < 0
+            carry[head] = int(np.argmax(observed))
+            levels = levels[carry]
+        window = min(cfg.level_window_cells, n_cells)
+        if window > 1:
+            kernel = np.ones(window)
+            norm = np.convolve(np.ones(n_cells), kernel, mode="same")
+            levels = np.convolve(levels, kernel, mode="same") / norm
+        return levels
+
+    # -- public API --------------------------------------------------------
+
+    def simulate(
+        self,
+        duration_s: float,
+        rng: SeedLike = None,
+        start: float = 0.0,
+        profile: Optional[IncidentProfile] = None,
+    ) -> QueueSimResult:
+        """Run the queue over ``[start, start + duration_s)``.
+
+        ``profile`` (an :class:`IncidentProfile` on the same grid) perturbs
+        arrival rate, service times, slow-path mixing and server count per
+        cell. Draw order is fixed (counts, arrival offsets, service, slow
+        path, routing) and the slow-path uniforms are always consumed, so a
+        neutral profile reproduces the profile-free path bit for bit.
+        """
+        cfg = self.config
+        if duration_s <= 0:
+            raise ConfigError(f"duration_s must be positive, got {duration_s}")
+        generator = spawn_rng(rng)
+        dt = cfg.grid_dt_s
+        n_cells = int(np.ceil(duration_s / dt))
+        if profile is not None and (
+            profile.n_cells != n_cells
+            or profile.dt != dt
+            or profile.start != float(start)
+        ):
+            raise ConfigError(
+                f"incident profile grid mismatch: profile has "
+                f"(start={profile.start}, dt={profile.dt}, n={profile.n_cells}), "
+                f"simulation needs (start={start}, dt={dt}, n={n_cells})"
+            )
+        grid_times = start + dt * np.arange(n_cells)
+        rates = self._cell_rates(grid_times, profile)
+        expected = float(np.sum(rates) * dt)
+        if expected > cfg.max_events:
+            raise ConfigError(
+                f"simulation would draw ~{expected:.0f} events, above the "
+                f"max_events cap of {cfg.max_events}"
+            )
+
+        counts = generator.poisson(rates * dt)
+        n = int(counts.sum())
+        if n == 0:
+            levels = np.full(n_cells, cfg.overhead_ms + cfg.service.mean_ms)
+            return QueueSimResult(
+                grid=LatencyGrid(start=start, dt=dt, levels_ms=levels),
+                config=cfg,
+                arrival_times=np.array([], dtype=float),
+                wait_s=np.array([], dtype=float),
+                service_s=np.array([], dtype=float),
+                server_ids=np.array([], dtype=np.int64),
+                servers_per_cell=np.full(n_cells, cfg.servers, dtype=np.int64),
+                duration_s=float(duration_s),
+                profile=profile,
+            )
+
+        cell_idx = np.repeat(np.arange(n_cells), counts)
+        arrivals = np.repeat(grid_times, counts) + generator.uniform(0.0, dt, size=n)
+        order = np.argsort(arrivals, kind="stable")
+        arrivals = arrivals[order]
+        cell_idx = cell_idx[order]
+
+        service = cfg.service.sample(n, generator)
+        slow_u = generator.random(n)
+        if profile is not None:
+            service = service * profile.service_mult[cell_idx]
+            slow = slow_u < profile.slow_frac[cell_idx]
+            service = service + np.where(
+                slow, profile.slow_extra_ms[cell_idx] / 1000.0, 0.0
+            )
+            servers_per_cell = np.clip(cfg.servers + profile.server_delta, 1, None)
+        else:
+            servers_per_cell = np.full(n_cells, cfg.servers, dtype=np.int64)
+
+        k_per_request = servers_per_cell[cell_idx]
+        route_u = generator.random(n)
+        server_ids = np.floor(route_u * k_per_request).astype(np.int64)
+        n_servers = int(servers_per_cell.max())
+
+        waits = self._lindley_waits(arrivals, service, server_ids, n_servers)
+        latency_ms = (waits + service) * 1000.0 + cfg.overhead_ms
+        levels = self._level_path(cell_idx, latency_ms, n_cells)
+
+        return QueueSimResult(
+            grid=LatencyGrid(start=start, dt=dt, levels_ms=levels),
+            config=cfg,
+            arrival_times=arrivals,
+            wait_s=waits,
+            service_s=service,
+            server_ids=server_ids,
+            servers_per_cell=np.asarray(servers_per_cell, dtype=np.int64),
+            duration_s=float(duration_s),
+            profile=profile,
+        )
+
+    def sample_grid(
+        self,
+        duration_s: float,
+        rng: SeedLike = None,
+        start: float = 0.0,
+        profile: Optional[IncidentProfile] = None,
+    ) -> LatencyGrid:
+        """Level-path-only view, signature-compatible with ``LatencyModel``."""
+        return self.simulate(duration_s, rng=rng, start=start, profile=profile).grid

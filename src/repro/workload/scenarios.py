@@ -18,7 +18,9 @@ from repro.workload.generator import (
     TelemetryGenerator,
     TelemetryResult,
 )
+from repro.workload.incidents import IncidentPlan
 from repro.workload.latency_model import DiurnalCurve, LatencyModelConfig
+from repro.workload.queue_model import QueueModelConfig, ServiceTimeConfig
 from repro.workload.population import PopulationConfig
 from repro.workload.preference import (
     GroundTruth,
@@ -67,6 +69,17 @@ class Scenario:
             cfg = replace(cfg, population=replace(cfg.population, n_users=n_users))
         if candidates_per_user_day is not None:
             cfg = replace(cfg, candidates_per_user_day=candidates_per_user_day)
+        return replace(self, config=cfg)
+
+    def with_latency_backend(self, backend: str) -> "Scenario":
+        """A copy running on another latency backend (``"ou"``/``"queue"``)."""
+        if backend == self.config.latency_backend:
+            return self
+        return replace(self, config=replace(self.config, latency_backend=backend))
+
+    def with_incidents(self, plan: IncidentPlan) -> "Scenario":
+        """A copy with incident scenarios injected (queue backend implied)."""
+        cfg = replace(self.config, latency_backend="queue", incident_plan=plan)
         return replace(self, config=cfg)
 
 
@@ -329,6 +342,44 @@ def websearch_scenario(
     )
 
 
+def queue_scenario(
+    seed: Optional[int] = None,
+    duration_days: float = 7.0,
+    n_users: int = 400,
+    candidates_per_user_day: float = 60.0,
+    incident_plan: Optional[IncidentPlan] = None,
+    service_distribution: str = "lognormal",
+) -> Scenario:
+    """OWA over the M/G/k queue backend (ROADMAP open item 2).
+
+    Latency levels emerge from utilization instead of being postulated:
+    diurnally-modulated Poisson arrivals, heavy-tailed service times and a
+    small server fleet. ``incident_plan`` composes seeded incident
+    scenarios on top (:mod:`repro.workload.incidents`); their ground-truth
+    windows land in ``TelemetryResult.incident_windows``.
+    """
+    base = owa_scenario(
+        seed=seed,
+        duration_days=duration_days,
+        n_users=n_users,
+        candidates_per_user_day=candidates_per_user_day,
+    )
+    config = replace(
+        base.config,
+        latency_backend="queue",
+        queue=QueueModelConfig(
+            service=ServiceTimeConfig(distribution=service_distribution)
+        ),
+        incident_plan=incident_plan or IncidentPlan(),
+    )
+    return replace(
+        base,
+        name="owa-queue",
+        description="OWA over the M/G/k queue latency backend",
+        config=config,
+    )
+
+
 #: Registry of scenario builders by name (used by the CLI).
 SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "owa": owa_scenario,
@@ -338,5 +389,6 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "owa-flat": flat_preference_scenario,
     "owa-weekly": weekly_scenario,
     "owa-global": global_scenario,
+    "owa-queue": queue_scenario,
     "websearch": websearch_scenario,
 }

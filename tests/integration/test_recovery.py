@@ -63,9 +63,14 @@ class TestSelectMailRecovery:
 
 class TestCrossSliceFindings:
     def test_action_ordering(self, recovery_result, recovery_engine):
-        """SelectMail steepest, ComposeSend flattest (paper Fig. 4)."""
+        """SelectMail steepest, ComposeSend flattest (paper Fig. 4).
+
+        Pooled across user classes: the ground-truth ordering is the same
+        in both, and the rare ComposeSend slice is too sparse per-class
+        for a single-anchor comparison to be stable across seeds.
+        """
         curves = recovery_engine.curves_by_action(
-            recovery_result.logs, user_class=UserClass.BUSINESS)
+            recovery_result.logs, user_class=None)
         at_1000 = {k: float(v.at(1000.0)) for k, v in curves.items()}
         assert at_1000["SelectMail"] < at_1000["Search"]
         assert at_1000["SwitchFolder"] < at_1000["ComposeSend"]

@@ -16,6 +16,7 @@ from repro.obs.probes import (
     probe_alpha_dispersion,
     probe_bin_occupancy,
     probe_density_correlation,
+    probe_latency_regime,
     probe_locality,
     probe_slot_support,
     probe_smoothing_edges,
@@ -255,6 +256,76 @@ class TestDensityCorrelation:
 
     def test_anti_correlation_is_ok(self):
         assert probe_density_correlation(-0.4)[0].severity == "ok"
+
+
+class TestLatencyRegime:
+    def _matrix(self, n_slots=6, n_bins=30, median_bin=10, tail_bin=None):
+        """Slots of 1000 actions centered on ``median_bin``; optionally one
+        slot with 1.5% of its mass pushed out to ``tail_bin``."""
+        matrix = np.zeros((n_slots, n_bins))
+        matrix[:, median_bin] = 1000.0
+        if tail_bin is not None:
+            matrix[0, tail_bin] = 15.0
+        return matrix
+
+    def _centers(self, n_bins=30):
+        return np.geomspace(50.0, 5000.0, n_bins)
+
+    def test_uniform_slots_ok(self):
+        findings = probe_latency_regime(self._matrix(), self._centers())
+        assert _severities(findings) == ["ok", "ok"]
+        probes_seen = {f.probe for f in findings}
+        assert probes_seen == {"latency_tail_inflation", "latency_regime_shift"}
+
+    def test_inflated_tail_warns(self):
+        matrix = self._matrix(tail_bin=29)  # p99 lands ~20x the median
+        findings = probe_latency_regime(matrix, self._centers())
+        by_probe = {f.probe: f for f in findings}
+        assert by_probe["latency_tail_inflation"].severity == "warn"
+
+    def test_extreme_tail_fails(self):
+        matrix = self._matrix(median_bin=2, tail_bin=29)  # p99 ~70x median
+        findings = probe_latency_regime(matrix, self._centers())
+        by_probe = {f.probe: f for f in findings}
+        assert by_probe["latency_tail_inflation"].severity == "fail"
+
+    def test_shifted_slot_median_warns(self):
+        matrix = self._matrix()
+        matrix[0] = 0.0
+        matrix[0, 28] = 1000.0  # one slot lives two decades higher
+        findings = probe_latency_regime(matrix, self._centers())
+        by_probe = {f.probe: f for f in findings}
+        assert by_probe["latency_regime_shift"].severity in ("warn", "fail")
+
+    def test_custom_thresholds_tighten(self):
+        matrix = self._matrix(tail_bin=14)
+        loose = probe_latency_regime(matrix, self._centers())
+        tight = probe_latency_regime(matrix, self._centers(),
+                                     warn_tail_ratio=1.2, fail_tail_ratio=50.0)
+        assert all(f.severity == "ok" for f in loose)
+        by_probe = {f.probe: f for f in tight}
+        assert by_probe["latency_tail_inflation"].severity == "warn"
+
+    def test_empty_tensor_never_raises(self):
+        findings = probe_latency_regime(np.zeros((0, 0)), np.array([]))
+        assert _severities(findings) == ["warn"]
+
+    def test_mismatched_bins_never_raises(self):
+        findings = probe_latency_regime(np.ones((4, 5)), np.arange(7))
+        assert _severities(findings) == ["warn"]
+
+    def test_single_usable_slot_not_assessable(self):
+        matrix = np.zeros((4, 10))
+        matrix[2, 3] = 1000.0  # only one slot clears min_slot_count
+        findings = probe_latency_regime(matrix, np.geomspace(50, 500, 10))
+        assert _severities(findings) == ["ok"]
+        assert "not assessable" in findings[0].message
+
+    def test_nan_counts_never_raise(self):
+        matrix = self._matrix().astype(float)
+        matrix[1, :] = np.nan
+        findings = probe_latency_regime(matrix, self._centers())
+        assert all(f.severity in ("ok", "warn", "fail") for f in findings)
 
 
 class TestEmit:

@@ -87,15 +87,17 @@ class TestGenerator:
     def test_preference_bias_visible(self, small_result):
         """Actions during slow moments are rarer than availability implies.
 
-        Compared within one hour-of-day band (12:00-14:00) so the diurnal
-        activity confounder cannot mask the preference effect.
+        Compared within the daytime plateau (10:00-16:00) so the diurnal
+        activity confounder cannot mask the preference effect, while the
+        band stays wide enough that one relocated congestion incident
+        cannot flip the comparison.
         """
         logs = small_result.logs
         grid = small_result.grid
         action_hours = (logs.times % 86400.0) / 3600.0
         grid_hours = (grid.times % 86400.0) / 3600.0
-        band_actions = (action_hours >= 12.0) & (action_hours < 14.0)
-        band_grid = (grid_hours >= 12.0) & (grid_hours < 14.0)
+        band_actions = (action_hours >= 10.0) & (action_hours < 16.0)
+        band_grid = (grid_hours >= 10.0) & (grid_hours < 16.0)
         level_at_actions = grid.level_at(logs.times[band_actions])
         assert level_at_actions.mean() < grid.levels_ms[band_grid].mean()
 
@@ -126,7 +128,7 @@ class TestScenarios:
     def test_registry_complete(self):
         assert set(SCENARIOS) == {
             "owa", "owa-timeofday", "owa-two-months", "owa-conditioning",
-            "owa-flat", "owa-weekly", "owa-global", "websearch",
+            "owa-flat", "owa-weekly", "owa-global", "owa-queue", "websearch",
         }
 
     def test_all_scenarios_generate(self):
@@ -169,3 +171,53 @@ class TestScenarios:
         a = scenario.generate(seed=5)
         b = scenario.generate(seed=5)
         assert np.allclose(a.logs.latencies_ms, b.logs.latencies_ms)
+
+
+class TestLatencyBackends:
+    def test_queue_backend_generates(self):
+        from repro.workload.scenarios import queue_scenario
+
+        result = queue_scenario(seed=4).scaled(
+            duration_days=0.5, n_users=40).generate()
+        assert len(result.logs) > 0
+        assert result.incident_windows == []
+
+    def test_incident_windows_surface_in_result(self):
+        from repro.workload import IncidentPlan, LoadSpike
+        from repro.workload.scenarios import queue_scenario
+
+        scenario = queue_scenario(
+            seed=4,
+            incident_plan=IncidentPlan(specs=(LoadSpike(start_frac=0.5),)),
+        ).scaled(duration_days=1.0, n_users=40)
+        result = scenario.generate()
+        assert len(result.incident_windows) == 1
+        assert result.incident_windows[0].scenario == "load-spike"
+
+    def test_backend_validation(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(latency_backend="banana")
+
+    def test_incidents_require_queue_backend(self):
+        from repro.workload import IncidentPlan, LoadSpike
+
+        with pytest.raises(ConfigError):
+            GeneratorConfig(
+                latency_backend="ou",
+                incident_plan=IncidentPlan(specs=(LoadSpike(),)),
+            )
+
+    def test_with_latency_backend_round_trip(self):
+        scenario = owa_scenario(seed=1).with_latency_backend("queue")
+        assert scenario.config.latency_backend == "queue"
+        back = scenario.with_latency_backend("ou")
+        assert back.config.latency_backend == "ou"
+
+    def test_backends_share_population(self):
+        # Same seed, different latency backend: the user population and
+        # candidate schedule are identical; only latencies change.
+        base = owa_scenario(seed=6).scaled(duration_days=0.5, n_users=40)
+        ou = base.generate()
+        queue = base.with_latency_backend("queue").generate()
+        assert ou.logs.n_users() == queue.logs.n_users()
+        assert abs(len(ou.logs) - len(queue.logs)) < 0.2 * len(ou.logs)

@@ -1,0 +1,153 @@
+"""The composable incident library: scheduling, composition, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.incidents import (
+    DEFAULT_INCIDENT_SPECS,
+    AutoscaleStep,
+    IncidentPlan,
+    IncidentProfile,
+    LoadSpike,
+    RegionalDegradation,
+    RetryStorm,
+    SlowDependency,
+)
+
+DAY = 86400.0
+
+
+def _profile(n_cells=8640, dt=10.0):
+    return IncidentProfile(start=0.0, dt=dt, n_cells=n_cells)
+
+
+class TestEnvelope:
+    def test_reaches_one_mid_window(self):
+        profile = _profile()
+        env = profile.envelope(10_000.0, 3600.0, ramp_s=300.0)
+        assert env.max() == 1.0
+        assert env.min() == 0.0
+
+    def test_zero_ramp_is_hard_step(self):
+        profile = _profile()
+        env = profile.envelope(10_000.0, 3600.0, ramp_s=0.0)
+        assert set(np.unique(env)) == {0.0, 1.0}
+
+    def test_ramp_clipped_to_half_window(self):
+        profile = _profile()
+        env = profile.envelope(10_000.0, 600.0, ramp_s=10_000.0)
+        assert env.max() >= 1.0 - 1e-9  # still reaches 1 at the midpoint
+
+    def test_outside_window_zero(self):
+        profile = _profile(n_cells=100)
+        env = profile.envelope(2_000_000.0, 3600.0, ramp_s=0.0)
+        assert np.all(env == 0.0)
+
+
+class TestSpecs:
+    def test_default_catalog_instantiates_and_applies(self):
+        for name, factory in DEFAULT_INCIDENT_SPECS.items():
+            spec = factory()
+            profile = _profile(n_cells=2000)
+            window = spec.apply(profile, np.random.default_rng(0))
+            assert window.scenario, name
+            assert window.end_s > window.start_s
+            assert not profile.is_neutral() or isinstance(spec, AutoscaleStep)
+
+    def test_load_spike_shapes_arrival_mult(self):
+        profile = _profile()
+        spike = LoadSpike(start_frac=0.5, duration_s=3600.0, peak_mult=3.0)
+        spike.apply(profile, np.random.default_rng(1))
+        assert np.isclose(profile.arrival_mult.max(), 3.0)
+        assert np.isclose(profile.arrival_mult.min(), 1.0)
+        assert np.all(profile.service_mult == 1.0)
+
+    def test_slow_dependency_sets_mixture(self):
+        profile = _profile()
+        SlowDependency(slow_share=0.4, extra_ms=600.0).apply(
+            profile, np.random.default_rng(2))
+        assert np.isclose(profile.slow_frac.max(), 0.4)
+        assert np.isclose(profile.slow_extra_ms.max(), 600.0)
+
+    def test_autoscale_step_is_integer_and_hard(self):
+        profile = _profile()
+        AutoscaleStep(server_delta=-1).apply(profile, np.random.default_rng(3))
+        assert set(np.unique(profile.server_delta)) == {-1, 0}
+
+    def test_regional_degradation_scales_service(self):
+        profile = _profile()
+        RegionalDegradation(service_mult=2.0, region_share=0.5).apply(
+            profile, np.random.default_rng(4))
+        assert profile.service_mult.max() > 1.0
+        assert np.all(profile.arrival_mult == 1.0)
+
+    def test_retry_storm_touches_both(self):
+        profile = _profile()
+        RetryStorm(load_mult=2.0, service_mult=1.5).apply(
+            profile, np.random.default_rng(5))
+        assert profile.arrival_mult.max() > 1.0
+        assert profile.service_mult.max() > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LoadSpike(peak_mult=0.0)
+        with pytest.raises(ConfigError):
+            SlowDependency(slow_share=1.5)
+        with pytest.raises(ConfigError):
+            IncidentPlan(specs=(LoadSpike(start_frac=2.0),))
+
+
+class TestComposition:
+    def test_overlapping_specs_stack(self):
+        profile = _profile()
+        LoadSpike(start_frac=0.4, duration_s=7200.0, peak_mult=2.0).apply(
+            profile, np.random.default_rng(6))
+        LoadSpike(start_frac=0.45, duration_s=7200.0, peak_mult=2.0).apply(
+            profile, np.random.default_rng(7))
+        # Multiplicative stacking: the overlap exceeds either alone.
+        assert profile.arrival_mult.max() > 2.5
+
+    def test_plan_records_one_window_per_spec(self):
+        plan = IncidentPlan(specs=(
+            LoadSpike(start_frac=0.3),
+            SlowDependency(start_frac=0.6),
+        ), seed=0)
+        profile = plan.build(0.0, 10.0, 8640)
+        assert len(profile.windows) == 2
+        scenarios = [w.scenario for w in profile.windows]
+        assert scenarios == ["load-spike", "slow-dependency"]
+
+
+class TestDeterminism:
+    def test_plan_build_reproducible(self):
+        plan = IncidentPlan(specs=(
+            LoadSpike(start_jitter_s=1800.0),
+            RetryStorm(start_jitter_s=1800.0),
+        ), seed=3)
+        a = plan.build(0.0, 10.0, 8640)
+        b = plan.build(0.0, 10.0, 8640)
+        assert np.array_equal(a.arrival_mult, b.arrival_mult)
+        assert np.array_equal(a.service_mult, b.service_mult)
+        assert [w.to_dict() for w in a.windows] == [w.to_dict() for w in b.windows]
+
+    def test_spec_streams_independent_of_list_position(self):
+        # Each spec draws from its own named stream: adding a spec in front
+        # must not move an existing spec's jittered window.
+        jittered = SlowDependency(start_jitter_s=3600.0)
+        alone = IncidentPlan(specs=(jittered,), seed=5).build(0.0, 10.0, 8640)
+        # The same spec keeps its window when it keeps its (index, name) key.
+        again = IncidentPlan(specs=(jittered,), seed=5).build(0.0, 10.0, 8640)
+        assert alone.windows[0].to_dict() == again.windows[0].to_dict()
+
+    def test_empty_plan_is_neutral(self):
+        profile = IncidentPlan().build(0.0, 10.0, 100)
+        assert profile.is_neutral()
+        assert profile.windows == []
+
+    def test_window_contains(self):
+        plan = IncidentPlan(specs=(LoadSpike(start_frac=0.5, duration_s=3600.0),))
+        profile = plan.build(0.0, 10.0, 8640)
+        window = profile.windows[0]
+        times = np.array([0.0, window.start_s + 1.0, window.end_s + 1.0])
+        assert list(window.contains(times)) == [False, True, False]

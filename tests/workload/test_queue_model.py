@@ -1,0 +1,172 @@
+"""Queueing-theory invariants for the M/G/k latency backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.incidents import IncidentPlan, LoadSpike
+from repro.workload.latency_model import LatencyModel, LatencyModelConfig
+from repro.workload.queue_model import (
+    QueueModel,
+    QueueModelConfig,
+    ServiceTimeConfig,
+)
+
+DAY = 86400.0
+
+
+def _small_config(**overrides):
+    defaults = dict(arrival_rate_hz=6.0, servers=3,
+                    service=ServiceTimeConfig(mean_ms=150.0))
+    defaults.update(overrides)
+    return QueueModelConfig(**defaults)
+
+
+class TestServiceTimeConfig:
+    def test_lognormal_mean_matches(self):
+        cfg = ServiceTimeConfig(distribution="lognormal", mean_ms=200.0)
+        draws = cfg.sample(200_000, np.random.default_rng(0))
+        assert abs(draws.mean() - 0.2) < 0.005
+
+    def test_pareto_mix_mean_matches(self):
+        cfg = ServiceTimeConfig(distribution="pareto-mix", mean_ms=200.0)
+        draws = cfg.sample(400_000, np.random.default_rng(1))
+        assert abs(draws.mean() - 0.2) < 0.01
+
+    def test_pareto_mix_has_heavier_tail(self):
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        light = ServiceTimeConfig(distribution="lognormal", mean_ms=150.0)
+        heavy = ServiceTimeConfig(distribution="pareto-mix", mean_ms=150.0)
+        a = light.sample(200_000, rng_a)
+        b = heavy.sample(200_000, rng_b)
+        assert (np.percentile(b, 99.9) / np.percentile(b, 50)
+                > np.percentile(a, 99.9) / np.percentile(a, 50))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceTimeConfig(distribution="uniform")
+        with pytest.raises(ConfigError):
+            ServiceTimeConfig(mean_ms=0.0)
+        with pytest.raises(ConfigError):
+            ServiceTimeConfig(distribution="pareto-mix", tail_alpha=1.0)
+        with pytest.raises(ConfigError):
+            ServiceTimeConfig(distribution="pareto-mix", tail_share=1.5)
+
+
+class TestStability:
+    def test_unstable_config_rejected(self):
+        # rho = lambda * E[S] / k: 20/s * 0.15s / 1 = 3.0 >> 1.
+        with pytest.raises(ConfigError):
+            QueueModelConfig(
+                arrival_rate_hz=20.0, servers=1,
+                service=ServiceTimeConfig(mean_ms=150.0),
+            )
+
+    def test_peak_utilization_accounts_for_diurnal(self):
+        cfg = _small_config()
+        # Diurnal peak multiplies the arrival rate; the margin check uses it.
+        assert cfg.peak_utilization() > (
+            cfg.arrival_rate_hz * cfg.service.mean_s() / cfg.servers
+        )
+        assert cfg.peak_utilization() < cfg.stability_margin
+
+    def test_utilization_below_one_in_simulation(self):
+        result = QueueModel(_small_config()).simulate(DAY, rng=3)
+        assert 0.0 < result.utilization() < 1.0
+
+
+class TestLittlesLaw:
+    def test_mean_occupancy_matches_lambda_times_sojourn(self):
+        # L = lambda * W must hold for the event-integrated occupancy on a
+        # long window regardless of service distribution or server count.
+        result = QueueModel(_small_config(servers=2, arrival_rate_hz=4.0)).simulate(
+            3 * DAY, rng=4
+        )
+        assert result.arrival_times.size > 100_000
+        assert abs(result.little_law_ratio() - 1.0) < 0.15
+
+    def test_littles_law_pareto_mix(self):
+        cfg = _small_config(
+            service=ServiceTimeConfig(distribution="pareto-mix", mean_ms=150.0)
+        )
+        result = QueueModel(cfg).simulate(3 * DAY, rng=5)
+        assert abs(result.little_law_ratio() - 1.0) < 0.15
+
+
+class TestTailBehavior:
+    def test_queue_tail_heavier_than_ou(self):
+        # The queue's level path inherits burst-driven waits: p99/p50 of
+        # per-request latency beats the lognormal-jitter OU backend's.
+        queue = QueueModel(_small_config()).simulate(2 * DAY, rng=6)
+        q_lat = queue.latency_ms
+        ou_grid = LatencyModel(LatencyModelConfig(incidents=None)).sample_grid(
+            2 * DAY, rng=6
+        )
+        ou_lat = LatencyModel().request_latency(
+            ou_grid.levels_ms, jitter_sigma=0.35, rng=6
+        )
+        q_ratio = np.percentile(q_lat, 99) / np.percentile(q_lat, 50)
+        ou_ratio = np.percentile(ou_lat, 99) / np.percentile(ou_lat, 50)
+        assert q_ratio > ou_ratio
+
+    def test_latencies_include_overhead_floor(self):
+        cfg = _small_config(overhead_ms=90.0)
+        result = QueueModel(cfg).simulate(DAY, rng=7)
+        assert result.latency_ms.min() >= cfg.overhead_ms
+
+
+class TestDeterminism:
+    def test_bit_identical_reseed(self):
+        model = QueueModel(_small_config())
+        a = model.simulate(DAY, rng=8)
+        b = model.simulate(DAY, rng=8)
+        assert np.array_equal(a.arrival_times, b.arrival_times)
+        assert np.array_equal(a.wait_s, b.wait_s)
+        assert np.array_equal(a.service_s, b.service_s)
+        assert np.array_equal(a.server_ids, b.server_ids)
+
+    def test_grid_bit_identical_reseed(self):
+        model = QueueModel(_small_config())
+        a = model.sample_grid(DAY, rng=9)
+        b = model.sample_grid(DAY, rng=9)
+        assert np.array_equal(a.levels_ms, b.levels_ms)
+
+    def test_neutral_profile_matches_no_profile(self):
+        # Draw-consumption invariance: a neutral incident profile must be
+        # bit-identical to running with no profile at all.
+        cfg = _small_config(grid_dt_s=10.0)
+        model = QueueModel(cfg)
+        n_cells = int(np.ceil(DAY / cfg.grid_dt_s))
+        neutral = IncidentPlan().build(0.0, cfg.grid_dt_s, n_cells)
+        a = model.simulate(DAY, rng=10)
+        b = model.simulate(DAY, rng=10, profile=neutral)
+        assert np.array_equal(a.wait_s, b.wait_s)
+        assert np.array_equal(a.latency_ms, b.latency_ms)
+
+
+class TestIncidentPhysics:
+    def test_load_spike_raises_levels_inside_window(self):
+        cfg = _small_config(grid_dt_s=10.0)
+        model = QueueModel(cfg)
+        n_cells = int(np.ceil(DAY / cfg.grid_dt_s))
+        plan = IncidentPlan(
+            specs=(LoadSpike(start_frac=0.5, duration_s=7200.0, peak_mult=3.0),),
+            seed=0,
+        )
+        profile = plan.build(0.0, cfg.grid_dt_s, n_cells)
+        assert len(profile.windows) == 1
+        window = profile.windows[0]
+        clean = model.sample_grid(DAY, rng=11)
+        spiked = model.sample_grid(DAY, rng=11, profile=profile)
+        inside = (clean.times >= window.start_s) & (clean.times < window.end_s)
+        assert spiked.levels_ms[inside].mean() > 1.5 * clean.levels_ms[inside].mean()
+
+    def test_grid_shape_compatible_with_latency_grid(self):
+        cfg = _small_config(grid_dt_s=10.0)
+        grid = QueueModel(cfg).sample_grid(DAY, rng=12)
+        assert grid.levels_ms.size == int(np.ceil(DAY / cfg.grid_dt_s))
+        assert np.all(np.isfinite(grid.levels_ms))
+        assert np.all(grid.levels_ms > 0)
+        # LatencyGrid API used by the generator:
+        levels = grid.level_at(np.array([0.0, DAY / 2, DAY - 1.0]))
+        assert levels.shape == (3,)
