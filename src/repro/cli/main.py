@@ -101,6 +101,18 @@ def _obs_parent() -> argparse.ArgumentParser:
         help="attach the span profiler and write per-span CPU/RSS "
              "attribution plus folded stacks here as JSON; all other "
              "artifacts stay byte-identical with or without this flag")
+    group.add_argument(
+        "--serve-obs", default=None, metavar="HOST:PORT",
+        help="serve live telemetry over HTTP while the command runs: "
+             "/metrics (Prometheus text), /healthz (rolling probe verdict), "
+             "/progress (JSON for 'autosens top'), /events (NDJSON tail); "
+             "port 0 picks a free port; all artifacts stay byte-identical "
+             "with or without this flag")
+    group.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="record this run into the persistent run registry at DIR "
+             "(manifest + metrics + progress, indexed append-only); inspect "
+             "with 'autosens runs ls|show|diff|trend'")
     return parent
 
 
@@ -108,6 +120,10 @@ def _configure_obs(args: argparse.Namespace) -> bool:
     """Install an observability context when any obs flag asks for one."""
     import repro.obs as obs
 
+    # Inspection commands read artifacts others produced; their flags
+    # (e.g. `runs --runs-dir`) never mean "instrument this invocation".
+    if args.command in ("obs", "doctor", "top", "runs", "list"):
+        return False
     wants = bool(
         getattr(args, "log_level", None)
         or getattr(args, "trace_out", None)
@@ -116,6 +132,8 @@ def _configure_obs(args: argparse.Namespace) -> bool:
         or getattr(args, "deterministic_trace", False)
         or getattr(args, "health_out", None)
         or getattr(args, "profile_out", None)
+        or getattr(args, "serve_obs", None)
+        or getattr(args, "runs_dir", None)
     )
     if not wants:
         return False
@@ -184,6 +202,103 @@ def _export_obs(args: argparse.Namespace) -> None:
         obs.write_profile(payload, profile_out)
         print(f"profile: {len(payload['spans'])} spans written to "
               f"{profile_out}", file=sys.stderr)
+
+
+def _start_obs_services(args: argparse.Namespace) -> dict:
+    """Start the live telemetry plane this invocation asked for.
+
+    Returns a services dict consumed by :func:`_finalize_obs_services`.
+    The server attaches to the already-configured context's event bus; a
+    bad ``--serve-obs`` address is a :class:`~repro.errors.ConfigError`
+    (exit 2) like any other bad flag.
+    """
+    import time
+
+    services: dict = {"server": None, "t0": time.monotonic()}
+    spec = getattr(args, "serve_obs", None)
+    if spec:
+        import repro.obs as obs
+        from repro.obs.serve import ObsServer, parse_serve_addr
+
+        try:
+            host, port = parse_serve_addr(spec)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
+        server = ObsServer(host, port).start()
+        services["server"] = server
+        print(f"obs: serving live telemetry on {server.url} "
+              "(/metrics /healthz /progress /events)", file=sys.stderr)
+        obs.event("run", phase="start", run_id=obs.current().run_id,
+                  command=args.command)
+    return services
+
+
+def _finalize_obs_services(args: argparse.Namespace, services: dict,
+                           status: int) -> None:
+    """Stop the obs server and record the run into ``--runs-dir``.
+
+    Recording happens even for failed runs — a registry that only holds
+    successes cannot show when a regression started.
+    """
+    import json
+    import time
+
+    import repro.obs as obs
+
+    ctx = obs.current()
+    server = services.get("server")
+    final_state = "done" if status == 0 else "failed"
+    if server is not None:
+        obs.event("run", phase=final_state)
+        server.close()
+    runs_dir = getattr(args, "runs_dir", None)
+    if not runs_dir:
+        return
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(runs_dir)
+    run_dir = registry.new_run_dir(ctx.run_id or args.command)
+    report = obs.build_health_report()
+    manifest = obs.build_manifest(
+        experiment_id=args.command,
+        seed=(getattr(args, "seed", None)
+              if getattr(args, "seed", None) is not None else -1),
+        config_fingerprint=ctx.run_id,
+        degradations=ctx.degradations,
+        metrics=ctx.metrics.snapshot(),
+        deterministic=ctx.deterministic,
+        extra={
+            "health": report.to_dict(),
+            "span_timings": obs.aggregate_span_timings(
+                ctx.tracer.finished()),
+            "exit_status": status,
+        },
+    )
+    obs.write_manifest(manifest, run_dir / "manifest.json")
+    obs.write_metrics_prometheus(ctx.metrics, run_dir / "metrics.prom")
+    if server is not None:
+        server.tracker.finish(final_state)
+        (run_dir / "progress.json").write_text(
+            json.dumps(server.tracker.snapshot(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        events = server.sink.tail(n=server.sink.maxlen)
+        if events:
+            (run_dir / "events.ndjson").write_text(
+                "".join(line + "\n" for line in obs.event_lines(events)),
+                encoding="utf-8")
+    entry = {
+        "run_id": ctx.run_id,
+        "command": args.command,
+        "seed": getattr(args, "seed", None),
+        "deterministic": ctx.deterministic,
+        "verdict": report.verdict,
+        "wall_s": round(time.monotonic() - services.get("t0", 0.0), 3),
+    }
+    if not ctx.deterministic:
+        entry["created_at"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    registry.record(run_dir, **entry)
+    print(f"run recorded: {run_dir}", file=sys.stderr)
 
 
 def _runtime_parent() -> argparse.ArgumentParser:
@@ -361,6 +476,10 @@ def _build_parser() -> argparse.ArgumentParser:
     summary = obs_sub.add_parser(
         "summary", help="render a run manifest as a human-readable table")
     summary.add_argument("manifest", help="path to a run manifest JSON file")
+    summary.add_argument("--format", choices=["table", "json"],
+                         default="table",
+                         help="output format: a text table or a JSON array "
+                              "of [field, value] pairs (default: table)")
     diff = obs_sub.add_parser(
         "diff", help="compare two run artifacts (manifest/bench/metrics/"
                      "curve/health) with tolerance classification")
@@ -393,7 +512,8 @@ def _build_parser() -> argparse.ArgumentParser:
     rec = sub.add_parser(
         "recover",
         help="run incident recovery fixtures: each must recover the "
-             "incident-free NLP curve or degrade loudly")
+             "incident-free NLP curve or degrade loudly",
+        parents=[observability])
     rec.add_argument("fixtures", nargs="*", default=[],
                      help="fixture names (default: the whole matrix)")
     rec.add_argument("--seed", type=int, default=7)
@@ -411,6 +531,49 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--curve-tol", type=float, default=None,
                      help="absolute NLP tolerance for the baseline diff "
                           "(default: 0.02)")
+
+    top = sub.add_parser(
+        "top",
+        help="live progress view: per-stage completion bars, throughput "
+             "and ETA from a --serve-obs endpoint (or a recorded run dir)")
+    top.add_argument(
+        "target",
+        help="a --serve-obs address (HOST:PORT or URL) to poll, or a "
+             "recorded run directory holding progress.json")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between frames when polling a live "
+                          "endpoint (default: 1.0)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+
+    runs = sub.add_parser(
+        "runs", help="inspect the persistent run registry (--runs-dir)")
+    runs_dir_parent = argparse.ArgumentParser(add_help=False)
+    runs_dir_parent.add_argument(
+        "--runs-dir", default=".autosens-runs",
+        help="registry directory (default: .autosens-runs)")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("ls", parents=[runs_dir_parent],
+                        help="list recorded runs, oldest first")
+    runs_show = runs_sub.add_parser(
+        "show", parents=[runs_dir_parent],
+        help="show one recorded run: index entry plus its manifest summary")
+    runs_show.add_argument("run", help="seq number, run id, or dir name")
+    runs_diff = runs_sub.add_parser(
+        "diff", parents=[runs_dir_parent],
+        help="obs-diff two recorded runs with tolerance classification")
+    runs_diff.add_argument("a", help="baseline run (seq/run id/dir name)")
+    runs_diff.add_argument("b", help="candidate run (seq/run id/dir name)")
+    runs_diff.add_argument("--rel-tol", type=float, default=None)
+    runs_diff.add_argument("--curve-tol", type=float, default=None)
+    runs_trend = runs_sub.add_parser(
+        "trend", parents=[runs_dir_parent],
+        help="diff each consecutive pair among the last N runs: wall-time, "
+             "span-share and health-verdict drift over time")
+    runs_trend.add_argument("--last", type=int, default=5,
+                            help="how many recent runs to trend (default: 5)")
+    runs_trend.add_argument("--rel-tol", type=float, default=None)
+    runs_trend.add_argument("--curve-tol", type=float, default=None)
 
     sub.add_parser("list", help="list scenarios and experiments")
     return parser
@@ -605,11 +768,18 @@ def _cmd_preflight(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "diff":
         return _cmd_obs_diff(args)
+    import json as _json
+
     from repro.obs import load_manifest, manifest_rows
     from repro.viz.table import format_table
 
     manifest = load_manifest(args.manifest)
-    print(format_table(["field", "value"], manifest_rows(manifest)))
+    rows = manifest_rows(manifest)
+    if getattr(args, "format", "table") == "json":
+        print(_json.dumps([[field, value] for field, value in rows],
+                          sort_keys=False, default=str))
+    else:
+        print(format_table(["field", "value"], rows))
     return 0
 
 
@@ -765,6 +935,121 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_progress(target: str) -> dict:
+    """One progress snapshot from a live endpoint or a recorded run dir."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    path = Path(target)
+    if path.is_dir():
+        progress = path / "progress.json"
+        if not progress.is_file():
+            raise SchemaError(f"{path} holds no progress.json "
+                              "(was the run recorded with --serve-obs?)")
+        try:
+            return _json.loads(progress.read_text(encoding="utf-8"))
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise SchemaError(f"cannot read {progress}: {exc}") from exc
+    url = target if target.startswith("http") else f"http://{target}"
+    try:
+        with urllib.request.urlopen(f"{url}/progress", timeout=5) as response:
+            return _json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ConfigError(
+            f"cannot reach obs server at {url}: {exc} "
+            "(is the run started with --serve-obs?)") from exc
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.progress import render_progress
+
+    live = not Path(args.target).is_dir()
+    while True:
+        snapshot = _fetch_progress(args.target)
+        frame = render_progress(snapshot, source=args.target)
+        if args.once or not live:
+            print(frame)
+            return 0
+        # In-place refresh: clear screen, home cursor, draw the frame.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        if snapshot.get("state") != "running":
+            return 0
+        try:
+            time.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+
+
+def _resolve_run_dir(registry, selector: str) -> Path:
+    entry = registry.find(selector)
+    if entry is None:
+        raise ConfigError(
+            f"no recorded run matches {selector!r} in {registry.runs_dir} "
+            "(see 'autosens runs ls')")
+    run_dir = registry.run_path(entry)
+    if not run_dir.is_dir():
+        raise SchemaError(f"recorded run directory {run_dir} is missing")
+    return run_dir
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.diff import DEFAULT_CURVE_TOL, DEFAULT_REL_TOL
+    from repro.obs.registry import (
+        RunRegistry,
+        render_runs_table,
+        render_trend,
+        trend_exit_code,
+    )
+
+    registry = RunRegistry(args.runs_dir)
+    rel_tol = (getattr(args, "rel_tol", None)
+               if getattr(args, "rel_tol", None) is not None
+               else DEFAULT_REL_TOL)
+    curve_tol = (getattr(args, "curve_tol", None)
+                 if getattr(args, "curve_tol", None) is not None
+                 else DEFAULT_CURVE_TOL)
+    if args.runs_command == "ls":
+        print(render_runs_table(registry.entries()))
+        return 0
+    if args.runs_command == "show":
+        import repro.obs as obs
+        from repro.viz.table import format_table
+
+        entry = registry.find(args.run)
+        if entry is None:
+            raise ConfigError(
+                f"no recorded run matches {args.run!r} in {registry.runs_dir} "
+                "(see 'autosens runs ls')")
+        for key in ("seq", "run_id", "command", "seed", "deterministic",
+                    "verdict", "wall_s", "created_at", "dir"):
+            if key in entry:
+                print(f"{key}: {entry[key]}")
+        manifest_path = registry.run_path(entry) / "manifest.json"
+        if manifest_path.is_file():
+            manifest = obs.load_manifest(manifest_path)
+            print(format_table(["field", "value"],
+                               obs.manifest_rows(manifest)))
+        return 0
+    if args.runs_command == "diff":
+        import repro.obs as obs
+
+        report = obs.diff_paths(
+            _resolve_run_dir(registry, args.a),
+            _resolve_run_dir(registry, args.b),
+            rel_tol=rel_tol, curve_tol=curve_tol)
+        print(obs.render_diff(report))
+        return obs.diff_exit_code(report)
+    # trend
+    reports = registry.trend(last=args.last, rel_tol=rel_tol,
+                             curve_tol=curve_tol)
+    print(render_trend(reports))
+    return trend_exit_code(reports)
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
     from repro.workload.scenarios import SCENARIOS
@@ -798,20 +1083,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
         "doctor": _cmd_doctor,
         "recover": _cmd_recover,
+        "top": _cmd_top,
+        "runs": _cmd_runs,
         "list": _cmd_list,
     }
     observing = _configure_obs(args)
+    services: dict = {}
+    status = 1
     try:
-        return handlers[args.command](args)
+        if observing:
+            services = _start_obs_services(args)
+        status = handlers[args.command](args)
+        return status
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return _exit_code_for(exc)
+        status = _exit_code_for(exc)
+        return status
     finally:
         if observing:
             import repro.obs as obs
 
-            _export_obs(args)
-            obs.disable()
+            try:
+                _finalize_obs_services(args, services, status)
+                _export_obs(args)
+            finally:
+                obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,13 @@ from typing import Any, Dict, Iterator, List, Optional, TextIO
 
 from repro.obs import _runtime
 from repro.obs._runtime import LEVELS, ObsContext
+from repro.obs.events import (
+    EVENT_TYPES,
+    EVENTS_SCHEMA,
+    EventBus,
+    EventSink,
+    event_lines,
+)
 from repro.obs.diff import (
     diff_artifacts,
     diff_exit_code,
@@ -57,6 +64,7 @@ from repro.obs.metrics import (
     write_metrics_prometheus,
 )
 from repro.obs.probes import HealthFinding
+from repro.obs.progress import ProgressTracker, render_progress
 from repro.obs.profile import (
     SpanProfiler,
     StackSampler,
@@ -127,6 +135,18 @@ __all__ = [
     "write_metrics_json",
     "write_metrics_prometheus",
     "DEFAULT_DURATION_BUCKETS_S",
+    "EventBus",
+    "EventSink",
+    "EVENT_TYPES",
+    "EVENTS_SCHEMA",
+    "event_lines",
+    "event",
+    "events_active",
+    "event_bus",
+    "attach_sink",
+    "detach_sink",
+    "ProgressTracker",
+    "render_progress",
 ]
 
 
@@ -221,6 +241,9 @@ def inc(name: str, amount: float = 1.0, help: str = "", **labels: Any) -> None:
     if not ctx.enabled:
         return
     ctx.metrics.inc(name, amount, help=help, **labels)
+    if ctx.bus.active:
+        ctx.bus.publish("metric", metric=name, kind="counter", delta=amount,
+                        labels=labels)
 
 
 def observe(name: str, value: float, help: str = "", **labels: Any) -> None:
@@ -229,6 +252,9 @@ def observe(name: str, value: float, help: str = "", **labels: Any) -> None:
     if not ctx.enabled:
         return
     ctx.metrics.observe(name, value, help=help, **labels)
+    if ctx.bus.active:
+        ctx.bus.publish("metric", metric=name, kind="histogram", value=value,
+                        labels=labels)
 
 
 def set_gauge(name: str, value: float, help: str = "", **labels: Any) -> None:
@@ -237,6 +263,9 @@ def set_gauge(name: str, value: float, help: str = "", **labels: Any) -> None:
     if not ctx.enabled:
         return
     ctx.metrics.set_gauge(name, value, help=help, **labels)
+    if ctx.bus.active:
+        ctx.bus.publish("metric", metric=name, kind="gauge", value=value,
+                        labels=labels)
 
 
 def record_degradation(kind: str, **detail: Any) -> None:
@@ -248,6 +277,8 @@ def record_degradation(kind: str, **detail: Any) -> None:
     entry.update(detail)
     ctx.degradations.append(entry)
     ctx.metrics.inc("autosens_degradations_total", 1.0, kind=kind)
+    if ctx.bus.active:
+        ctx.bus.publish("degradation", **entry)
 
 
 def record_finding(finding: HealthFinding) -> None:
@@ -258,6 +289,56 @@ def record_finding(finding: HealthFinding) -> None:
     ctx.findings.append(finding.to_dict())
     ctx.metrics.inc("autosens_health_findings_total", 1.0,
                     stage=finding.stage, severity=finding.severity)
+    if ctx.bus.active:
+        ctx.bus.publish("finding", probe=finding.probe, stage=finding.stage,
+                        severity=finding.severity, message=finding.message)
+
+
+def event(type: str, **payload: Any) -> None:
+    """Publish one typed event to the live bus (inert without sinks).
+
+    For event types with no better home (supervisor state changes, run
+    lifecycle). Hot paths with large payloads should guard on
+    :func:`events_active` before building kwargs.
+    """
+    ctx = _runtime.current()
+    if not ctx.enabled:
+        return
+    if ctx.bus.active:
+        ctx.bus.publish(type, **payload)
+
+
+def events_active() -> bool:
+    """Is a live event sink attached to the active context's bus?"""
+    ctx = _runtime.current()
+    return ctx.enabled and ctx.bus.active
+
+
+def event_bus() -> EventBus:
+    """The active context's event bus (inert while no sink is attached)."""
+    return _runtime.current().bus
+
+
+def attach_sink(sink: Any) -> Any:
+    """Attach a live event sink and wire the tracer's span listener.
+
+    Returns the sink. The first attached sink is what flips every
+    ``bus.active`` guard from the free no-sink path to live publishing;
+    :func:`detach_sink` restores the free path once the last sink leaves.
+    """
+    ctx = _runtime.current()
+    ctx.bus.attach(sink)
+    if ctx.tracer.enabled:
+        ctx.tracer.listener = ctx.bus
+    return sink
+
+
+def detach_sink(sink: Any) -> None:
+    """Detach a sink; unhooks the tracer listener when none remain."""
+    ctx = _runtime.current()
+    ctx.bus.detach(sink)
+    if not ctx.bus.active and getattr(ctx.tracer, "listener", None) is not None:
+        ctx.tracer.listener = None
 
 
 def findings() -> List[Dict[str, Any]]:

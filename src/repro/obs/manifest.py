@@ -179,6 +179,18 @@ def manifest_rows(manifest: Dict[str, Any]) -> List[Tuple[str, Any]]:
                               for k in ("ok", "warn", "fail"))))
         for stage, verdict in sorted((health.get("stages") or {}).items()):
             rows.append((f"  health[{stage}]", verdict))
+    supervisor_gauges = (
+        "autosens_breaker_state",
+        "autosens_memory_governor_bytes",
+        "autosens_deadline_remaining_s",
+        "autosens_watchdog_requeues",
+    )
+    for name in supervisor_gauges:
+        metric = (manifest.get("metrics") or {}).get(name)
+        if not isinstance(metric, dict):
+            continue
+        for labels, value in sorted((metric.get("series") or {}).items()):
+            rows.append((f"supervisor {name}{labels}", value))
     for name, metric in sorted((manifest.get("metrics") or {}).items()):
         if not isinstance(metric, dict) or metric.get("kind") != "histogram":
             continue

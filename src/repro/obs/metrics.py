@@ -51,11 +51,19 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition format: inside a quoted
+    label value, backslash, double-quote and newline must be escaped."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     items = list(key) + list(extra)
     if not items:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in items)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return "{" + body + "}"
 
 

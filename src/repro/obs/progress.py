@@ -1,0 +1,236 @@
+"""Live progress: per-stage completed/total, EWMA throughput, and ETA.
+
+A :class:`ProgressTracker` is an event-bus *sink* (see
+:mod:`repro.obs.events`): executors announce stage totals (``stage``
+events) and completions (``tasks`` events), the tracer streams span
+opens/closes, and the tracker folds them into a JSON-ready snapshot —
+the payload behind the obs server's ``/progress`` endpoint, the
+``autosens top`` terminal view, and the ``progress.json`` artifact the
+run registry persists.
+
+Throughput is an exponentially-weighted moving average over task
+completions (half-life :data:`DEFAULT_HALFLIFE_S`), so the ETA tracks the
+*current* rate rather than the run-lifetime mean — a stage that warmed its
+caches reports the faster steady-state rate. All clocks here are wall
+clocks: progress is a live view, never a deterministic artifact, and the
+tracker touches no tracer or RNG state.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "PROGRESS_SCHEMA",
+    "DEFAULT_HALFLIFE_S",
+    "ProgressTracker",
+    "render_progress",
+]
+
+#: Bump when the progress snapshot field set changes incompatibly.
+PROGRESS_SCHEMA = 1
+
+#: EWMA half-life for task throughput, in seconds.
+DEFAULT_HALFLIFE_S = 5.0
+
+#: Progress states a snapshot can report.
+STATES = ("running", "done", "failed")
+
+
+class _StageProgress:
+    """Mutable per-stage accumulator (totals, completions, EWMA rate)."""
+
+    __slots__ = ("total", "done", "started_at", "updated_at", "rate")
+
+    def __init__(self, now: float) -> None:
+        self.total: Optional[int] = None
+        self.done = 0
+        self.started_at = now
+        self.updated_at = now
+        self.rate: Optional[float] = None  # tasks/s, EWMA
+
+
+class ProgressTracker:
+    """Fold executor and span events into per-stage progress with ETA.
+
+    Thread-safe enough for its real topology: one publisher thread (the
+    pipeline) mutates, HTTP handler threads read snapshots — per-stage
+    state is swapped atomically under the GIL and the snapshot tolerates
+    mid-update reads (it only ever sees a slightly stale frame).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 halflife_s: float = DEFAULT_HALFLIFE_S) -> None:
+        self._clock = clock
+        self._halflife_s = max(1e-3, float(halflife_s))
+        self._stages: Dict[str, _StageProgress] = {}
+        self._stage_order: List[str] = []
+        self._open_paths: List[str] = []
+        self._span_counts: Dict[str, int] = {}
+        self.state = "running"
+        self.started_at = clock()
+        self.finished_at: Optional[float] = None
+        self.dropped = 0  # events a bounded upstream sink reported dropped
+        self.events_seen = 0
+        self.run_id = ""
+
+    # -- sink protocol -------------------------------------------------------
+
+    def offer(self, event: Dict[str, Any]) -> None:
+        """Consume one bus event (the :class:`~repro.obs.events.EventBus`
+        sink protocol); unknown event types are ignored."""
+        self.events_seen += 1
+        etype = event.get("type")
+        if etype == "stage":
+            self._on_stage(str(event.get("stage", "?")),
+                           int(event.get("total", 0)))
+        elif etype == "tasks":
+            self._on_tasks(str(event.get("stage", "?")),
+                           int(event.get("done", 0)))
+        elif etype == "span_open":
+            path = str(event.get("path", ""))
+            if path:
+                self._open_paths.append(path)
+        elif etype == "span_close":
+            name = str(event.get("name", ""))
+            self._span_counts[name] = self._span_counts.get(name, 0) + 1
+            path = str(event.get("path", ""))
+            if path and path in self._open_paths:
+                self._open_paths.remove(path)
+        elif etype == "run":
+            phase = event.get("phase")
+            if phase in ("done", "failed"):
+                self.finish(state=str(phase))
+            elif event.get("run_id"):
+                self.run_id = str(event["run_id"])
+
+    # -- event folding -------------------------------------------------------
+
+    def _stage(self, name: str) -> _StageProgress:
+        stage = self._stages.get(name)
+        if stage is None:
+            stage = _StageProgress(self._clock())
+            self._stages[name] = stage
+            self._stage_order.append(name)
+        return stage
+
+    def _on_stage(self, name: str, total: int) -> None:
+        stage = self._stage(name)
+        # Several maps over the same task function accumulate one total.
+        stage.total = (stage.total or 0) + max(0, total)
+
+    def _on_tasks(self, name: str, done: int) -> None:
+        if done <= 0:
+            return
+        stage = self._stage(name)
+        now = self._clock()
+        dt = max(1e-6, now - stage.updated_at)
+        instantaneous = done / dt
+        if stage.rate is None:
+            stage.rate = instantaneous
+        else:
+            weight = 1.0 - math.exp(-dt / self._halflife_s)
+            stage.rate += weight * (instantaneous - stage.rate)
+        stage.done += done
+        stage.updated_at = now
+
+    def finish(self, state: str = "done") -> None:
+        """Mark the run finished; later events still count but the snapshot
+        reports a terminal state (and stops advertising ETAs)."""
+        self.state = state if state in STATES else "done"
+        self.finished_at = self._clock()
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready progress frame (the ``/progress`` payload)."""
+        now = self.finished_at if self.finished_at is not None else self._clock()
+        stages: Dict[str, Any] = {}
+        for name in list(self._stage_order):
+            stage = self._stages[name]
+            entry: Dict[str, Any] = {
+                "done": stage.done,
+                "total": stage.total,
+                "elapsed_s": round(max(0.0, now - stage.started_at), 3),
+            }
+            rate = stage.rate
+            entry["rate_per_s"] = round(rate, 3) if rate is not None else None
+            eta: Optional[float] = None
+            if (self.state == "running" and stage.total is not None
+                    and rate is not None and rate > 1e-9
+                    and stage.total > stage.done):
+                eta = (stage.total - stage.done) / rate
+            entry["eta_s"] = round(eta, 1) if eta is not None else None
+            stages[name] = entry
+        return {
+            "schema": PROGRESS_SCHEMA,
+            "state": self.state,
+            "run_id": self.run_id,
+            "elapsed_s": round(max(0.0, now - self.started_at), 3),
+            "stages": stages,
+            "spans": {k: self._span_counts[k]
+                      for k in sorted(self._span_counts)},
+            "current": self._open_paths[-1] if self._open_paths else None,
+            "events": {"seen": self.events_seen, "dropped": self.dropped},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Terminal rendering (`autosens top`).
+# ---------------------------------------------------------------------------
+
+
+def _bar(done: int, total: Optional[int], width: int = 24) -> str:
+    if not total:
+        return "-" * width
+    filled = max(0, min(width, int(round(width * done / total))))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "-"
+    if eta_s >= 3600:
+        return f"{eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s:.0f}s"
+
+
+def render_progress(snapshot: Dict[str, Any], source: str = "") -> str:
+    """One ``autosens top`` frame from a progress snapshot."""
+    lines = []
+    header = f"autosens top — {snapshot.get('state', '?')}"
+    if snapshot.get("run_id"):
+        header += f"  run {snapshot['run_id']}"
+    if source:
+        header += f"  [{source}]"
+    header += f"  elapsed {snapshot.get('elapsed_s', 0.0):.1f}s"
+    lines.append(header)
+    stages = snapshot.get("stages") or {}
+    if stages:
+        lines.append("")
+        for name, entry in stages.items():
+            done = entry.get("done", 0)
+            total = entry.get("total")
+            rate = entry.get("rate_per_s")
+            frac = f"{done}/{total}" if total else f"{done}"
+            rate_s = f"{rate:.1f}/s" if rate is not None else "-"
+            lines.append(
+                f"  [{_bar(done, total)}] {frac:>11}  {rate_s:>8}  "
+                f"eta {_fmt_eta(entry.get('eta_s')):>6}  {name}")
+    else:
+        lines.append("  (no stage progress yet)")
+    current = snapshot.get("current")
+    if current and snapshot.get("state") == "running":
+        lines.append(f"  now: {current}")
+    spans = snapshot.get("spans") or {}
+    if spans:
+        top = sorted(spans.items(), key=lambda kv: (-kv[1], kv[0]))[:6]
+        lines.append("  spans: " + "  ".join(f"{n}x{c}" for n, c in top))
+    events = snapshot.get("events") or {}
+    if events.get("dropped"):
+        lines.append(f"  events dropped: {events['dropped']}")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Persistent run registry: an append-only index over run artifacts.
+
+A registry is a ``--runs-dir`` directory with one subdirectory per recorded
+run (``<seq:04d>-<run_id>`` holding ``manifest.json``, ``metrics.prom``,
+``progress.json``) plus ``index.jsonl``, one JSON line per run. The index
+is append-only — recording never rewrites history — and reads are tolerant
+of a torn final line, so a run killed mid-append cannot corrupt the
+registry for later ones.
+
+The registry powers ``autosens runs ls|show|diff|trend``. ``trend`` reuses
+:func:`repro.obs.diff.diff_artifacts` classification over *consecutive*
+manifests, so the same wall-time/span-share/health-verdict taxonomy that
+``obs diff`` applies to two runs extends to the last N: two identical
+deterministic seeded runs trend as all-unchanged (a CI gate), and a
+regression names the first run pair where it appeared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.diff import (
+    DEFAULT_CURVE_TOL,
+    DEFAULT_REL_TOL,
+    diff_exit_code,
+    diff_paths,
+)
+
+__all__ = [
+    "REGISTRY_SCHEMA",
+    "RunRegistry",
+    "render_runs_table",
+    "render_trend",
+    "trend_exit_code",
+]
+
+#: Bump when index-line fields change incompatibly.
+REGISTRY_SCHEMA = 1
+
+_SAFE_ID = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _slug(value: str, fallback: str = "run") -> str:
+    slug = _SAFE_ID.sub("-", value).strip("-.")
+    return slug or fallback
+
+
+class RunRegistry:
+    """Append-only index of recorded runs under one ``runs_dir``."""
+
+    def __init__(self, runs_dir: Union[str, Path]) -> None:
+        self.runs_dir = Path(runs_dir)
+        self.index_path = self.runs_dir / "index.jsonl"
+
+    # -- reads ---------------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Index entries in recorded order; torn/alien lines are skipped."""
+        if not self.index_path.is_file():
+            return []
+        entries: List[Dict[str, Any]] = []
+        with open(self.index_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn append from a killed run
+                if isinstance(entry, dict) and "seq" in entry:
+                    entries.append(entry)
+        return entries
+
+    def find(self, selector: str) -> Optional[Dict[str, Any]]:
+        """Look up one entry by seq number, run id, or directory name.
+
+        Run ids may repeat across recordings; the *latest* match wins,
+        matching what ``runs show`` should mean by default.
+        """
+        entries = self.entries()
+        for entry in reversed(entries):
+            if selector == str(entry.get("seq")) \
+                    or selector == entry.get("run_id") \
+                    or selector == entry.get("dir"):
+                return entry
+        return None
+
+    def run_path(self, entry: Dict[str, Any]) -> Path:
+        return self.runs_dir / str(entry.get("dir", ""))
+
+    # -- writes --------------------------------------------------------------
+
+    def next_seq(self) -> int:
+        entries = self.entries()
+        return 1 + max((int(e.get("seq", 0)) for e in entries), default=0)
+
+    def new_run_dir(self, run_id: str) -> Path:
+        """Create and return the artifact directory for the next run."""
+        seq = self.next_seq()
+        path = self.runs_dir / f"{seq:04d}-{_slug(run_id)}"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def record(self, run_dir: Path, **fields: Any) -> Dict[str, Any]:
+        """Append one index line describing a recorded run directory.
+
+        The single ``write`` of one line keeps concurrent recorders from
+        interleaving partial lines on POSIX appends; readers skip torn
+        lines regardless.
+        """
+        entry: Dict[str, Any] = {
+            "schema": REGISTRY_SCHEMA,
+            "seq": int(Path(run_dir).name.split("-", 1)[0]),
+            "dir": Path(run_dir).name,
+        }
+        entry.update({k: v for k, v in fields.items() if v is not None})
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        # A run killed mid-append leaves a torn line with no newline; start
+        # on a fresh line so the tear stays confined to that one entry.
+        needs_newline = False
+        try:
+            with open(self.index_path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        except OSError:
+            pass
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(("\n" if needs_newline else "") + line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return entry
+
+    # -- analysis ------------------------------------------------------------
+
+    def trend(self, last: int = 5,
+              rel_tol: float = DEFAULT_REL_TOL,
+              curve_tol: float = DEFAULT_CURVE_TOL) -> List[Dict[str, Any]]:
+        """Diff each consecutive pair among the last ``last`` runs.
+
+        Returns one diff report per pair, oldest first. Runs whose
+        directory (or manifest) has been deleted are skipped with a note
+        entry rather than failing the whole trend.
+        """
+        entries = self.entries()[-max(2, last):]
+        reports: List[Dict[str, Any]] = []
+        for before, after in zip(entries, entries[1:]):
+            pair = {"a_seq": before.get("seq"), "b_seq": after.get("seq")}
+            try:
+                report = diff_paths(self.run_path(before),
+                                    self.run_path(after),
+                                    rel_tol=rel_tol, curve_tol=curve_tol)
+            except Exception as exc:
+                reports.append({**pair, "error": str(exc)})
+                continue
+            report.update(pair)
+            report["a"] = before.get("dir", report.get("a"))
+            report["b"] = after.get("dir", report.get("b"))
+            reports.append(report)
+        return reports
+
+
+# ---------------------------------------------------------------------------
+# CLI rendering.
+# ---------------------------------------------------------------------------
+
+
+def render_runs_table(entries: List[Dict[str, Any]]) -> str:
+    """``runs ls`` table: one row per recorded run, newest last."""
+    if not entries:
+        return "(no recorded runs)"
+    header = ("seq", "run_id", "command", "seed", "det", "verdict",
+              "wall_s", "dir")
+    rows = [header]
+    for entry in entries:
+        wall = entry.get("wall_s")
+        rows.append((
+            str(entry.get("seq", "?")),
+            str(entry.get("run_id", "-") or "-"),
+            str(entry.get("command", "-")),
+            str(entry.get("seed", "-")),
+            "yes" if entry.get("deterministic") else "no",
+            str(entry.get("verdict", "-") or "-"),
+            f"{wall:.2f}" if isinstance(wall, (int, float)) else "-",
+            str(entry.get("dir", "-")),
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[j])
+                               for j, cell in enumerate(row)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_trend(reports: List[Dict[str, Any]]) -> str:
+    """``runs trend`` summary: one line per consecutive pair, plus detail
+    lines for every regressed dimension."""
+    if not reports:
+        return "(fewer than two recorded runs — nothing to trend)"
+    lines = []
+    for report in reports:
+        pair = f"{report.get('a', '?')} -> {report.get('b', '?')}"
+        if "error" in report:
+            lines.append(f"{pair}: skipped ({report['error']})")
+            continue
+        summary = report.get("summary", {})
+        regressed = summary.get("regressed", 0) + summary.get("removed", 0)
+        improved = summary.get("improved", 0)
+        unchanged = summary.get("unchanged", 0)
+        added = summary.get("added", 0)
+        verdict = "regressed" if regressed else "ok"
+        lines.append(
+            f"{pair}: {verdict}  "
+            f"(unchanged={unchanged} improved={improved} "
+            f"regressed={regressed} added={added})")
+        if regressed:
+            for entry in report.get("entries", []):
+                if entry.get("classification") in ("regressed", "removed"):
+                    lines.append(
+                        f"    {entry.get('classification')}: "
+                        f"{entry.get('key')}  "
+                        f"{entry.get('a')} -> {entry.get('b')}")
+    return "\n".join(lines)
+
+
+def trend_exit_code(reports: List[Dict[str, Any]]) -> int:
+    """0 when every pair is clean; 1 when any pair regressed or errored."""
+    for report in reports:
+        if "error" in report:
+            return 1
+        if diff_exit_code(report):
+            return 1
+    return 0

@@ -90,6 +90,11 @@ class CircuitBreaker:
             self._transition(HALF_OPEN)
         return self._state
 
+    @property
+    def state_code(self) -> int:
+        """Gauge encoding of :attr:`state` (0 closed, 1 half-open, 2 open)."""
+        return _STATE_CODES[self.state]
+
     def _transition(self, state: str) -> None:
         if state == self._state:
             return
@@ -98,6 +103,10 @@ class CircuitBreaker:
                       breaker=self.name)
         obs.inc("autosens_breaker_transitions_total",
                 breaker=self.name, to=state)
+        if obs.events_active():
+            obs.event("supervisor", component="breaker", breaker=self.name,
+                      state=state, code=_STATE_CODES[state],
+                      failures=self._failures)
         if state == OPEN:
             self.n_trips += 1
             obs.record_degradation(

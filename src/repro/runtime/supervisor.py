@@ -114,6 +114,33 @@ class Supervisor:
         entry.update(detail)
         self.shed_log.append(entry)
         obs.record_degradation(kind, **detail)
+        self.export_gauges()
+
+    def export_gauges(self) -> None:
+        """Export live supervision state as first-class gauges.
+
+        Runs at scope entry/exit, after every shed, and (via
+        :func:`active_supervisor`) just before each ``/metrics`` scrape, so
+        a scraper sees current breaker state, memory-governor occupancy and
+        deadline headroom rather than only transition-time values. The
+        deadline gauge reads the wall clock, so deterministic runs skip it —
+        their metrics artifact is part of the byte-identity contract.
+        """
+        ctx = obs.current()
+        if not ctx.enabled:
+            return
+        if self.breaker is not None:
+            obs.set_gauge("autosens_breaker_state", self.breaker.state_code,
+                          breaker=self.breaker.name)
+        if self.memory is not None:
+            obs.set_gauge("autosens_memory_governor_bytes",
+                          float(self.memory.held_bytes()))
+        if self.watchdog is not None:
+            obs.set_gauge("autosens_watchdog_requeues",
+                          float(len(self.watchdog.kills)))
+        if self.deadline is not None and not ctx.deterministic:
+            obs.set_gauge("autosens_deadline_remaining_s",
+                          round(self.deadline.remaining(), 3))
 
     @contextmanager
     def scope(self) -> Iterator["Supervisor"]:
@@ -122,6 +149,10 @@ class Supervisor:
         _ACTIVE.append(self)
         if self.watchdog is not None:
             self.watchdog.start()
+        self.export_gauges()
+        if obs.events_active():
+            obs.event("supervisor", component="scope", phase="enter",
+                      concerns=self._concern_names())
         try:
             with deadline_scope(self.deadline):
                 yield self
@@ -129,6 +160,22 @@ class Supervisor:
             if self.watchdog is not None:
                 self.watchdog.stop()
             _ACTIVE.pop()
+            self.export_gauges()
+            if obs.events_active():
+                obs.event("supervisor", component="scope", phase="exit",
+                          shed=len(self.shed_log))
+
+    def _concern_names(self) -> List[str]:
+        names = []
+        if self.deadline is not None:
+            names.append("deadline")
+        if self.breaker is not None:
+            names.append("breaker")
+        if self.watchdog is not None:
+            names.append("watchdog")
+        if self.memory is not None:
+            names.append("memory")
+        return names
 
     def summary(self) -> Dict[str, Any]:
         """A manifest-ready account of what supervision did this run."""

@@ -200,3 +200,99 @@ class TestJsonlTrace:
             record = json.loads(line)
             assert record["schema"] == 1
             assert "dur_us" in record
+
+
+class TestServeObs:
+    def test_served_run_artifacts_are_byte_identical(self, artifacts, tmp_path):
+        base_trace, base_metrics, base_manifest = artifacts
+        trace, metrics, manifest = _run(
+            tmp_path, "served",
+            extra_flags=("--serve-obs", "127.0.0.1:0"))
+        assert trace.read_bytes() == base_trace.read_bytes()
+        assert metrics.read_bytes() == base_metrics.read_bytes()
+        assert manifest.read_bytes() == base_manifest.read_bytes()
+
+    def test_bad_address_is_a_config_error(self, tmp_path, capsys):
+        status = main([
+            "experiment", "bottleneck", "--scale", "small", "--seed", "11",
+            "--no-plots", "--serve-obs", "not-a-port",
+        ])
+        assert status == 2
+        assert "serve-obs" in capsys.readouterr().err
+
+
+class TestRunRegistryCli:
+    def _record(self, runs_dir, seed="11"):
+        status = main([
+            "experiment", "bottleneck", "--scale", "small", "--seed", seed,
+            "--no-plots", "--deterministic-trace",
+            "--serve-obs", "127.0.0.1:0",
+            "--runs-dir", str(runs_dir),
+        ])
+        assert status == 0
+
+    def test_recorded_runs_ls_show_and_trend(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        self._record(runs_dir)
+        self._record(runs_dir)
+        capsys.readouterr()
+
+        assert main(["runs", "ls", "--runs-dir", str(runs_dir)]) == 0
+        table = capsys.readouterr().out
+        assert "0001-experiment-11" in table and "0002-experiment-11" in table
+
+        assert main(["runs", "show", "1", "--runs-dir", str(runs_dir)]) == 0
+        shown = capsys.readouterr().out
+        assert "experiment:11" in shown and "health verdict" in shown
+
+        # Two identical deterministic runs: every tracked dimension unchanged.
+        assert main(["runs", "trend", "--runs-dir", str(runs_dir)]) == 0
+        trend = capsys.readouterr().out
+        assert "regressed=0" in trend and "ok" in trend
+
+        assert main(["runs", "diff", "1", "2",
+                     "--runs-dir", str(runs_dir)]) == 0
+
+    def test_recorded_dir_holds_the_telemetry_artifacts(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        self._record(runs_dir)
+        run_dir = runs_dir / "0001-experiment-11"
+        assert (run_dir / "manifest.json").is_file()
+        assert (run_dir / "metrics.prom").is_file()
+        progress = json.loads((run_dir / "progress.json").read_text())
+        assert progress["state"] == "done"
+        events = (run_dir / "events.ndjson").read_text().splitlines()
+        assert json.loads(events[0])["type"] == "run"
+        assert json.loads(events[-1])["phase"] == "done"
+
+    def test_top_renders_a_recorded_run(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        self._record(runs_dir)
+        capsys.readouterr()
+        assert main(["top", str(runs_dir / "0001-experiment-11"),
+                     "--once"]) == 0
+        frame = capsys.readouterr().out
+        assert "autosens top" in frame and "done" in frame
+
+    def test_unknown_selector_is_a_config_error(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        self._record(runs_dir)
+        capsys.readouterr()
+        assert main(["runs", "show", "nope",
+                     "--runs-dir", str(runs_dir)]) == 2
+
+
+class TestObsSummaryFormat:
+    def test_json_format_emits_field_value_pairs(self, artifacts, capsys):
+        _, _, manifest = artifacts
+        assert main(["obs", "summary", str(manifest),
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        fields = dict(rows)
+        assert fields["experiment"] == "bottleneck"
+        assert fields["health verdict"] == "ok"
+
+    def test_table_stays_the_default(self, artifacts, capsys):
+        _, _, manifest = artifacts
+        assert main(["obs", "summary", str(manifest)]) == 0
+        assert "| " in capsys.readouterr().out

@@ -152,3 +152,21 @@ class TestExporters:
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
         assert MetricsRegistry().snapshot() == {}
+
+
+class TestLabelEscaping:
+    """Exposition format: \\, " and newline must be escaped in label values."""
+
+    def test_special_characters_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("autosens_paths_total", 1.0,
+                path='C:\\logs\\"daily"\nnight')
+        text = reg.render_prometheus()
+        assert ('autosens_paths_total{'
+                'path="C:\\\\logs\\\\\\"daily\\"\\nnight"} 1') in text
+        assert "\n" not in text.splitlines()[-1]  # value stays on one line
+
+    def test_plain_values_are_untouched(self):
+        reg = MetricsRegistry()
+        reg.inc("autosens_x_total", 1.0, outcome="hit")
+        assert 'autosens_x_total{outcome="hit"} 1' in reg.render_prometheus()

@@ -66,3 +66,33 @@ class TestNoopExecutor:
         result = SerialExecutor().map_ordered(lambda x: x * 2, [1, 2, 3])
         assert result == [2, 4, 6]
         assert obs.trace_records() == []
+
+
+class TestNoopEventBus:
+    """The bus is compiled into the hot paths but must cost ~nothing off."""
+
+    def test_disabled_context_publishes_nothing(self):
+        obs.event("run", phase="start")
+        assert not obs.events_active()
+        assert obs.event_bus().published == 0
+        assert obs.event_bus().stats()["sinks"] == 0
+
+    def test_enabled_but_sinkless_bus_stays_inert(self):
+        with obs.session(enabled=True):
+            with obs.span("alpha"):
+                obs.inc("autosens_x_total")
+                obs.event("tasks", stage="s", done=1)
+            assert obs.event_bus().published == 0
+            assert obs.event_bus().seq == 0
+
+    def test_sinkless_executor_run_publishes_nothing(self):
+        with obs.session(enabled=True):
+            SerialExecutor().map_ordered(_double, [1, 2, 3])
+            assert obs.event_bus().published == 0
+
+    def test_disabled_tracer_has_no_listener(self):
+        assert obs.current().tracer.listener is None
+
+
+def _double(x):
+    return 2 * x

@@ -1,0 +1,145 @@
+"""Progress tracking: stage folding, EWMA throughput, ETA, rendering."""
+
+from repro.obs.progress import (
+    DEFAULT_HALFLIFE_S,
+    PROGRESS_SCHEMA,
+    ProgressTracker,
+    render_progress,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _tracker():
+    clock = FakeClock()
+    return ProgressTracker(clock=clock), clock
+
+
+class TestStageFolding:
+    def test_stage_then_tasks_fold_into_done_over_total(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "stage", "stage": "sweep", "total": 10})
+        clock.advance(1.0)
+        tracker.offer({"type": "tasks", "stage": "sweep", "done": 4})
+        snap = tracker.snapshot()
+        assert snap["schema"] == PROGRESS_SCHEMA
+        stage = snap["stages"]["sweep"]
+        assert stage["done"] == 4
+        assert stage["total"] == 10
+        assert stage["rate_per_s"] == 4.0
+
+    def test_repeated_stage_announcements_accumulate_the_total(self):
+        tracker, _ = _tracker()
+        tracker.offer({"type": "stage", "stage": "shard", "total": 3})
+        tracker.offer({"type": "stage", "stage": "shard", "total": 3})
+        assert tracker.snapshot()["stages"]["shard"]["total"] == 6
+
+    def test_tasks_before_stage_announcement_still_count(self):
+        tracker, _ = _tracker()
+        tracker.offer({"type": "tasks", "stage": "late", "done": 2})
+        stage = tracker.snapshot()["stages"]["late"]
+        assert stage["done"] == 2
+        assert stage["total"] is None
+        assert stage["eta_s"] is None  # no total, no ETA
+
+    def test_unknown_event_types_are_ignored(self):
+        tracker, _ = _tracker()
+        tracker.offer({"type": "metric", "metric": "x"})
+        tracker.offer({"type": "nonsense"})
+        assert tracker.snapshot()["stages"] == {}
+        assert tracker.events_seen == 2
+
+
+class TestRateAndEta:
+    def test_eta_tracks_remaining_over_rate(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "stage", "stage": "s", "total": 100})
+        clock.advance(2.0)
+        tracker.offer({"type": "tasks", "stage": "s", "done": 20})
+        stage = tracker.snapshot()["stages"]["s"]
+        assert stage["rate_per_s"] == 10.0
+        assert stage["eta_s"] == 8.0  # 80 remaining at 10/s
+
+    def test_rate_is_an_ewma_not_a_lifetime_mean(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "stage", "stage": "s", "total": 1000})
+        clock.advance(1.0)
+        tracker.offer({"type": "tasks", "stage": "s", "done": 100})  # 100/s
+        # Long enough after the half-life, the old rate should mostly decay.
+        clock.advance(DEFAULT_HALFLIFE_S * 10)
+        tracker.offer({"type": "tasks", "stage": "s", "done": 1})
+        rate = tracker.snapshot()["stages"]["s"]["rate_per_s"]
+        assert rate < 10.0
+
+    def test_completed_stage_advertises_no_eta(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "stage", "stage": "s", "total": 2})
+        clock.advance(1.0)
+        tracker.offer({"type": "tasks", "stage": "s", "done": 2})
+        assert tracker.snapshot()["stages"]["s"]["eta_s"] is None
+
+
+class TestLifecycle:
+    def test_run_events_set_identity_and_terminal_state(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "run", "phase": "start", "run_id": "exp:11"})
+        assert tracker.snapshot()["run_id"] == "exp:11"
+        clock.advance(3.0)
+        tracker.offer({"type": "run", "phase": "done"})
+        snap = tracker.snapshot()
+        assert snap["state"] == "done"
+        assert snap["elapsed_s"] == 3.0
+
+    def test_span_events_count_and_track_the_open_path(self):
+        tracker, _ = _tracker()
+        tracker.offer({"type": "span_open", "name": "alpha",
+                       "path": "/sweep/alpha"})
+        assert tracker.snapshot()["current"] == "/sweep/alpha"
+        tracker.offer({"type": "span_close", "name": "alpha",
+                       "path": "/sweep/alpha"})
+        snap = tracker.snapshot()
+        assert snap["spans"] == {"alpha": 1}
+        assert snap["current"] is None
+
+    def test_terminal_snapshot_freezes_elapsed(self):
+        tracker, clock = _tracker()
+        clock.advance(2.0)
+        tracker.finish("failed")
+        clock.advance(50.0)
+        snap = tracker.snapshot()
+        assert snap["state"] == "failed"
+        assert snap["elapsed_s"] == 2.0
+
+
+class TestRender:
+    def test_render_shows_bars_counts_and_eta(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "run", "phase": "start", "run_id": "r1"})
+        tracker.offer({"type": "stage", "stage": "sweep", "total": 10})
+        clock.advance(1.0)
+        tracker.offer({"type": "tasks", "stage": "sweep", "done": 5})
+        frame = render_progress(tracker.snapshot(), source="host:1234")
+        assert "run r1" in frame
+        assert "[host:1234]" in frame
+        assert "5/10" in frame
+        assert "sweep" in frame
+        assert "#" in frame and "." in frame  # a half-full bar
+
+    def test_render_tolerates_an_empty_snapshot(self):
+        tracker, _ = _tracker()
+        frame = render_progress(tracker.snapshot())
+        assert "no stage progress yet" in frame
+
+    def test_render_surfaces_dropped_events(self):
+        tracker, _ = _tracker()
+        tracker.dropped = 12
+        assert "events dropped: 12" in render_progress(tracker.snapshot())

@@ -1,0 +1,138 @@
+"""The run registry: append-only index, lookup, and trend classification."""
+
+import json
+
+import repro.obs as obs
+from repro.obs.registry import (
+    REGISTRY_SCHEMA,
+    RunRegistry,
+    render_runs_table,
+    render_trend,
+    trend_exit_code,
+)
+
+
+def _record_run(registry, run_id="exp:11", verdict="ok", degradations=(),
+                **index_fields):
+    """Write a manifest-bearing run dir and its index line."""
+    run_dir = registry.new_run_dir(run_id)
+    manifest = obs.build_manifest(
+        experiment_id="experiment",
+        seed=11,
+        config_fingerprint=run_id,
+        degradations=list(degradations),
+        deterministic=True,
+        extra={"health": {"schema": 1, "verdict": verdict, "findings": [],
+                          "counts": {"ok": 0, "warn": 0, "fail": 0},
+                          "stages": {}}},
+    )
+    obs.write_manifest(manifest, run_dir / "manifest.json")
+    return registry.record(
+        run_dir, run_id=run_id, command="experiment", seed=11,
+        deterministic=True, verdict=verdict, wall_s=1.0, **index_fields)
+
+
+class TestIndex:
+    def test_record_appends_schema_stamped_lines(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        entry = _record_run(registry)
+        assert entry["schema"] == REGISTRY_SCHEMA
+        assert entry["seq"] == 1
+        assert entry["dir"] == "0001-exp-11"  # run id slugged for the fs
+        lines = (registry.index_path.read_text().strip().splitlines())
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == entry
+
+    def test_sequences_advance_and_survive_restart(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        _record_run(registry)
+        _record_run(RunRegistry(tmp_path / "runs"))  # a later process
+        entries = registry.entries()
+        assert [e["seq"] for e in entries] == [1, 2]
+
+    def test_torn_and_alien_lines_are_skipped(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        _record_run(registry)
+        with open(registry.index_path, "a", encoding="utf-8") as fh:
+            fh.write("[1, 2]\n")          # alien but valid JSON
+            fh.write('{"seq": 9, "dir"')  # torn mid-append
+        assert [e["seq"] for e in registry.entries()] == [1]
+        # The next recording still lands after the noise.
+        _record_run(registry)
+        assert [e["seq"] for e in registry.entries()] == [1, 2]
+
+    def test_find_by_seq_run_id_and_dir(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        _record_run(registry, run_id="exp:11")
+        _record_run(registry, run_id="exp:11")
+        assert registry.find("1")["seq"] == 1
+        assert registry.find("0002-exp-11")["seq"] == 2
+        # Repeated run ids resolve to the latest recording.
+        assert registry.find("exp:11")["seq"] == 2
+        assert registry.find("nope") is None
+
+    def test_empty_registry_reads_clean(self, tmp_path):
+        registry = RunRegistry(tmp_path / "missing")
+        assert registry.entries() == []
+        assert registry.next_seq() == 1
+
+
+class TestTrend:
+    def test_identical_runs_trend_unchanged(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        _record_run(registry)
+        _record_run(registry)
+        reports = registry.trend()
+        assert len(reports) == 1
+        summary = reports[0]["summary"]
+        assert summary["regressed"] == 0
+        assert summary["removed"] == 0
+        assert summary["unchanged"] > 0
+        assert trend_exit_code(reports) == 0
+
+    def test_health_regression_is_flagged_on_the_offending_pair(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        _record_run(registry)
+        _record_run(registry)
+        _record_run(registry, verdict="fail",
+                    degradations=[{"kind": "breaker_open"}])
+        reports = registry.trend()
+        assert trend_exit_code(reports) == 1
+        assert reports[0]["summary"]["regressed"] == 0  # pair 1->2 clean
+        assert reports[1]["summary"]["regressed"] > 0   # pair 2->3 regressed
+        rendered = render_trend(reports)
+        assert "regressed" in rendered
+
+    def test_last_limits_the_window(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        for _ in range(4):
+            _record_run(registry)
+        assert len(registry.trend(last=2)) == 1
+        assert len(registry.trend(last=4)) == 3
+
+    def test_missing_run_dir_is_a_note_not_a_crash(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        first = _record_run(registry)
+        _record_run(registry)
+        manifest = registry.run_path(first) / "manifest.json"
+        manifest.unlink()
+        reports = registry.trend()
+        assert "error" in reports[0]
+        assert trend_exit_code(reports) == 1
+        assert "skipped" in render_trend(reports)
+
+
+class TestRendering:
+    def test_table_lists_runs_in_order(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        _record_run(registry)
+        _record_run(registry, verdict="warn")
+        table = render_runs_table(registry.entries())
+        lines = table.splitlines()
+        assert lines[0].startswith("seq")
+        assert "0001-exp-11" in table and "0002-exp-11" in table
+        assert "warn" in table
+
+    def test_empty_table_and_trend_are_friendly(self):
+        assert "no recorded runs" in render_runs_table([])
+        assert "nothing to trend" in render_trend([])

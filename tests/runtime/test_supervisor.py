@@ -113,3 +113,55 @@ class TestShedAndSummary:
 
     def test_idle_summary_is_minimal(self, tmp_path):
         assert Supervisor(workdir=tmp_path).summary() == {"shed": 0}
+
+
+class TestExportGauges:
+    def test_scope_exports_supervision_state_as_gauges(self, tmp_path):
+        import repro.obs as obs
+
+        with obs.session(enabled=True):
+            supervisor = Supervisor(
+                deadline_s=60.0, memory_budget_mb=64, breaker=True,
+                watchdog=True, workdir=tmp_path)
+            with supervisor.scope():
+                pass
+            snapshot = obs.metrics().snapshot()
+            assert snapshot["autosens_breaker_state"]["series"][
+                '{breaker="stage"}'] == 0.0
+            assert snapshot["autosens_memory_governor_bytes"]["series"][
+                ""] == 0.0
+            assert snapshot["autosens_watchdog_requeues"]["series"][""] == 0.0
+            remaining = snapshot["autosens_deadline_remaining_s"]["series"][""]
+            assert 0.0 < remaining <= 60.0
+
+    def test_deterministic_runs_skip_the_wall_clock_gauge(self, tmp_path):
+        import repro.obs as obs
+
+        with obs.session(enabled=True, deterministic=True):
+            supervisor = Supervisor(deadline_s=60.0, workdir=tmp_path)
+            with supervisor.scope():
+                pass
+            assert ("autosens_deadline_remaining_s"
+                    not in obs.metrics().snapshot())
+
+    def test_disabled_obs_exports_nothing(self, tmp_path):
+        import repro.obs as obs
+
+        supervisor = Supervisor(deadline_s=5.0, workdir=tmp_path)
+        supervisor.export_gauges()
+        assert len(obs.metrics()) == 0
+
+    def test_scope_publishes_supervisor_events_when_live(self, tmp_path):
+        import repro.obs as obs
+
+        with obs.session(enabled=True):
+            sink = obs.attach_sink(obs.EventSink())
+            supervisor = Supervisor(deadline_s=60.0, breaker=True,
+                                    workdir=tmp_path)
+            with supervisor.scope():
+                pass
+            scope_events = [e for e in sink.tail()
+                            if e["type"] == "supervisor"
+                            and e.get("component") == "scope"]
+            assert [e["phase"] for e in scope_events] == ["enter", "exit"]
+            assert scope_events[0]["concerns"] == ["deadline", "breaker"]

@@ -25,6 +25,16 @@ Checks any combination of the artifact kinds the CLI emits::
   folded-stack line format, top table sorted by self CPU.
 - ``--diff``: an ``autosens obs diff`` report — schema, classification
   vocabulary, and a summary that tallies the entries exactly.
+- ``--progress``: a ``/progress`` snapshot (or recorded ``progress.json``)
+  — schema, state vocabulary, per-stage ``done <= total``, non-negative
+  rates/ETAs, and event counters.
+- ``--events``: a ``/events`` NDJSON tail (or recorded ``events.ndjson``)
+  — every line parses, carries the events schema, a type from the closed
+  vocabulary, and strictly increasing sequence numbers.
+- ``--registry``: a ``--runs-dir`` registry (the directory or its
+  ``index.jsonl``) — schema-stamped index lines with strictly increasing
+  sequence numbers, each pointing at a run directory whose manifest
+  validates.
 
 Exit status 0 when everything validates, 1 with one line per violation
 otherwise (drift between a summary and its entries, an out-of-order top
@@ -44,9 +54,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs.diff import DIFF_SCHEMA  # noqa: E402
+from repro.obs.events import EVENT_TYPES, EVENTS_SCHEMA  # noqa: E402
 from repro.obs.health import HEALTH_SCHEMA  # noqa: E402
 from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest  # noqa: E402
 from repro.obs.profile import PROFILE_SCHEMA  # noqa: E402
+from repro.obs.progress import PROGRESS_SCHEMA, STATES  # noqa: E402
+from repro.obs.registry import REGISTRY_SCHEMA  # noqa: E402
 from repro.obs.trace import TRACE_SCHEMA  # noqa: E402
 
 SPAN_FIELDS = ("name", "id", "parent", "path", "tid", "start_us", "dur_us",
@@ -344,6 +357,110 @@ def _validate_diff(path: Path) -> list:
     return errors
 
 
+def _validate_progress(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if payload.get("schema") != PROGRESS_SCHEMA:
+        errors.append(f"{path}: schema != {PROGRESS_SCHEMA}")
+    if payload.get("state") not in STATES:
+        errors.append(f"{path}: bad state {payload.get('state')!r}")
+    elapsed = payload.get("elapsed_s")
+    if not isinstance(elapsed, (int, float)) or elapsed < 0:
+        errors.append(f"{path}: bad elapsed_s {elapsed!r}")
+    stages = payload.get("stages")
+    if not isinstance(stages, dict):
+        return errors + [f"{path}: stages missing"]
+    for name, stage in stages.items():
+        done = stage.get("done")
+        total = stage.get("total")
+        if not isinstance(done, int) or done < 0:
+            errors.append(f"{path}: stage {name!r} has bad done {done!r}")
+            continue
+        if total is not None and (not isinstance(total, int) or done > total):
+            errors.append(
+                f"{path}: stage {name!r} has done {done} > total {total}")
+        for key in ("rate_per_s", "eta_s"):
+            value = stage.get(key)
+            if value is not None and (
+                    not isinstance(value, (int, float)) or value < 0):
+                errors.append(f"{path}: stage {name!r} has bad {key} "
+                              f"{value!r}")
+    counters = payload.get("events")
+    if not isinstance(counters, dict) or any(
+            not isinstance(counters.get(k), int) or counters.get(k, 0) < 0
+            for k in ("seen", "dropped")):
+        errors.append(f"{path}: events counters missing or negative")
+    return errors
+
+
+def _validate_events(path: Path) -> list:
+    errors = []
+    last_seq = 0
+    lines = path.read_text().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}:{lineno}: not JSON ({exc})")
+            continue
+        if event.get("schema") != EVENTS_SCHEMA:
+            errors.append(f"{path}:{lineno}: schema != {EVENTS_SCHEMA}")
+        if event.get("type") not in EVENT_TYPES:
+            errors.append(
+                f"{path}:{lineno}: type {event.get('type')!r} not in the "
+                "event vocabulary")
+        seq = event.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            errors.append(f"{path}:{lineno}: seq {seq!r} not strictly "
+                          f"increasing (after {last_seq})")
+        else:
+            last_seq = seq
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts <= 0:
+            errors.append(f"{path}:{lineno}: bad ts {ts!r}")
+    if not lines:
+        errors.append(f"{path}: no events")
+    return errors
+
+
+def _validate_registry(path: Path) -> list:
+    runs_dir = path if path.is_dir() else path.parent
+    index = runs_dir / "index.jsonl" if path.is_dir() else path
+    if not index.is_file():
+        return [f"{index}: registry index missing"]
+    errors = []
+    last_seq = 0
+    entries = 0
+    for lineno, line in enumerate(index.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{index}:{lineno}: not JSON ({exc})")
+            continue
+        entries += 1
+        if entry.get("schema") != REGISTRY_SCHEMA:
+            errors.append(f"{index}:{lineno}: schema != {REGISTRY_SCHEMA}")
+        seq = entry.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            errors.append(f"{index}:{lineno}: seq {seq!r} not strictly "
+                          f"increasing (after {last_seq})")
+        else:
+            last_seq = seq
+        run_dir = runs_dir / str(entry.get("dir", ""))
+        if not run_dir.is_dir():
+            errors.append(f"{index}:{lineno}: run dir {run_dir} missing")
+            continue
+        errors += _validate_manifest(run_dir / "manifest.json")
+    if entries == 0 and not errors:
+        errors.append(f"{index}: no registry entries")
+    return errors
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", type=Path, default=None,
@@ -358,12 +475,22 @@ def main(argv=None) -> int:
                         help="span profile JSON (--profile-out)")
     parser.add_argument("--diff", type=Path, default=None,
                         help="diff report JSON (autosens obs diff --out)")
+    parser.add_argument("--progress", type=Path, default=None,
+                        help="progress snapshot JSON (/progress or a "
+                             "recorded progress.json)")
+    parser.add_argument("--events", type=Path, default=None,
+                        help="event NDJSON (/events or a recorded "
+                             "events.ndjson)")
+    parser.add_argument("--registry", type=Path, default=None,
+                        help="run registry: a --runs-dir directory or its "
+                             "index.jsonl")
     args = parser.parse_args(argv)
     if all(getattr(args, name) is None
            for name in ("trace", "metrics", "manifest", "health",
-                        "profile", "diff")):
+                        "profile", "diff", "progress", "events", "registry")):
         parser.error("nothing to validate; pass --trace/--metrics/--manifest/"
-                     "--health/--profile/--diff")
+                     "--health/--profile/--diff/--progress/--events/"
+                     "--registry")
 
     errors = []
     if args.trace is not None:
@@ -384,6 +511,12 @@ def main(argv=None) -> int:
         errors += _validate_profile(args.profile)
     if args.diff is not None:
         errors += _validate_diff(args.diff)
+    if args.progress is not None:
+        errors += _validate_progress(args.progress)
+    if args.events is not None:
+        errors += _validate_events(args.events)
+    if args.registry is not None:
+        errors += _validate_registry(args.registry)
 
     if errors:
         for line in errors:
