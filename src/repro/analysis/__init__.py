@@ -17,6 +17,15 @@ from repro.analysis.recovery import (
     run_recovery_suite,
 )
 from repro.analysis.regions_ext import run_regions
+from repro.analysis.sensitivity import (
+    DEFAULT_SENSITIVITY_NAMES,
+    SENSITIVITY_FIXTURES,
+    SENSITIVITY_SCALES,
+    SensitivityFixture,
+    SensitivityOutcome,
+    run_sensitivity,
+    run_sensitivity_suite,
+)
 from repro.analysis.sessions_ext import run_sessions
 from repro.analysis.summary import failing_checks, summarize
 
@@ -51,6 +60,13 @@ __all__ = [
     "RecoveryOutcome",
     "run_recovery",
     "run_recovery_suite",
+    "SENSITIVITY_FIXTURES",
+    "SENSITIVITY_SCALES",
+    "DEFAULT_SENSITIVITY_NAMES",
+    "SensitivityFixture",
+    "SensitivityOutcome",
+    "run_sensitivity",
+    "run_sensitivity_suite",
     "summarize",
     "failing_checks",
 ]

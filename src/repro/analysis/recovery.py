@@ -37,7 +37,11 @@ from repro.errors import ConfigError
 from repro.obs import _runtime
 from repro.obs._runtime import ObsContext
 from repro.obs.health import build_health_report
-from repro.obs.probes import probe_latency_regime
+from repro.obs.probes import (
+    DEFAULT_PAIRED_MARGINS,
+    PairedRegimeMargins,
+    probe_latency_regime,
+)
 from repro.parallel import resolve_executor
 from repro.workload.incidents import (
     AutoscaleStep,
@@ -55,6 +59,7 @@ __all__ = [
     "RecoveryOutcome",
     "RECOVERY_FIXTURES",
     "RECOVERY_SCALES",
+    "paired_regime_findings",
     "run_recovery",
     "run_recovery_suite",
 ]
@@ -76,9 +81,11 @@ VERDICT_SILENT_BIAS = "silent-bias"
 #: (same seed, same latency stream — only the incident windows differ),
 #: or the run is flagged as regime-contaminated. Much tighter than the
 #: scenario-agnostic defaults in :func:`probe_latency_regime`, because the
-#: clean twin *is* the null hypothesis here.
-PAIRED_TAIL_MARGIN = 1.35
-PAIRED_SPREAD_MARGIN = 1.2
+#: clean twin *is* the null hypothesis here. The canonical definition now
+#: lives in :class:`repro.obs.probes.PairedRegimeMargins`; these aliases
+#: keep the historical names (and identical values).
+PAIRED_TAIL_MARGIN = DEFAULT_PAIRED_MARGINS.tail
+PAIRED_SPREAD_MARGIN = DEFAULT_PAIRED_MARGINS.spread
 _REGIME_EDGES = np.geomspace(20.0, 20000.0, 61)
 _REGIME_CENTERS = np.sqrt(_REGIME_EDGES[:-1] * _REGIME_EDGES[1:])
 
@@ -271,14 +278,21 @@ def _regime_matrix(logs: Any) -> np.ndarray:
     return matrix
 
 
-def _paired_regime_findings(clean_logs: Any, incident_logs: Any) -> List[dict]:
-    """Regime probe on the incident run, thresholded by its clean twin.
+def paired_regime_findings(
+    clean_logs: Any,
+    other_logs: Any,
+    margins: Optional[PairedRegimeMargins] = None,
+) -> List[dict]:
+    """Regime probe on a run, thresholded by its clean same-seed twin.
 
     Runs :func:`probe_latency_regime` twice: once on the clean run with
     unreachable thresholds (to read off the baseline tail ratio and median
-    spread), then on the incident run with warn/fail thresholds set at
-    ``baseline * margin``. Inherits the probe's never-raise contract.
+    spread), then on the other run with warn thresholds at
+    ``baseline * margin`` and fail thresholds at the margins' fail
+    factors. Inherits the probe's never-raise contract. Shared by the
+    recovery gates and the sensitivity suite.
     """
+    margins = margins or DEFAULT_PAIRED_MARGINS
     baseline = {
         f.probe: f.value
         for f in probe_latency_regime(
@@ -294,16 +308,18 @@ def _paired_regime_findings(clean_logs: Any, incident_logs: Any) -> List[dict]:
     if clean_tail is None or clean_spread is None:
         # Clean twin itself not assessable — nothing to pair against.
         return [f.to_dict() for f in probe_latency_regime(
-            _regime_matrix(incident_logs), _REGIME_CENTERS,
+            _regime_matrix(other_logs), _REGIME_CENTERS,
             slice_description="paired vs clean (unpaired fallback)",
         )]
     findings = probe_latency_regime(
-        _regime_matrix(incident_logs), _REGIME_CENTERS,
+        _regime_matrix(other_logs), _REGIME_CENTERS,
         slice_description="paired vs clean",
-        warn_tail_ratio=clean_tail * PAIRED_TAIL_MARGIN,
-        fail_tail_ratio=clean_tail * PAIRED_TAIL_MARGIN * 6.0,
-        warn_median_spread=clean_spread * PAIRED_SPREAD_MARGIN,
-        fail_median_spread=clean_spread * PAIRED_SPREAD_MARGIN * 3.0,
+        warn_tail_ratio=clean_tail * margins.tail,
+        fail_tail_ratio=clean_tail * margins.tail * margins.tail_fail_factor,
+        warn_median_spread=clean_spread * margins.spread,
+        fail_median_spread=(
+            clean_spread * margins.spread * margins.spread_fail_factor
+        ),
     )
     out = []
     for f in findings:
@@ -314,6 +330,10 @@ def _paired_regime_findings(clean_logs: Any, incident_logs: Any) -> List[dict]:
         }
         out.append(d)
     return out
+
+
+#: Backward-compatible alias (pre-sensitivity-suite private name).
+_paired_regime_findings = paired_regime_findings
 
 
 def _curve_distance(
@@ -365,7 +385,7 @@ def run_recovery(
         run_id=f"recover:{fixture.name}:incident",
     )
     incident_windows = [w.to_dict() for w in incident_telemetry.incident_windows]
-    regime = _paired_regime_findings(
+    regime = paired_regime_findings(
         clean_telemetry.logs, incident_telemetry.logs
     )
     regime_flagged = any(f.get("severity") in ("warn", "fail") for f in regime)

@@ -532,6 +532,35 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="absolute NLP tolerance for the baseline diff "
                           "(default: 0.02)")
 
+    sens = sub.add_parser(
+        "sensitivity",
+        help="sweep the estimator across degradation fixtures: each cell "
+             "must stay within tolerance of its clean twin or degrade "
+             "loudly (silent bias gates red)",
+        parents=[observability])
+    sens.add_argument("fixtures", nargs="*", default=[],
+                      help="fixture names (default: the default matrix)")
+    sens.add_argument("--scenario", default="owa-queue",
+                      help="workload scenario to degrade (default: "
+                           "owa-queue)")
+    sens.add_argument("--seed", type=int, default=7)
+    sens.add_argument("--scale", choices=["smoke", "full"], default="smoke")
+    sens.add_argument("--smoke", action="store_true",
+                      help="alias for --scale smoke (the CI invocation)")
+    sens.add_argument("--executor", default="serial",
+                      help="execution backend (serial or process; frontiers "
+                           "are bit-identical across backends)")
+    sens.add_argument("--out-dir", default=None,
+                      help="write per-fixture frontier artifacts, "
+                           "summary.json, and a timings sidecar here")
+    sens.add_argument("--baseline-dir", default=None,
+                      help="obs-diff each fixture's frontier against "
+                           "<dir>/<name>.frontier.json and fail on drift "
+                           "(requires --out-dir)")
+    sens.add_argument("--curve-tol", type=float, default=None,
+                      help="absolute bias tolerance for the baseline diff "
+                           "(default: 0.02)")
+
     top = sub.add_parser(
         "top",
         help="live progress view: per-stage completion bars, throughput "
@@ -935,6 +964,90 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import (
+        DEFAULT_SENSITIVITY_NAMES,
+        SENSITIVITY_FIXTURES,
+        run_sensitivity_suite,
+    )
+    from repro.viz.table import format_table
+    from repro.workload.scenarios import SCENARIOS
+
+    names = args.fixtures or list(DEFAULT_SENSITIVITY_NAMES)
+    unknown = [n for n in names if n not in SENSITIVITY_FIXTURES]
+    if unknown:
+        print(f"unknown fixture(s) {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(SENSITIVITY_FIXTURES))}",
+              file=sys.stderr)
+        return 2
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"known: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    if args.baseline_dir and not args.out_dir:
+        print("--baseline-dir requires --out-dir (the diff needs the "
+              "candidate frontier artifacts on disk)", file=sys.stderr)
+        return 2
+
+    scale = "smoke" if args.smoke else args.scale
+    outcomes = run_sensitivity_suite(
+        names, scenario=args.scenario, seed=args.seed, scale=scale,
+        executor=args.executor, out_dir=args.out_dir,
+    )
+    rows = []
+    for name in names:
+        outcome = outcomes[name]
+        for cell in outcome.cells:
+            linf = cell.get("bias_linf")
+            rows.append([
+                name, f"{cell['level']:g}", cell["verdict"],
+                "-" if linf is None else f"{linf:.4f}",
+                f"{outcome.tolerance:g}",
+                cell["error"] or "-",
+            ])
+    print(format_table(
+        ["fixture", "level", "verdict", "|bias|inf", "tol", "error"], rows))
+
+    biased = [n for n in names if not outcomes[n].gate_passed]
+    drifted: List[str] = []
+    if args.baseline_dir:
+        import repro.obs as obs
+        from repro.obs.diff import DEFAULT_CURVE_TOL
+
+        baseline_dir = Path(args.baseline_dir)
+        out_dir = Path(args.out_dir)
+        for name in names:
+            baseline = baseline_dir / f"{name}.frontier.json"
+            if not baseline.exists():
+                print(f"{name}: no committed baseline at {baseline}",
+                      file=sys.stderr)
+                drifted.append(name)
+                continue
+            report = obs.diff_paths(
+                baseline, out_dir / f"{name}.frontier.json",
+                curve_tol=(args.curve_tol if args.curve_tol is not None
+                           else DEFAULT_CURVE_TOL),
+            )
+            if obs.diff_exit_code(report) != 0:
+                summary = report["summary"]
+                print(f"{name}: frontier drifted from baseline "
+                      f"({summary['regressed']} regressed, "
+                      f"{summary['added'] + summary['removed']} "
+                      f"added/removed)", file=sys.stderr)
+                drifted.append(name)
+
+    if biased:
+        print(f"sensitivity gate: FAIL — silent bias in {', '.join(biased)}")
+        return 1
+    if drifted:
+        print("sensitivity gate: FAIL — baseline drift in "
+              f"{', '.join(drifted)}")
+        return 1
+    print(f"sensitivity gate: PASS ({len(names)} fixture(s); no silent bias"
+          + (", no baseline drift)" if args.baseline_dir else ")"))
+    return 0
+
+
 def _fetch_progress(target: str) -> dict:
     """One progress snapshot from a live endpoint or a recorded run dir."""
     import json as _json
@@ -1083,6 +1196,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
         "doctor": _cmd_doctor,
         "recover": _cmd_recover,
+        "sensitivity": _cmd_sensitivity,
         "top": _cmd_top,
         "runs": _cmd_runs,
         "list": _cmd_list,

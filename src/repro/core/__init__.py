@@ -41,7 +41,12 @@ from repro.core.locality import (
     density_latency_series,
     locality_report,
 )
-from repro.core.pipeline import AutoSens, AutoSensConfig, DegradePolicy
+from repro.core.pipeline import (
+    AutoSens,
+    AutoSensConfig,
+    DegradePolicy,
+    SubsamplePolicy,
+)
 from repro.core.slice_cache import SliceCache
 from repro.core.preference import PreferenceComputer, average_results
 from repro.core.preflight import PreflightReport, preflight
@@ -93,6 +98,7 @@ __all__ = [
     "cap_ms",
     "AutoSensConfig",
     "DegradePolicy",
+    "SubsamplePolicy",
     "PreferenceResult",
     "PreferenceComputer",
     "PreflightReport",

@@ -190,6 +190,71 @@ class DegradePolicy:
 
 
 @dataclass(frozen=True)
+class SubsamplePolicy:
+    """Deterministic probe/user/time subsampling, applied after slicing.
+
+    The sensitivity suite's "reduced probing" axis: keep a random fraction
+    of events, of users, or of coarse time windows before estimating the
+    curve, to measure how much telemetry the estimator actually needs.
+
+    - ``event_fraction`` — Bernoulli keep per event (probe subsampling).
+    - ``user_fraction`` — keep whole users: a user is either fully present
+      or fully absent, the honest model of per-device sampling flags.
+    - ``time_fraction`` — keep whole time windows (``n_time_windows``
+      equal spans over the slice's range), the model of a collector that
+      is simply off for part of the day.
+
+    Determinism contract: the draws come from a pure stream named only by
+    the slice (``subsample/{description}``) and are made in a fixed order
+    and count regardless of which fractions are active, so changing one
+    fraction never moves another axis's draws and the kept sets are
+    monotone nested across a fraction ladder (1 ⊇ 1/2 ⊇ 1/4 ⊇ 1/8).
+    Fractions of exactly 1.0 on every axis make the policy a no-op: the
+    pipeline skips the hook entirely and touches no randomness.
+
+    A subsampled run always records an obs degradation — reduced probing
+    is never silent. If the kept set falls below ``min_actions`` the slice
+    raises :class:`InsufficientDataError` like any other starved slice
+    (and degrades gracefully under a :class:`DegradePolicy`).
+    """
+
+    event_fraction: float = 1.0
+    user_fraction: float = 1.0
+    time_fraction: float = 1.0
+    n_time_windows: int = 32
+
+    def __post_init__(self) -> None:
+        for name in ("event_fraction", "user_fraction", "time_fraction"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(f"{name} must be in (0, 1], got {value}")
+        if self.n_time_windows < 1:
+            raise ConfigError(
+                f"n_time_windows must be >= 1, got {self.n_time_windows}"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        return (
+            self.event_fraction < 1.0
+            or self.user_fraction < 1.0
+            or self.time_fraction < 1.0
+        )
+
+    def fingerprint(self) -> Tuple:
+        return (
+            self.event_fraction, self.user_fraction,
+            self.time_fraction, self.n_time_windows,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"events x{self.event_fraction:g}, users x{self.user_fraction:g}, "
+            f"time x{self.time_fraction:g}"
+        )
+
+
+@dataclass(frozen=True)
 class _StarvedSlice:
     """Picklable marker a worker returns for a skipped (degraded) slice."""
 
@@ -213,8 +278,8 @@ def _curve_task(payload: Tuple) -> Any:
     marker rather than an exception, so one empty slice cannot fail the
     pool fan-out.
     """
-    config, degrade, logs, kwargs = payload
-    engine = AutoSens(config, cache=False, degrade=degrade)
+    config, degrade, subsample, logs, kwargs = payload
+    engine = AutoSens(config, cache=False, degrade=degrade, subsample=subsample)
     try:
         return engine.preference_curve(logs, **kwargs)
     except InsufficientDataError as exc:
@@ -242,6 +307,11 @@ class AutoSens:
     :class:`InsufficientDataError` aborts into recorded warnings: starved
     slices are dropped from sweep results and starved reference slots are
     skipped, with every degradation appended to :attr:`degradations`.
+
+    ``subsample`` (a :class:`SubsamplePolicy`) deterministically thins
+    each slice (per-event, per-user, and/or per-time-window fractions)
+    before estimation, always recording an obs degradation — the
+    sensitivity suite's reduced-probing axis.
     """
 
     def __init__(
@@ -250,11 +320,13 @@ class AutoSens:
         executor: Any = None,
         cache: Union[bool, SliceCache] = True,
         degrade: Optional[DegradePolicy] = None,
+        subsample: Optional[SubsamplePolicy] = None,
     ) -> None:
         self.config = config or AutoSensConfig()
         self._rng = RngFactory(self.config.seed)
         self.executor = resolve_executor(executor)
         self.degrade = degrade
+        self.subsample = subsample
         #: Human-readable log of everything a degrade policy dropped.
         self.degradations: List[str] = []
         if cache is True:
@@ -326,6 +398,58 @@ class AutoSens:
             )
         return sliced, description
 
+    def _apply_subsample(
+        self, sliced: LogStore, description: str, key: Tuple
+    ) -> Tuple[LogStore, Tuple]:
+        """Apply the engine's :class:`SubsamplePolicy` to a sliced store.
+
+        Returns the kept store and the memo key extended with the policy
+        fingerprint (so cached intermediates are never shared between
+        subsampled and full evaluations of the same slice).
+        """
+        policy = self.subsample
+        stream = self._rng.stream(f"subsample/{description}")
+        n = len(sliced)
+        # Fixed draw order and counts whatever the fractions: per-event,
+        # then per-user, then per-window. Fractions are compared against
+        # the same draws at every level, so kept sets nest monotonically.
+        u_event = stream.random(n)
+        user_codes, _ = sliced.per_user_action_count()
+        u_user = stream.random(user_codes.size)
+        u_window = stream.random(policy.n_time_windows)
+        mask = u_event < policy.event_fraction
+        if policy.user_fraction < 1.0:
+            kept_users = user_codes[u_user < policy.user_fraction]
+            mask &= np.isin(sliced.user_codes, kept_users)
+        if policy.time_fraction < 1.0:
+            t0 = float(sliced.times.min())
+            span = max(float(sliced.times.max()) - t0, 1e-9)
+            windows = np.minimum(
+                ((sliced.times - t0) / span * policy.n_time_windows).astype(int),
+                policy.n_time_windows - 1,
+            )
+            mask &= (u_window < policy.time_fraction)[windows]
+        kept = sliced.filter(mask)
+        note = (
+            f"slice [{description}] subsampled ({policy.describe()}): "
+            f"kept {len(kept)} of {n} actions"
+        )
+        self.degradations.append(note)
+        obs.record_degradation(
+            "subsample", slice=description,
+            event_fraction=policy.event_fraction,
+            user_fraction=policy.user_fraction,
+            time_fraction=policy.time_fraction,
+            n_before=n, n_kept=len(kept),
+        )
+        if len(kept) < self.config.min_actions:
+            raise InsufficientDataError(
+                f"slice [{description}] has {len(kept)} actions after "
+                f"subsampling ({policy.describe()}); need at least "
+                f"{self.config.min_actions}"
+            )
+        return kept, key + (("subsample",) + policy.fingerprint(),)
+
     # -- distributions --------------------------------------------------------
 
     def distributions(
@@ -394,6 +518,8 @@ class AutoSens:
         sliced, description = self._slice(
             logs, action, user_class, period, month, days_per_month
         )
+        if self.subsample is not None and self.subsample.is_active:
+            sliced, key = self._apply_subsample(sliced, description, key)
         curve_span.set(slice=description, n_actions=len(sliced))
         check_deadline(f"curve [{description}]")
         bins = cfg.bins()
@@ -510,7 +636,8 @@ class AutoSens:
         """Fan a list of ``(logs, preference_curve kwargs)`` over the executor.
 
         The serial backend runs through ``self`` (sharing the slice cache);
-        other backends ship ``(config, degrade, logs, kwargs)`` payloads to
+        other backends ship ``(config, degrade, subsample, logs, kwargs)``
+        payloads to
         :func:`_curve_task` workers. Pure stream seeding makes the two
         paths bit-identical.
 
@@ -547,7 +674,10 @@ class AutoSens:
                             raise
                         results.append(_StarvedSlice(str(exc)))
             else:
-                payloads = [(self.config, self.degrade, lg, kw) for lg, kw in tasks]
+                payloads = [
+                    (self.config, self.degrade, self.subsample, lg, kw)
+                    for lg, kw in tasks
+                ]
                 results = self.executor.map_ordered(_curve_task, payloads)
         out: List[Optional[PreferenceResult]] = []
         for result in results:
@@ -637,7 +767,8 @@ class AutoSens:
                         results.append(_StarvedSlice(str(exc)))
             else:
                 payloads = [
-                    (self.config, self.degrade, lg, kw) for lg, kw in wave
+                    (self.config, self.degrade, self.subsample, lg, kw)
+                    for lg, kw in wave
                 ]
                 try:
                     results.extend(

@@ -14,6 +14,12 @@ in ``tests/faults/``.
 supervision layer in :mod:`repro.runtime`.
 """
 
+from repro.faults.degradations import (
+    DEGRADATION_FAULT_SPECS,
+    HeavyUserFault,
+    MNARDropFault,
+    ThinningFault,
+)
 from repro.faults.incidents import INCIDENT_FAULT_SPECS, IncidentFault
 from repro.faults.inject import corrupt_jsonl, corrupt_records, write_corrupted
 from repro.faults.tasks import MemoryHog, StalledTask
@@ -48,6 +54,10 @@ __all__ = [
     "GapWindow",
     "IncidentFault",
     "INCIDENT_FAULT_SPECS",
+    "ThinningFault",
+    "MNARDropFault",
+    "HeavyUserFault",
+    "DEGRADATION_FAULT_SPECS",
     "DEFAULT_FAULT_SPECS",
     "StalledTask",
     "MemoryHog",

@@ -1,0 +1,183 @@
+"""Row-level shadows of the sensitivity-suite degradation operators.
+
+The operators in :mod:`repro.workload.degradations` transform an
+in-memory :class:`~repro.telemetry.log_store.LogStore` — the shape the
+sensitivity harness wants. This module mirrors each of them as a
+:class:`~repro.faults.specs.FaultSpec` over serialized rows, so
+``corrupt_jsonl`` chaos runs can compose gradual degradation (diurnal
+thinning, MNAR dropout, heavy-user duplication) with syntactic corruption
+and incident windows over *any* telemetry file.
+
+Each catalog entry registers into
+:data:`repro.faults.specs.DEFAULT_FAULT_SPECS` under a ``degrade-*``
+name, so the chaos sweep in ``tests/faults/test_chaos_pipeline.py`` picks
+them up automatically. The draw discipline matches
+:class:`~repro.faults.incidents.IncidentFault`: a fixed number of uniform
+draws per parsed row, whatever the knobs say, so tuning one probability
+never perturbs another selection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.faults.specs import DEFAULT_FAULT_SPECS, FaultSpec, Row
+
+__all__ = [
+    "ThinningFault",
+    "MNARDropFault",
+    "HeavyUserFault",
+    "DEGRADATION_FAULT_SPECS",
+]
+
+
+def _local_hour(row: dict) -> float:
+    """Local hour of day, honouring the row's timezone offset."""
+    time = float(row["time"])
+    offset = row.get("tz_offset_hours", 0.0)
+    if isinstance(offset, (int, float)) and math.isfinite(float(offset)):
+        time += 3600.0 * float(offset)
+    return (time / 3600.0) % 24.0
+
+
+def _has_finite(row: Row, field: str) -> bool:
+    if not isinstance(row, dict):
+        return False
+    value = row.get(field)
+    return isinstance(value, (int, float)) and math.isfinite(float(value))
+
+
+@dataclass(frozen=True)
+class ThinningFault(FaultSpec):
+    """Diurnal load-shedding: drop probability follows the traffic peak.
+
+    The row-level shadow of
+    :class:`~repro.workload.degradations.DiurnalThinning`: a row at local
+    hour ``h`` is dropped with probability
+    ``rate * 0.5 * (1 + cos(2π (h - peak_hour) / 24))`` — maximal at
+    ``peak_hour``, zero at the trough. ``rate`` is the *peak* drop
+    probability; the average drop share is roughly ``rate / 2``.
+    """
+
+    peak_hour: float = 13.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ConfigError(
+                f"peak_hour must be in [0, 24), got {self.peak_hour}")
+
+    def apply(self, rows: List[Row], rng: np.random.Generator) -> List[Row]:
+        out: List[Row] = []
+        for row in rows:
+            if not isinstance(row, dict):
+                out.append(row)
+                continue
+            u = rng.random()  # one draw per parsed row, whatever the rate
+            if not _has_finite(row, "time"):
+                out.append(row)
+                continue
+            weight = 0.5 * (1.0 + math.cos(
+                2.0 * math.pi * (_local_hour(row) - self.peak_hour) / 24.0))
+            if u >= self.rate * weight:
+                out.append(row)
+        return out
+
+
+@dataclass(frozen=True)
+class MNARDropFault(FaultSpec):
+    """Informative (MNAR) dropout: slow rows vanish more often than fast.
+
+    The row-level shadow of
+    :class:`~repro.workload.degradations.InformativeMissingness`: drop
+    probability is a logistic ramp in the row's own latency, centered at
+    ``knee_ms`` with scale ``width_ms`` and ceiling ``rate``. Rows without
+    a finite latency are kept — value-level corruption is a different
+    fault class.
+    """
+
+    knee_ms: float = 450.0
+    width_ms: float = 150.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.knee_ms <= 0 or self.width_ms <= 0:
+            raise ConfigError(
+                f"knee_ms and width_ms must be positive, got "
+                f"knee={self.knee_ms}, width={self.width_ms}")
+
+    def apply(self, rows: List[Row], rng: np.random.Generator) -> List[Row]:
+        out: List[Row] = []
+        for row in rows:
+            if not isinstance(row, dict):
+                out.append(row)
+                continue
+            u = rng.random()  # one draw per parsed row, whatever the rate
+            if not _has_finite(row, "latency_ms"):
+                out.append(row)
+                continue
+            z = (float(row["latency_ms"]) - self.knee_ms) / self.width_ms
+            ez = math.exp(-abs(z))
+            sigmoid = 1.0 / (1.0 + ez) if z >= 0 else ez / (1.0 + ez)
+            if u >= self.rate * sigmoid:
+                out.append(row)
+        return out
+
+
+@dataclass(frozen=True)
+class HeavyUserFault(FaultSpec):
+    """Heavy-user dominance: the busiest users are emitted again.
+
+    The row-level shadow of
+    :class:`~repro.workload.degradations.HeavyUserSkew`: the top
+    ``heavy_share`` of users by row count (ties broken by user id, so the
+    heavy set is a pure function of the rows) have each of their rows
+    duplicated with probability ``rate``, inflating their weight in any
+    pooled per-event estimate without perturbing anyone's latencies.
+    """
+
+    heavy_share: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.heavy_share <= 1.0:
+            raise ConfigError(
+                f"heavy_share must be in (0, 1], got {self.heavy_share}")
+
+    def apply(self, rows: List[Row], rng: np.random.Generator) -> List[Row]:
+        counts: dict = {}
+        for row in rows:
+            if isinstance(row, dict) and isinstance(row.get("user_id"), str):
+                counts[row["user_id"]] = counts.get(row["user_id"], 0) + 1
+        n_heavy = math.ceil(self.heavy_share * len(counts)) if counts else 0
+        ranked = sorted(counts, key=lambda uid: (-counts[uid], uid))
+        heavy = set(ranked[:n_heavy])
+
+        out: List[Row] = []
+        for row in rows:
+            if not isinstance(row, dict):
+                out.append(row)
+                continue
+            u = rng.random()  # one draw per parsed row, whatever the rate
+            out.append(row)
+            if row.get("user_id") in heavy and u < self.rate:
+                out.append(dict(row))
+        return out
+
+
+#: Row-level shadow of every sensitivity-suite degradation operator
+#: (:mod:`repro.workload.degradations`), rates kept moderate so the chaos
+#: full-sweep still leaves the estimator enough rows to answer.
+DEGRADATION_FAULT_SPECS = {
+    "degrade-thinning": lambda: ThinningFault(rate=0.3, peak_hour=13.0),
+    "degrade-mnar": lambda: MNARDropFault(rate=0.3, knee_ms=450.0,
+                                          width_ms=150.0),
+    "degrade-user-skew": lambda: HeavyUserFault(rate=0.5, heavy_share=0.1),
+}
+
+DEFAULT_FAULT_SPECS.update(DEGRADATION_FAULT_SPECS)

@@ -14,7 +14,10 @@ sniffed from JSON shape, not file name:
 - **metrics** — registry JSON snapshots (``kind``/``series`` values);
 - **curve** — ``PreferenceResult`` JSON (``series`` with ``nlp``): max
   absolute NLP deviation over the common valid bins plus support changes;
-- **health** — serialized health reports: verdict rank and finding counts.
+- **health** — serialized health reports: verdict rank and finding counts;
+- **sensitivity** — frontier artifacts from the sensitivity suite
+  (``fixture`` + ``cells``): per-level verdict ranks, bias magnitudes,
+  band inflation, compared support, and gate state.
 
 A self-comparison is 100 % ``unchanged`` by construction (every comparator
 is an exact-equality fast path before any tolerance math) — the property
@@ -138,6 +141,8 @@ def sniff_kind(payload: Dict[str, Any]) -> str:
 
     if "scales" in payload and "schema" in payload:
         return "bench"
+    if "fixture" in payload and "cells" in payload:
+        return "sensitivity"
     if "run_id" in payload:
         return "manifest"
     if "verdict" in payload and "findings" in payload:
@@ -151,7 +156,7 @@ def sniff_kind(payload: Dict[str, Any]) -> str:
         return "metrics"
     raise SchemaError(
         "unrecognized artifact shape (expected bench/manifest/metrics/"
-        "curve/health JSON)")
+        "curve/health/sensitivity JSON)")
 
 
 # ---------------------------------------------------------------------------
@@ -336,6 +341,70 @@ def _diff_curve(a: Dict[str, Any], b: Dict[str, Any],
     return entries
 
 
+#: Sensitivity-cell verdicts in increasing badness.
+_CELL_VERDICT_RANK = {"robust": 0, "degraded-explained": 1, "silent-bias": 2}
+
+
+def _diff_sensitivity(a: Dict[str, Any], b: Dict[str, Any],
+                      rel_tol: float,
+                      curve_tol: float) -> List[Dict[str, Any]]:
+    """Frontier vs frontier: cells matched by level, worst drift wins.
+
+    Verdict ranks and compared support are pinned exactly; bias values are
+    compared under the curve tolerance (absolute — bias is in NLP units);
+    band inflation is a ratio and gets the relative tolerance, lower
+    better. A cell present on one side only reports as added/removed.
+    """
+    def by_level(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+        return {
+            f"{float(cell.get('level', 0.0)):g}": cell
+            for cell in payload.get("cells", [])
+        }
+
+    entries = [_entry(
+        "frontier.gate_passed",
+        float(bool(a.get("gate_passed", False))),
+        float(bool(b.get("gate_passed", False))),
+        0.0, better="higher")]
+    a_cells = by_level(a)
+    b_cells = by_level(b)
+    for level in sorted(set(a_cells) | set(b_cells), key=float):
+        ca = a_cells.get(level)
+        cb = b_cells.get(level)
+
+        def value(cell: Optional[Dict[str, Any]], key: str) -> Optional[float]:
+            if cell is None or cell.get(key) is None:
+                return None
+            return float(cell[key])
+
+        def rank(cell: Optional[Dict[str, Any]]) -> Optional[float]:
+            if cell is None:
+                return None
+            return float(_CELL_VERDICT_RANK.get(str(cell.get("verdict")), 2))
+
+        prefix = f"cell[{level}]."
+        entries.append(_entry(
+            f"{prefix}verdict_rank", rank(ca), rank(cb), 0.0, better="lower"))
+        entries.append(_entry(
+            f"{prefix}gate_passed",
+            None if ca is None else float(bool(ca.get("gate_passed", False))),
+            None if cb is None else float(bool(cb.get("gate_passed", False))),
+            0.0, better="higher"))
+        for key in ("bias_linf", "bias_signed_area"):
+            entries.append(_entry(
+                f"{prefix}{key}", value(ca, key), value(cb, key),
+                curve_tol, better=None, absolute=True))
+        entries.append(_entry(
+            f"{prefix}ci_band_inflation",
+            value(ca, "ci_band_inflation"), value(cb, "ci_band_inflation"),
+            rel_tol, better="lower"))
+        entries.append(_entry(
+            f"{prefix}n_compared_bins",
+            value(ca, "n_compared_bins"), value(cb, "n_compared_bins"),
+            0.0, better=None))
+    return entries
+
+
 # ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
@@ -361,6 +430,8 @@ def diff_artifacts(a: Dict[str, Any], b: Dict[str, Any],
         entries = _diff_metrics(a, b, rel_tol)
     elif kind_a == "curve":
         entries = _diff_curve(a, b, curve_tol)
+    elif kind_a == "sensitivity":
+        entries = _diff_sensitivity(a, b, rel_tol, curve_tol)
     else:
         entries = _diff_health(a, b)
     summary = {"improved": 0, "regressed": 0, "unchanged": 0,

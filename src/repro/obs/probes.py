@@ -42,6 +42,9 @@ __all__ = [
     "probe_alpha_dispersion",
     "probe_slot_support",
     "probe_latency_regime",
+    "probe_missingness",
+    "PairedRegimeMargins",
+    "DEFAULT_PAIRED_MARGINS",
     "probe_smoothing_edges",
     "probe_locality",
     "probe_density_correlation",
@@ -539,6 +542,201 @@ def probe_latency_regime(
             f"{' — beyond diurnal variation; latency regime shifted' if shift_severity != 'ok' else ''}"),
         value=median_spread, threshold=shift_threshold, context=context,
     ))
+    return findings
+
+
+@dataclass(frozen=True)
+class PairedRegimeMargins:
+    """Multipliers applied to a clean twin's regime metrics.
+
+    The paired harnesses (:mod:`repro.analysis.recovery`,
+    :mod:`repro.analysis.sensitivity`) probe a degraded run against its
+    clean same-seed twin: the twin's own per-slot tail ratio and median
+    spread, inflated by these margins, become the warn thresholds, and the
+    ``*_fail_factor`` multiples of the warn thresholds become the fail
+    thresholds. One definition here, surfaced in
+    :class:`~repro.obs.health.HealthReport`, so the sensitivity suite can
+    sweep the margins instead of re-hardcoding them per harness.
+    """
+
+    tail: float = 1.35
+    spread: float = 1.2
+    tail_fail_factor: float = 6.0
+    spread_fail_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("tail", "spread", "tail_fail_factor",
+                     "spread_fail_factor"):
+            value = getattr(self, name)
+            if not value >= 1.0:
+                raise ValueError(f"{name} must be >= 1.0, got {value}")
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "tail": self.tail,
+            "spread": self.spread,
+            "tail_fail_factor": self.tail_fail_factor,
+            "spread_fail_factor": self.spread_fail_factor,
+        }
+
+
+#: The margins the recovery gates have always used (tail x1.35, spread
+#: x1.2, fail at 6x / 3x the warn thresholds), now in one place.
+DEFAULT_PAIRED_MARGINS = PairedRegimeMargins()
+
+
+# ---------------------------------------------------------------------------
+# Missingness probes (sensitivity suite: irregular sampling / MNAR).
+# ---------------------------------------------------------------------------
+
+
+def probe_missingness(
+    times: np.ndarray,
+    latencies_ms: np.ndarray,
+    reference_times: Optional[np.ndarray] = None,
+    reference_latencies_ms: Optional[np.ndarray] = None,
+    n_windows: int = 24,
+    warn_drop_share: float = 0.25,
+    fail_drop_share: float = 0.60,
+    warn_informative_gap: float = 0.05,
+    fail_informative_gap: float = 0.25,
+    warn_irregularity: float = 0.08,
+    fail_irregularity: float = 0.45,
+    slice_description: str = "",
+) -> List[HealthFinding]:
+    """Sampling-completeness fingerprints of a telemetry stream.
+
+    With a paired reference stream (the clean same-seed twin) three
+    diagnostics become sharp:
+
+    - **depth** — the overall drop share ``1 - n/n_ref``;
+    - **informativeness** — the retention gap between the reference's
+      latency bulk (below its p75) and tail (at or above it). MNAR
+      dropout keeps fast rows and loses slow ones, so its gap is large;
+      latency-blind thinning has a gap near zero.
+    - **irregularity** — the coefficient of variation of per-window
+      retention over ``n_windows`` equal time windows. Diurnal-tied
+      thinning starves some windows and spares others; uniform thinning
+      keeps retention flat.
+
+    Without a reference the probe cannot distinguish "thinned" from
+    "small" and returns a single ``ok`` not-assessable finding — the
+    unpaired fingerprints belong to the occupancy probes.
+
+    The warn thresholds sit a few sigma above the sampling noise of a
+    paired ~10k-row stream (retention-estimate noise is ~1-2% per window
+    / per latency half): latency-blind uniform thinning measures a gap
+    and CV near 0.02, while the mildest committed MNAR and diurnal
+    fixtures measure 0.07 and 0.11 — the thresholds split those cleanly.
+    """
+    t = np.asarray(times, dtype=float)
+    lat = np.asarray(latencies_ms, dtype=float)
+    context: Dict[str, Any] = {"slice": slice_description, "n": int(t.size)}
+    if reference_times is None or reference_latencies_ms is None:
+        return [HealthFinding(
+            probe="missingness", stage="missingness", severity="ok",
+            message=(
+                "missingness not assessable without a paired reference "
+                "stream"),
+            context=context,
+        )]
+    rt = np.asarray(reference_times, dtype=float)
+    rlat = np.asarray(reference_latencies_ms, dtype=float)
+    context["n_reference"] = int(rt.size)
+    if rt.size == 0:
+        return [HealthFinding(
+            probe="missingness", stage="missingness", severity="warn",
+            message="missingness not assessable: empty reference stream",
+            context=context,
+        )]
+    findings: List[HealthFinding] = []
+
+    def graded(value: float, warn_at: float, fail_at: float) -> tuple:
+        if value > fail_at:
+            return "fail", fail_at
+        if value > warn_at:
+            return "warn", warn_at
+        return "ok", warn_at
+
+    # (a) depth: overall drop share vs the reference.
+    drop_share = float(np.clip(1.0 - t.size / rt.size, 0.0, 1.0))
+    severity, threshold = graded(drop_share, warn_drop_share, fail_drop_share)
+    findings.append(HealthFinding(
+        probe="missingness_depth", stage="missingness", severity=severity,
+        message=(
+            f"{drop_share:.1%} of the reference stream's rows are missing"),
+        value=drop_share, threshold=threshold, context=dict(context),
+    ))
+
+    # (b) informativeness: bulk-vs-tail retention gap at the reference p75.
+    knee = float(np.percentile(rlat, 75.0)) if rlat.size else float("nan")
+    ref_bulk = float((rlat < knee).sum())
+    ref_tail = float((rlat >= knee).sum())
+    if np.isfinite(knee) and ref_bulk > 0 and ref_tail > 0:
+        kept_bulk = float((lat < knee).sum()) / ref_bulk
+        kept_tail = float((lat >= knee).sum()) / ref_tail
+        # Retention above 1 (duplication) is not *missingness*; clamp so
+        # over-represented streams do not alias into an MNAR signal.
+        gap = float(np.clip(min(kept_bulk, 1.0) - min(kept_tail, 1.0),
+                            0.0, 1.0))
+        severity, threshold = graded(
+            gap, warn_informative_gap, fail_informative_gap)
+        findings.append(HealthFinding(
+            probe="missingness_informative", stage="missingness",
+            severity=severity,
+            message=(
+                f"latency-tail retention trails the bulk by {gap:.1%} "
+                f"(bulk {min(kept_bulk, 1.0):.1%} vs tail "
+                f"{min(kept_tail, 1.0):.1%} at the reference p75"
+                f"{'; outcome-dependent (MNAR) dropout' if severity != 'ok' else ''})"),
+            value=gap, threshold=threshold,
+            context=dict(context, knee_ms=round(knee, 3)),
+        ))
+    else:
+        findings.append(HealthFinding(
+            probe="missingness_informative", stage="missingness",
+            severity="ok",
+            message=(
+                "informative missingness not assessable: reference latency "
+                "split is degenerate"),
+            context=dict(context),
+        ))
+
+    # (c) irregularity: CV of per-window retention over the reference span.
+    n_win = max(1, int(n_windows))
+    t0 = float(rt.min())
+    span = max(float(rt.max()) - t0, 1e-9)
+    ref_win = np.minimum(((rt - t0) / span * n_win).astype(int), n_win - 1)
+    obs_win = np.clip(((t - t0) / span * n_win).astype(int), 0, n_win - 1)
+    ref_counts = np.bincount(ref_win, minlength=n_win).astype(float)
+    obs_counts = np.bincount(obs_win, minlength=n_win).astype(float)
+    # Only windows with enough reference mass to estimate retention.
+    min_ref = max(10.0, rt.size / (4.0 * n_win))
+    usable = ref_counts >= min_ref
+    context["n_usable_windows"] = int(usable.sum())
+    if usable.sum() >= 2:
+        retention = np.minimum(obs_counts[usable] / ref_counts[usable], 1.0)
+        mean_ret = float(retention.mean())
+        cv = float(retention.std() / mean_ret) if mean_ret > 0 else float("inf")
+        if not np.isfinite(cv):
+            cv = fail_irregularity * 2.0
+        severity, threshold = graded(cv, warn_irregularity, fail_irregularity)
+        findings.append(HealthFinding(
+            probe="sampling_irregularity", stage="missingness",
+            severity=severity,
+            message=(
+                f"per-window retention varies with CV {cv:.3f}"
+                f"{' — time-dependent (irregular) sampling' if severity != 'ok' else ''}"),
+            value=cv, threshold=threshold, context=dict(context),
+        ))
+    else:
+        findings.append(HealthFinding(
+            probe="sampling_irregularity", stage="missingness", severity="ok",
+            message=(
+                "sampling irregularity not assessable: too few populated "
+                "reference windows"),
+            context=dict(context),
+        ))
     return findings
 
 

@@ -13,6 +13,14 @@ from repro.workload.actions import (
     websearch_action_mix,
 )
 from repro.workload.activity_model import ActivityCurve, ActivityModel
+from repro.workload.degradations import (
+    DEGRADATION_BUILDERS,
+    DegradationPlan,
+    DegradationSpec,
+    DiurnalThinning,
+    HeavyUserSkew,
+    InformativeMissingness,
+)
 from repro.workload.generator import (
     GeneratorConfig,
     TelemetryGenerator,
@@ -97,6 +105,12 @@ __all__ = [
     "QueueModelConfig",
     "QueueSimResult",
     "ServiceTimeConfig",
+    "DegradationSpec",
+    "DegradationPlan",
+    "DiurnalThinning",
+    "InformativeMissingness",
+    "HeavyUserSkew",
+    "DEGRADATION_BUILDERS",
     "DEFAULT_INCIDENT_SPECS",
     "AutoscaleStep",
     "IncidentPlan",

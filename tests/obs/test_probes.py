@@ -328,6 +328,118 @@ class TestLatencyRegime:
         assert all(f.severity in ("ok", "warn", "fail") for f in findings)
 
 
+class TestProbeMissingness:
+    def _streams(self, n=6000, seed=3):
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0.0, 86400.0, n))
+        latencies = rng.lognormal(5.5, 0.8, n)
+        return times, latencies
+
+    def test_unpaired_is_a_single_ok_not_assessable(self):
+        times, latencies = self._streams()
+        findings = probes.probe_missingness(times, latencies)
+        assert _severities(findings) == ["ok"]
+        assert "not assessable" in findings[0].message
+
+    def test_empty_reference_warns(self):
+        times, latencies = self._streams()
+        findings = probes.probe_missingness(
+            times, latencies,
+            reference_times=np.array([]),
+            reference_latencies_ms=np.array([]))
+        assert _severities(findings) == ["warn"]
+
+    def test_identical_streams_all_ok(self):
+        times, latencies = self._streams()
+        findings = probes.probe_missingness(
+            times, latencies,
+            reference_times=times, reference_latencies_ms=latencies)
+        assert set(_severities(findings)) == {"ok"}
+        assert {f.probe for f in findings} == {
+            "missingness_depth", "missingness_informative",
+            "sampling_irregularity",
+        }
+
+    def test_uniform_thinning_flags_depth_only(self):
+        # Latency-blind, time-blind dropout: deep, but neither informative
+        # nor irregular — the probe must not cry MNAR at random thinning.
+        times, latencies = self._streams(n=12000)
+        rng = np.random.default_rng(11)
+        keep = rng.random(times.size) >= 0.5
+        findings = probes.probe_missingness(
+            times[keep], latencies[keep],
+            reference_times=times, reference_latencies_ms=latencies)
+        by_probe = {f.probe: f for f in findings}
+        assert by_probe["missingness_depth"].severity in ("warn", "fail")
+        assert by_probe["missingness_informative"].severity == "ok"
+        assert by_probe["sampling_irregularity"].severity == "ok"
+
+    def test_mnar_dropout_flags_informativeness(self):
+        times, latencies = self._streams(n=12000)
+        knee = np.percentile(latencies, 75.0)
+        rng = np.random.default_rng(11)
+        # Keep fast rows, drop most of the latency tail.
+        keep = (latencies < knee) | (rng.random(times.size) >= 0.7)
+        findings = probes.probe_missingness(
+            times[keep], latencies[keep],
+            reference_times=times, reference_latencies_ms=latencies)
+        by_probe = {f.probe: f for f in findings}
+        assert by_probe["missingness_informative"].severity in (
+            "warn", "fail")
+
+    def test_windowed_outage_flags_irregularity(self):
+        times, latencies = self._streams(n=12000)
+        # Collector off for the middle third of the span.
+        lo, hi = 86400.0 / 3, 2 * 86400.0 / 3
+        keep = (times < lo) | (times >= hi)
+        findings = probes.probe_missingness(
+            times[keep], latencies[keep],
+            reference_times=times, reference_latencies_ms=latencies)
+        by_probe = {f.probe: f for f in findings}
+        assert by_probe["sampling_irregularity"].severity in ("warn", "fail")
+
+    def test_duplication_never_aliases_to_mnar(self):
+        # Retention above 1 is clamped: an over-represented stream is not
+        # *missing* anything, so no missingness probe may flag it.
+        times, latencies = self._streams()
+        dup_times = np.concatenate([times, times])
+        dup_lat = np.concatenate([latencies, latencies])
+        order = np.argsort(dup_times, kind="stable")
+        findings = probes.probe_missingness(
+            dup_times[order], dup_lat[order],
+            reference_times=times, reference_latencies_ms=latencies)
+        assert set(_severities(findings)) == {"ok"}
+
+    def test_never_raises_on_constant_latency(self):
+        times, _ = self._streams(n=500)
+        const = np.full(500, 250.0)
+        findings = probes.probe_missingness(
+            times, const, reference_times=times,
+            reference_latencies_ms=const)
+        assert all(f.severity in ("ok", "warn", "fail") for f in findings)
+
+
+class TestPairedRegimeMargins:
+    def test_defaults_match_recovery_constants(self):
+        from repro.analysis.recovery import (
+            PAIRED_SPREAD_MARGIN,
+            PAIRED_TAIL_MARGIN,
+        )
+
+        margins = probes.DEFAULT_PAIRED_MARGINS
+        assert margins.tail == PAIRED_TAIL_MARGIN == 1.35
+        assert margins.spread == PAIRED_SPREAD_MARGIN == 1.2
+
+    def test_sub_unity_margins_rejected(self):
+        with pytest.raises(Exception):
+            probes.PairedRegimeMargins(tail=0.9)
+
+    def test_to_dict_is_json_plain(self):
+        payload = probes.DEFAULT_PAIRED_MARGINS.to_dict()
+        assert payload["tail"] == 1.35
+        assert all(isinstance(v, float) for v in payload.values())
+
+
 class TestEmit:
     def test_disabled_context_swallows_findings(self):
         probes.emit(probe_density_correlation(-0.4))

@@ -1,0 +1,175 @@
+"""Degradation operators: identity at zero, nesting, seeded determinism.
+
+The sensitivity suite's contracts (see ``src/repro/workload/degradations.py``):
+level zero is the exact identity, selections nest monotonically across the
+level ladder, each spec in a plan draws from its own derived stream, and
+thinning can only ever *remove* rows — never invent them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.stats.rng import RngFactory
+from repro.telemetry.log_store import LogStore
+from repro.workload.degradations import (
+    DEGRADATION_BUILDERS,
+    DegradationPlan,
+    DiurnalThinning,
+    HeavyUserSkew,
+    InformativeMissingness,
+)
+
+
+def _store(n=600, seed=0, n_users=20):
+    rng = np.random.default_rng(seed)
+    return LogStore.from_coded_arrays(
+        times=np.sort(rng.uniform(0.0, 2 * 86400.0, n)),
+        latencies_ms=rng.lognormal(5.5, 0.8, n),
+        action_codes=np.zeros(n, dtype=np.int32),
+        action_vocab=["open-message"],
+        user_codes=rng.integers(0, n_users, n).astype(np.int32),
+        user_vocab=[f"u{i:03d}" for i in range(n_users)],
+        class_codes=np.zeros(n, dtype=np.int32),
+        class_vocab=["consumer"],
+    )
+
+
+def _columns(logs):
+    return (logs.times, logs.latencies_ms, logs.action_codes,
+            logs.user_codes, logs.class_codes, logs.success, logs.tz_offsets)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("level", [-0.1, 1.01, 2.0])
+    def test_out_of_range_level_rejected(self, level):
+        with pytest.raises(ConfigError):
+            DiurnalThinning(level=level)
+
+    def test_bad_peak_hour_rejected(self):
+        with pytest.raises(ConfigError):
+            DiurnalThinning(level=0.5, peak_hour=24.0)
+
+    def test_builders_cover_every_operator(self):
+        assert set(DEGRADATION_BUILDERS) == {
+            "diurnal-thinning", "mnar-latency", "user-skew",
+        }
+        for name, build in DEGRADATION_BUILDERS.items():
+            spec = build(0.5)
+            assert spec.level == 0.5
+
+    def test_name_excludes_level(self):
+        # Same stream name at every level — that is what makes the level
+        # ladder's selections nested.
+        assert DiurnalThinning(level=0.2).name == DiurnalThinning(level=0.9).name
+
+
+class TestZeroLevelIdentity:
+    @pytest.mark.parametrize("operator", sorted(DEGRADATION_BUILDERS))
+    def test_level_zero_is_identity(self, operator):
+        logs = _store()
+        spec = DEGRADATION_BUILDERS[operator](0.0)
+        out = spec.apply(logs, RngFactory(3).stream("t"))
+        for a, b in zip(_columns(out), _columns(logs)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_plan_of_zero_levels_is_identity(self):
+        logs = _store()
+        plan = DegradationPlan(
+            specs=tuple(DEGRADATION_BUILDERS[n](0.0)
+                        for n in sorted(DEGRADATION_BUILDERS)),
+            seed=11,
+        )
+        out = plan.apply(logs)
+        for a, b in zip(_columns(out), _columns(logs)):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestDeterminismAndNesting:
+    @pytest.mark.parametrize("operator", sorted(DEGRADATION_BUILDERS))
+    def test_same_seed_same_output(self, operator):
+        logs = _store()
+        spec = DEGRADATION_BUILDERS[operator](0.6)
+        out1 = spec.apply(logs, RngFactory(5).stream("x"))
+        out2 = spec.apply(logs, RngFactory(5).stream("x"))
+        for a, b in zip(_columns(out1), _columns(out2)):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("operator", ["diurnal-thinning", "mnar-latency"])
+    def test_drops_nest_across_levels(self, operator):
+        # One draw per row at a level-independent stream position: the rows
+        # surviving level 0.8 are a subset of those surviving level 0.4.
+        logs = _store()
+        mild = DEGRADATION_BUILDERS[operator](0.4).apply(
+            logs, RngFactory(5).stream("x"))
+        harsh = DEGRADATION_BUILDERS[operator](0.8).apply(
+            logs, RngFactory(5).stream("x"))
+        assert len(harsh) <= len(mild) <= len(logs)
+        assert set(harsh.times.tolist()) <= set(mild.times.tolist())
+
+    def test_plan_streams_are_per_spec(self):
+        # Adding a second spec must not move the first spec's draws.
+        logs = _store()
+        alone = DegradationPlan(
+            specs=(DiurnalThinning(level=0.5),), seed=9).apply(logs)
+        first_of_two = DegradationPlan(
+            specs=(DiurnalThinning(level=0.5), HeavyUserSkew(level=0.0)),
+            seed=9).apply(logs)
+        for a, b in zip(_columns(alone), _columns(first_of_two)):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestOperatorSemantics:
+    def test_thinning_prefers_the_peak(self):
+        logs = _store(n=4000)
+        out = DiurnalThinning(level=0.9, peak_hour=13.0).apply(
+            logs, RngFactory(2).stream("t"))
+        hours_in = (logs.local_times / 3600.0) % 24.0
+        hours_out = (out.local_times / 3600.0) % 24.0
+        peak = lambda h: ((h >= 10) & (h < 16)).mean()  # noqa: E731
+        assert peak(hours_out) < peak(hours_in)
+
+    def test_mnar_raises_mean_latency_of_dropped_rows(self):
+        logs = _store(n=4000)
+        out = InformativeMissingness(level=0.9).apply(
+            logs, RngFactory(2).stream("m"))
+        assert len(out) < len(logs)
+        kept = set(out.times.tolist())
+        dropped = np.array([t not in kept for t in logs.times.tolist()])
+        assert (logs.latencies_ms[dropped].mean()
+                > logs.latencies_ms[~dropped].mean())
+
+    def test_user_skew_only_duplicates(self):
+        logs = _store(n=2000)
+        out = HeavyUserSkew(level=1.0).apply(logs, RngFactory(2).stream("s"))
+        assert len(out) > len(logs)
+        # Every output row exists in the input (no invented latencies), and
+        # only rows gain multiplicity.
+        in_rows = set(zip(logs.times.tolist(), logs.latencies_ms.tolist()))
+        out_rows = set(zip(out.times.tolist(), out.latencies_ms.tolist()))
+        assert out_rows == in_rows
+
+    @given(level=st.floats(min_value=0.0, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_thinning_never_inflates_any_hour_slot(self, level, seed):
+        # Property: whatever the level and seed, per-hour-of-day slot counts
+        # satisfy 0 <= degraded <= clean — thinning is a pure subset.
+        logs = _store(n=400, seed=1)
+        out = DiurnalThinning(level=level).apply(
+            logs, RngFactory(seed).stream("h"))
+        hours_in = ((logs.local_times / 3600.0) % 24.0).astype(int)
+        hours_out = ((out.local_times / 3600.0) % 24.0).astype(int)
+        clean = np.bincount(hours_in, minlength=24)
+        degraded = np.bincount(hours_out, minlength=24)
+        assert (degraded >= 0).all()
+        assert (degraded <= clean).all()
+
+    def test_empty_store_passes_through(self):
+        empty = _store().filter(np.zeros(600, dtype=bool))
+        for name in sorted(DEGRADATION_BUILDERS):
+            out = DEGRADATION_BUILDERS[name](0.7).apply(
+                empty, RngFactory(1).stream("e"))
+            assert out.is_empty

@@ -25,6 +25,9 @@ Checks any combination of the artifact kinds the CLI emits::
   folded-stack line format, top table sorted by self CPU.
 - ``--diff``: an ``autosens obs diff`` report — schema, classification
   vocabulary, and a summary that tallies the entries exactly.
+- ``--sensitivity``: an ``autosens sensitivity`` frontier artifact —
+  schema, verdict vocabulary, per-cell gate consistency, and a frontier
+  gate that agrees with its cells.
 - ``--progress``: a ``/progress`` snapshot (or recorded ``progress.json``)
   — schema, state vocabulary, per-stage ``done <= total``, non-negative
   rates/ETAs, and event counters.
@@ -89,6 +92,13 @@ PROFILE_SPAN_FIELDS = ("count", "cpu_self_s", "cpu_total_s", "wall_s",
                        "rss_peak_kb")
 DIFF_CLASSIFICATIONS = ("improved", "regressed", "unchanged", "added",
                         "removed")
+# Inlined from repro.analysis.sensitivity (importing it would pull numpy
+# into this zero-dependency validator); the test suite asserts they match.
+SENSITIVITY_SCHEMA = "autosens.sensitivity/v1"
+SENSITIVITY_VERDICTS = ("robust", "degraded-explained", "silent-bias")
+SENSITIVITY_CELL_FIELDS = ("level", "verdict", "gate_passed", "n_actions",
+                           "bias_linf", "bias_signed_area",
+                           "ci_band_inflation", "n_compared_bins", "health")
 
 
 def _validate_span_jsonl(path: Path) -> list:
@@ -334,7 +344,7 @@ def _validate_diff(path: Path) -> list:
     if payload.get("schema") != DIFF_SCHEMA:
         errors.append(f"{path}: schema != {DIFF_SCHEMA}")
     if payload.get("kind") not in ("bench", "manifest", "metrics", "curve",
-                                   "health"):
+                                   "health", "sensitivity"):
         errors.append(f"{path}: bad kind {payload.get('kind')!r}")
     entries = payload.get("entries")
     if not isinstance(entries, list):
@@ -354,6 +364,71 @@ def _validate_diff(path: Path) -> list:
     } != tally:
         errors.append(
             f"{path}: summary {summary} disagrees with the entries ({tally})")
+    return errors
+
+
+def _validate_sensitivity(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if payload.get("schema") != SENSITIVITY_SCHEMA:
+        errors.append(f"{path}: schema != {SENSITIVITY_SCHEMA}")
+    if not payload.get("fixture"):
+        errors.append(f"{path}: fixture name missing")
+    clean = payload.get("clean")
+    if not isinstance(clean, dict):
+        errors.append(f"{path}: clean twin missing")
+    elif not isinstance(clean.get("n_actions"), int) or clean["n_actions"] < 0:
+        errors.append(
+            f"{path}: clean twin has bad n_actions "
+            f"{clean.get('n_actions')!r}")
+    if isinstance(clean, dict) and isinstance(clean.get("health"), dict):
+        errors += _check_health_cell(f"{path}: clean", clean["health"])
+    cells = payload.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return errors + [f"{path}: cells missing or empty"]
+    all_gates = []
+    for i, cell in enumerate(cells):
+        missing = [f for f in SENSITIVITY_CELL_FIELDS if f not in cell]
+        if missing:
+            errors.append(f"{path}: cell {i} missing fields {missing}")
+            continue
+        verdict = cell["verdict"]
+        if verdict not in SENSITIVITY_VERDICTS:
+            errors.append(f"{path}: cell {i} has bad verdict {verdict!r}")
+            continue
+        gate = cell["gate_passed"]
+        all_gates.append(bool(gate))
+        if bool(gate) != (verdict != "silent-bias"):
+            errors.append(
+                f"{path}: cell {i} gate_passed {gate!r} disagrees with "
+                f"its verdict {verdict!r}")
+        level = cell["level"]
+        if not isinstance(level, (int, float)) or not 0.0 <= level <= 1.0:
+            errors.append(f"{path}: cell {i} has bad level {level!r}")
+        if isinstance(cell.get("health"), dict):
+            errors += _check_health_cell(f"{path}: cell {i}", cell["health"])
+    frontier_gate = payload.get("gate_passed")
+    if all_gates and bool(frontier_gate) != all(all_gates):
+        errors.append(
+            f"{path}: frontier gate_passed {frontier_gate!r} disagrees "
+            f"with its cells ({all_gates})")
+    return errors
+
+
+def _check_health_cell(owner: str, health) -> list:
+    """A frontier cell's health summary: verdict + counts only."""
+    errors = []
+    if health.get("verdict") not in SEVERITIES:
+        errors.append(f"{owner}: bad health verdict "
+                      f"{health.get('verdict')!r}")
+    counts = health.get("counts")
+    if not isinstance(counts, dict) or any(
+            not isinstance(counts.get(k), int) or counts.get(k, 0) < 0
+            for k in SEVERITIES):
+        errors.append(f"{owner}: health counts missing or negative")
     return errors
 
 
@@ -475,6 +550,9 @@ def main(argv=None) -> int:
                         help="span profile JSON (--profile-out)")
     parser.add_argument("--diff", type=Path, default=None,
                         help="diff report JSON (autosens obs diff --out)")
+    parser.add_argument("--sensitivity", type=Path, default=None,
+                        help="sensitivity frontier JSON (autosens "
+                             "sensitivity --out-dir)")
     parser.add_argument("--progress", type=Path, default=None,
                         help="progress snapshot JSON (/progress or a "
                              "recorded progress.json)")
@@ -487,10 +565,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if all(getattr(args, name) is None
            for name in ("trace", "metrics", "manifest", "health",
-                        "profile", "diff", "progress", "events", "registry")):
+                        "profile", "diff", "sensitivity", "progress",
+                        "events", "registry")):
         parser.error("nothing to validate; pass --trace/--metrics/--manifest/"
-                     "--health/--profile/--diff/--progress/--events/"
-                     "--registry")
+                     "--health/--profile/--diff/--sensitivity/--progress/"
+                     "--events/--registry")
 
     errors = []
     if args.trace is not None:
@@ -511,6 +590,8 @@ def main(argv=None) -> int:
         errors += _validate_profile(args.profile)
     if args.diff is not None:
         errors += _validate_diff(args.diff)
+    if args.sensitivity is not None:
+        errors += _validate_sensitivity(args.sensitivity)
     if args.progress is not None:
         errors += _validate_progress(args.progress)
     if args.events is not None:
