@@ -6,6 +6,7 @@ Subcommands::
     autosens analyze logs.jsonl --action SelectMail --user-class business
     autosens analyze dirty.jsonl --on-bad-rows quarantine --quarantine-path bad.jsonl
     autosens experiment fig4 --scale full --checkpoint-dir .autosens-ckpt
+    autosens watch .autosens-runs --check
     autosens list
 
 (Or ``python -m repro ...`` without installing the entry point.)
@@ -122,7 +123,7 @@ def _configure_obs(args: argparse.Namespace) -> bool:
 
     # Inspection commands read artifacts others produced; their flags
     # (e.g. `runs --runs-dir`) never mean "instrument this invocation".
-    if args.command in ("obs", "doctor", "top", "runs", "list"):
+    if args.command in ("obs", "doctor", "top", "runs", "watch", "list"):
         return False
     wants = bool(
         getattr(args, "log_level", None)
@@ -224,10 +225,12 @@ def _start_obs_services(args: argparse.Namespace) -> dict:
             host, port = parse_serve_addr(spec)
         except ValueError as exc:
             raise ConfigError(str(exc)) from None
-        server = ObsServer(host, port).start()
+        server = ObsServer(host, port,
+                           runs_dir=getattr(args, "runs_dir", None)).start()
         services["server"] = server
         print(f"obs: serving live telemetry on {server.url} "
-              "(/metrics /healthz /progress /events)", file=sys.stderr)
+              "(/metrics /healthz /progress /events /slo /trend)",
+              file=sys.stderr)
         obs.event("run", phase="start", run_id=obs.current().run_id,
                   command=args.command)
     return services
@@ -603,6 +606,45 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="how many recent runs to trend (default: 5)")
     runs_trend.add_argument("--rel-tol", type=float, default=None)
     runs_trend.add_argument("--curve-tol", type=float, default=None)
+
+    watch = sub.add_parser(
+        "watch",
+        help="fleet surveillance over a run registry: rolling EWMA+MAD "
+             "baselines, change-point drift attribution, and SLO burn-rate "
+             "verdicts over the whole recorded history")
+    watch.add_argument(
+        "runs_dir",
+        help="registry directory (the --runs-dir runs were recorded into)")
+    watch.add_argument(
+        "--slo", default=None, metavar="PATH",
+        help="SLO config as TOML ([[slo]] tables) or JSON; default: the "
+             "built-in fleet SLO set (health, ingest rejects, span "
+             "stability, frontier bias)")
+    watch.add_argument(
+        "--last", type=int, default=0,
+        help="only consider the last N recorded runs (default: all)")
+    watch.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write baseline.json / trend.json / slo.json here "
+             "(byte-deterministic: identical registries yield identical "
+             "artifacts)")
+    watch.add_argument(
+        "--executor", default=None, choices=["serial", "process"],
+        help="per-series analysis executor (default: serial; process is "
+             "byte-identical by contract)")
+    watch.add_argument(
+        "--check", action="store_true",
+        help="CI gate: exit 1 when any SLO breaches (0 when all met)")
+    watch.add_argument(
+        "--follow", action="store_true",
+        help="keep watching: re-evaluate whenever the registry index "
+             "grows (ctrl-C to stop)")
+    watch.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between registry polls with --follow (default: 2.0)")
+    watch.add_argument(
+        "--max-polls", type=int, default=0,
+        help="stop --follow after this many polls (0 = until interrupted)")
 
     sub.add_parser("list", help="list scenarios and experiments")
     return parser
@@ -1058,8 +1100,20 @@ def _fetch_progress(target: str) -> dict:
     if path.is_dir():
         progress = path / "progress.json"
         if not progress.is_file():
-            raise SchemaError(f"{path} holds no progress.json "
-                              "(was the run recorded with --serve-obs?)")
+            # Runs recorded without --serve-obs persist no progress.json;
+            # degrade to a manifest-only summary instead of erroring.
+            manifest_path = path / "manifest.json"
+            if manifest_path.is_file():
+                from repro.obs.progress import snapshot_from_manifest
+                try:
+                    manifest = _json.loads(
+                        manifest_path.read_text(encoding="utf-8"))
+                except (OSError, _json.JSONDecodeError) as exc:
+                    raise SchemaError(
+                        f"cannot read {manifest_path}: {exc}") from exc
+                return snapshot_from_manifest(manifest)
+            raise SchemaError(f"{path} holds no progress.json or "
+                              "manifest.json (is it a recorded run dir?)")
         try:
             return _json.loads(progress.read_text(encoding="utf-8"))
         except (OSError, _json.JSONDecodeError) as exc:
@@ -1163,6 +1217,73 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return trend_exit_code(reports)
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Fleet surveillance: baselines + drift + SLO verdicts over a registry.
+
+    Exit codes: 0 when every SLO is met (always 0 without ``--check``
+    unless evaluation itself fails), 1 on a breach under ``--check`` or
+    ``--follow``, 2 for a missing/empty registry, 3 for a malformed SLO
+    config — the same taxonomy as every other command.
+    """
+    import time
+
+    from repro.obs.registry import RunRegistry
+    from repro.obs.watch import (
+        WatchConfigError,
+        build_watch_report,
+        load_slo_config,
+        render_watch,
+        watch_exit_code,
+        write_watch_artifact,
+    )
+
+    registry = RunRegistry(args.runs_dir)
+    if not registry.index_path.is_file():
+        raise ConfigError(
+            f"no run registry at {args.runs_dir} (missing index.jsonl — "
+            "record runs with --runs-dir first)")
+    try:
+        slos = load_slo_config(args.slo)
+    except WatchConfigError as exc:
+        raise SchemaError(str(exc)) from exc
+
+    def evaluate() -> dict:
+        try:
+            return build_watch_report(
+                registry, slos=slos, last=args.last,
+                executor=args.executor)
+        except WatchConfigError as exc:
+            raise ConfigError(str(exc)) from exc
+
+    report = evaluate()
+    print(render_watch(report))
+    if args.out_dir:
+        out = Path(args.out_dir)
+        for name in ("baseline", "trend", "slo"):
+            write_watch_artifact(report[name], out / f"{name}.json")
+        print(f"watch artifacts written to {out}", file=sys.stderr)
+    if not args.follow:
+        return watch_exit_code(report) if args.check else 0
+    seen = len(registry.entries())
+    polls = 1
+    status = watch_exit_code(report)
+    while args.max_polls <= 0 or polls < args.max_polls:
+        try:
+            time.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            break
+        polls += 1
+        n = len(registry.entries())
+        if n == seen:
+            continue
+        seen = n
+        report = evaluate()
+        print()
+        print(render_watch(report))
+        status = watch_exit_code(report)
+    return status if args.check else 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
     from repro.workload.scenarios import SCENARIOS
@@ -1199,6 +1320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "top": _cmd_top,
         "runs": _cmd_runs,
+        "watch": _cmd_watch,
         "list": _cmd_list,
     }
     observing = _configure_obs(args)

@@ -64,7 +64,21 @@ from repro.obs.metrics import (
     write_metrics_prometheus,
 )
 from repro.obs.probes import HealthFinding
-from repro.obs.progress import ProgressTracker, render_progress
+from repro.obs.progress import (
+    ProgressTracker,
+    render_progress,
+    snapshot_from_manifest,
+)
+from repro.obs.watch import (
+    build_watch_report,
+    detect_change_point,
+    evaluate_slos,
+    load_slo_config,
+    render_watch,
+    robust_baseline,
+    watch_exit_code,
+    write_watch_artifact,
+)
 from repro.obs.profile import (
     SpanProfiler,
     StackSampler,
@@ -147,6 +161,15 @@ __all__ = [
     "detach_sink",
     "ProgressTracker",
     "render_progress",
+    "snapshot_from_manifest",
+    "robust_baseline",
+    "detect_change_point",
+    "load_slo_config",
+    "evaluate_slos",
+    "build_watch_report",
+    "render_watch",
+    "watch_exit_code",
+    "write_watch_artifact",
 ]
 
 

@@ -17,7 +17,11 @@ sniffed from JSON shape, not file name:
 - **health** — serialized health reports: verdict rank and finding counts;
 - **sensitivity** — frontier artifacts from the sensitivity suite
   (``fixture`` + ``cells``): per-level verdict ranks, bias magnitudes,
-  band inflation, compared support, and gate state.
+  band inflation, compared support, and gate state;
+- **watch-baseline** / **watch-trend** — fleet watch artifacts from
+  :mod:`repro.obs.watch` (self-identified by their ``kind`` field):
+  per-series EWMA centers and MAD noise, and change-point state ranks
+  with pinned change sequences.
 
 A self-comparison is 100 % ``unchanged`` by construction (every comparator
 is an exact-equality fast path before any tolerance math) — the property
@@ -139,6 +143,8 @@ def sniff_kind(payload: Dict[str, Any]) -> str:
     """Artifact kind from JSON shape; :class:`SchemaError` if unrecognized."""
     from repro.errors import SchemaError
 
+    if payload.get("kind") in ("watch-baseline", "watch-trend"):
+        return str(payload["kind"])
     if "scales" in payload and "schema" in payload:
         return "bench"
     if "fixture" in payload and "cells" in payload:
@@ -156,7 +162,7 @@ def sniff_kind(payload: Dict[str, Any]) -> str:
         return "metrics"
     raise SchemaError(
         "unrecognized artifact shape (expected bench/manifest/metrics/"
-        "curve/health/sensitivity JSON)")
+        "curve/health/sensitivity/watch JSON)")
 
 
 # ---------------------------------------------------------------------------
@@ -405,6 +411,69 @@ def _diff_sensitivity(a: Dict[str, Any], b: Dict[str, Any],
     return entries
 
 
+#: Watch change-point states in increasing badness.
+_TREND_STATE_RANK = {"stable": 0, "trending": 1, "stepped": 2}
+
+
+def _watch_series_value(cell: Optional[Dict[str, Any]],
+                        key: str) -> Optional[float]:
+    if not isinstance(cell, dict) or \
+            not isinstance(cell.get(key), (int, float)):
+        return None
+    return float(cell[key])
+
+
+def _diff_watch_baseline(a: Dict[str, Any], b: Dict[str, Any],
+                         rel_tol: float) -> List[Dict[str, Any]]:
+    """Baseline vs baseline: did a series' *center* or *noise* move?
+
+    EWMA centers are pinned (a committed baseline drifting in either
+    direction is the regression being hunted); MAD is lower-better — a
+    noisier fleet is a worse fleet.
+    """
+    a_series = a.get("series") or {}
+    b_series = b.get("series") or {}
+    entries: List[Dict[str, Any]] = []
+    for name in sorted(set(a_series) | set(b_series)):
+        ca = a_series.get(name)
+        cb = b_series.get(name)
+        entries.append(_entry(
+            f"baseline.ewma[{name}]",
+            _watch_series_value(ca, "ewma"), _watch_series_value(cb, "ewma"),
+            rel_tol, better=None))
+        entries.append(_entry(
+            f"baseline.mad[{name}]",
+            _watch_series_value(ca, "mad"), _watch_series_value(cb, "mad"),
+            rel_tol, better="lower"))
+    return entries
+
+
+def _diff_watch_trend(a: Dict[str, Any],
+                      b: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Trend vs trend: state ranks lower-better, change seqs pinned."""
+    a_series = a.get("series") or {}
+    b_series = b.get("series") or {}
+    entries: List[Dict[str, Any]] = []
+
+    def rank(cell: Optional[Dict[str, Any]]) -> Optional[float]:
+        if not isinstance(cell, dict):
+            return None
+        return float(_TREND_STATE_RANK.get(str(cell.get("state")), 2))
+
+    for name in sorted(set(a_series) | set(b_series)):
+        ca = a_series.get(name)
+        cb = b_series.get(name)
+        entries.append(_entry(
+            f"trend.state_rank[{name}]", rank(ca), rank(cb),
+            0.0, better="lower"))
+        a_seq = _watch_series_value(ca, "change_seq")
+        b_seq = _watch_series_value(cb, "change_seq")
+        if a_seq is not None or b_seq is not None:
+            entries.append(_entry(
+                f"trend.change_seq[{name}]", a_seq, b_seq, 0.0, better=None))
+    return entries
+
+
 # ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
@@ -432,6 +501,10 @@ def diff_artifacts(a: Dict[str, Any], b: Dict[str, Any],
         entries = _diff_curve(a, b, curve_tol)
     elif kind_a == "sensitivity":
         entries = _diff_sensitivity(a, b, rel_tol, curve_tol)
+    elif kind_a == "watch-baseline":
+        entries = _diff_watch_baseline(a, b, rel_tol)
+    elif kind_a == "watch-trend":
+        entries = _diff_watch_trend(a, b)
     else:
         entries = _diff_health(a, b)
     summary = {"improved": 0, "regressed": 0, "unchanged": 0,

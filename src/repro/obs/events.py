@@ -55,6 +55,7 @@ EVENT_TYPES = (
     "stage",         # an executor announced a stage's task total
     "tasks",         # one or more tasks completed on an executor
     "run",           # run lifecycle (started/finished)
+    "slo",           # a watch SLO evaluation verdict (met/breaching)
 )
 
 #: Default per-sink buffer bound; ~a few hundred KB of events at most.

@@ -27,6 +27,7 @@ __all__ = [
     "DEFAULT_HALFLIFE_S",
     "ProgressTracker",
     "render_progress",
+    "snapshot_from_manifest",
 ]
 
 #: Bump when the progress snapshot field set changes incompatibly.
@@ -126,13 +127,19 @@ class ProgressTracker:
             return
         stage = self._stage(name)
         now = self._clock()
+        # Clamp the window: a clock that stalls or steps backwards must
+        # not turn into a zero/negative dt and an infinite rate.
         dt = max(1e-6, now - stage.updated_at)
         instantaneous = done / dt
-        if stage.rate is None:
-            stage.rate = instantaneous
-        else:
-            weight = 1.0 - math.exp(-dt / self._halflife_s)
-            stage.rate += weight * (instantaneous - stage.rate)
+        if math.isfinite(instantaneous) and instantaneous >= 0.0:
+            if stage.rate is None:
+                stage.rate = instantaneous
+            else:
+                weight = 1.0 - math.exp(-dt / self._halflife_s)
+                stage.rate += weight * (instantaneous - stage.rate)
+            if stage.rate is not None and \
+                    (not math.isfinite(stage.rate) or stage.rate < 0.0):
+                stage.rate = None
         stage.done += done
         stage.updated_at = now
 
@@ -150,18 +157,27 @@ class ProgressTracker:
         stages: Dict[str, Any] = {}
         for name in list(self._stage_order):
             stage = self._stages[name]
+            # An over-reporting executor (done > total, e.g. retried
+            # tasks) must not leak an impossible frame to /progress.
+            done = stage.done if stage.total is None \
+                else min(stage.done, stage.total)
             entry: Dict[str, Any] = {
-                "done": stage.done,
+                "done": done,
                 "total": stage.total,
                 "elapsed_s": round(max(0.0, now - stage.started_at), 3),
             }
             rate = stage.rate
+            if rate is not None and \
+                    (not math.isfinite(rate) or rate < 0.0):
+                rate = None
             entry["rate_per_s"] = round(rate, 3) if rate is not None else None
             eta: Optional[float] = None
             if (self.state == "running" and stage.total is not None
                     and rate is not None and rate > 1e-9
-                    and stage.total > stage.done):
-                eta = (stage.total - stage.done) / rate
+                    and stage.total > done):
+                eta = (stage.total - done) / rate
+                if not math.isfinite(eta) or eta < 0.0:
+                    eta = None
             entry["eta_s"] = round(eta, 1) if eta is not None else None
             stages[name] = entry
         return {
@@ -175,6 +191,45 @@ class ProgressTracker:
             "current": self._open_paths[-1] if self._open_paths else None,
             "events": {"seen": self.events_seen, "dropped": self.dropped},
         }
+
+
+def snapshot_from_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """A progress-shaped frame synthesized from a run manifest.
+
+    Runs recorded without ``--serve-obs`` persist no ``progress.json``;
+    ``autosens top`` degrades to this manifest-only summary instead of
+    erroring: terminal state from ``exit_status``, span counts and a
+    wall-clock estimate from ``span_timings``. The frame satisfies the
+    same schema ``tools/validate_obs.py --progress`` checks, and carries
+    ``"source": "manifest"`` so renderers can label it honestly.
+    """
+    timings = manifest.get("span_timings")
+    spans: Dict[str, int] = {}
+    elapsed = 0.0
+    if isinstance(timings, dict):
+        for name in sorted(timings):
+            cell = timings[name]
+            if not isinstance(cell, dict):
+                continue
+            count = cell.get("count")
+            if isinstance(count, int) and count >= 0:
+                spans[str(name)] = count
+            seconds = cell.get("seconds")
+            if isinstance(seconds, (int, float)) and seconds >= 0:
+                elapsed += float(seconds)
+    exit_status = manifest.get("exit_status", 0)
+    state = "done" if exit_status in (0, None) else "failed"
+    return {
+        "schema": PROGRESS_SCHEMA,
+        "state": state,
+        "run_id": str(manifest.get("run_id", "") or ""),
+        "elapsed_s": round(elapsed, 3),
+        "stages": {},
+        "spans": spans,
+        "current": None,
+        "events": {"seen": 0, "dropped": 0},
+        "source": "manifest",
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -221,6 +276,9 @@ def render_progress(snapshot: Dict[str, Any], source: str = "") -> str:
             lines.append(
                 f"  [{_bar(done, total)}] {frac:>11}  {rate_s:>8}  "
                 f"eta {_fmt_eta(entry.get('eta_s')):>6}  {name}")
+    elif snapshot.get("source") == "manifest":
+        lines.append("  (recorded without --serve-obs — "
+                     "manifest-only summary)")
     else:
         lines.append("  (no stage progress yet)")
     current = snapshot.get("current")

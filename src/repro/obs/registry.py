@@ -13,6 +13,11 @@ manifests, so the same wall-time/span-share/health-verdict taxonomy that
 ``obs diff`` applies to two runs extends to the last N: two identical
 deterministic seeded runs trend as all-unchanged (a CI gate), and a
 regression names the first run pair where it appeared.
+
+Fleet-level surveillance over the *whole* history — rolling baselines,
+change-point attribution, SLO burn rates — lives in
+:mod:`repro.obs.watch` (``autosens watch``) and builds on
+:meth:`RunRegistry.entries` / :meth:`RunRegistry.read_manifest`.
 """
 
 from __future__ import annotations
@@ -92,6 +97,18 @@ class RunRegistry:
 
     def run_path(self, entry: Dict[str, Any]) -> Path:
         return self.runs_dir / str(entry.get("dir", ""))
+
+    def read_manifest(self, entry: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The recorded manifest for one entry, or ``None`` when the run
+        directory (or its manifest) has been deleted or corrupted —
+        callers degrade to index-line fields rather than failing."""
+        try:
+            with open(self.run_path(entry) / "manifest.json", "r",
+                      encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     # -- writes --------------------------------------------------------------
 

@@ -17,6 +17,14 @@ a pure *reader* of the active :class:`~repro.obs._runtime.ObsContext`:
 ``/events``
     NDJSON tail of recent bus events; ``?n=`` bounds the count and
     ``?since=`` filters by sequence number for incremental polls.
+``/slo`` and ``/trend``
+    Fleet-level watch verdicts over the attached run registry (the
+    ``--runs-dir`` the server was started with): ``/slo`` evaluates the
+    SLO set against registry history — HTTP 200 when every SLO is met,
+    503 on a breach — and ``/trend`` serves the per-series change-point
+    classification. Both 404 when no registry is attached, and both
+    evaluate *recorded history only* (the in-flight run is not yet an
+    index entry).
 
 Determinism contract: the server attaches one bounded
 :class:`~repro.obs.events.EventSink` and one tracker to the event bus and
@@ -103,6 +111,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._serve_progress()
             elif route == "/events":
                 self._serve_events(parse_qs(parsed.query))
+            elif route == "/slo":
+                self._serve_slo()
+            elif route == "/trend":
+                self._serve_trend()
             elif route == "/":
                 self._serve_index()
             else:
@@ -121,8 +133,61 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _serve_index(self) -> None:
         body = ("autosens obs server\n"
-                "endpoints: /metrics /healthz /progress /events\n")
+                "endpoints: /metrics /healthz /progress /events "
+                "/slo /trend\n")
         self._send(200, "text/plain; charset=utf-8", body.encode("utf-8"))
+
+    def _watch_report(self) -> Optional[Dict[str, Any]]:
+        runs_dir = getattr(self.server, "obs_runs_dir", None)
+        if not runs_dir:
+            return None
+        # Lazy import: watch pulls in the registry, which most served
+        # runs never need; a scrape pays the cost, not startup.
+        from repro.obs.registry import RunRegistry
+        from repro.obs.watch import (
+            WATCH_SCHEMA,
+            WatchConfigError,
+            build_watch_report,
+            load_slo_config,
+        )
+        slo_path = getattr(self.server, "obs_slo_path", None)
+        try:
+            return build_watch_report(
+                RunRegistry(runs_dir),
+                slos=load_slo_config(slo_path) if slo_path else None)
+        except WatchConfigError:
+            # A registry with no recorded history yet (e.g. scraped during
+            # the fleet's very first run) trivially meets every SLO.
+            empty = {"schema": WATCH_SCHEMA, "n_runs": 0,
+                     "note": "empty-registry"}
+            return {
+                "n_runs": 0,
+                "slo": {**empty, "kind": "watch-slo", "slos": [],
+                        "breaches": [], "met": True},
+                "trend": {**empty, "kind": "watch-trend", "series": {}},
+            }
+
+    def _serve_slo(self) -> None:
+        report = self._watch_report()
+        if report is None:
+            self._send(404, "text/plain; charset=utf-8",
+                       b"no run registry attached (start with --runs-dir)\n")
+            return
+        payload = report["slo"]
+        status = 200 if payload.get("met") else 503
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self._send(status, "application/json", body.encode("utf-8"))
+
+    def _serve_trend(self) -> None:
+        report = self._watch_report()
+        if report is None:
+            self._send(404, "text/plain; charset=utf-8",
+                       b"no run registry attached (start with --runs-dir)\n")
+            return
+        body = json.dumps(report["trend"], sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self._send(200, "application/json", body.encode("utf-8"))
 
     def _serve_metrics(self) -> None:
         _refresh_supervisor_gauges()
@@ -186,8 +251,12 @@ class ObsServer:
     """
 
     def __init__(self, host: str, port: int,
-                 sink_maxlen: Optional[int] = None) -> None:
+                 sink_maxlen: Optional[int] = None,
+                 runs_dir: Optional[str] = None,
+                 slo_path: Optional[str] = None) -> None:
         self._requested = (host, port)
+        self.runs_dir = str(runs_dir) if runs_dir else None
+        self.slo_path = str(slo_path) if slo_path else None
         self.sink = EventSink(maxlen=sink_maxlen) if sink_maxlen \
             else EventSink()
         self.tracker = ProgressTracker()
@@ -214,6 +283,8 @@ class ObsServer:
         server.daemon_threads = True
         server.obs_sink = self.sink  # type: ignore[attr-defined]
         server.obs_tracker = self.tracker  # type: ignore[attr-defined]
+        server.obs_runs_dir = self.runs_dir  # type: ignore[attr-defined]
+        server.obs_slo_path = self.slo_path  # type: ignore[attr-defined]
         self._server = server
         obs.attach_sink(self.sink)
         obs.attach_sink(self.tracker)

@@ -158,7 +158,7 @@ class TestFacade:
         # The closed vocabulary is what validate_obs --events checks against.
         assert set(EVENT_TYPES) == {
             "span_open", "span_close", "metric", "finding", "degradation",
-            "supervisor", "stage", "tasks", "run"}
+            "supervisor", "stage", "tasks", "run", "slo"}
 
 
 class TestNoSinkIdentity:

@@ -1,10 +1,13 @@
 """Progress tracking: stage folding, EWMA throughput, ETA, rendering."""
 
+import math
+
 from repro.obs.progress import (
     DEFAULT_HALFLIFE_S,
     PROGRESS_SCHEMA,
     ProgressTracker,
     render_progress,
+    snapshot_from_manifest,
 )
 
 
@@ -86,6 +89,80 @@ class TestRateAndEta:
         clock.advance(1.0)
         tracker.offer({"type": "tasks", "stage": "s", "done": 2})
         assert tracker.snapshot()["stages"]["s"]["eta_s"] is None
+
+
+class TestClamps:
+    """Pathological inputs must never leak impossible frames to /progress
+    (validate_obs --progress enforces done <= total and finite,
+    non-negative rates/ETAs)."""
+
+    def _assert_frame_sane(self, snap):
+        for stage in snap["stages"].values():
+            if stage["total"] is not None:
+                assert stage["done"] <= stage["total"]
+            for key in ("rate_per_s", "eta_s"):
+                if stage[key] is not None:
+                    assert math.isfinite(stage[key])
+                    assert stage[key] >= 0.0
+
+    def test_done_over_total_is_clamped_in_the_snapshot(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "stage", "stage": "s", "total": 5})
+        clock.advance(1.0)
+        # Retried tasks over-report: 8 completions against a total of 5.
+        tracker.offer({"type": "tasks", "stage": "s", "done": 8})
+        stage = tracker.snapshot()["stages"]["s"]
+        assert stage["done"] == 5
+        assert stage["eta_s"] is None  # nothing "remaining" to estimate
+        self._assert_frame_sane(tracker.snapshot())
+
+    def test_zero_duration_window_yields_finite_rate_and_eta(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "stage", "stage": "s", "total": 1000})
+        # Two task batches with the clock frozen: dt == 0 exactly.
+        tracker.offer({"type": "tasks", "stage": "s", "done": 10})
+        tracker.offer({"type": "tasks", "stage": "s", "done": 10})
+        self._assert_frame_sane(tracker.snapshot())
+
+    def test_backwards_clock_never_emits_negative_rate_or_eta(self):
+        tracker, clock = _tracker()
+        tracker.offer({"type": "stage", "stage": "s", "total": 100})
+        clock.advance(1.0)
+        tracker.offer({"type": "tasks", "stage": "s", "done": 10})
+        clock.advance(-5.0)  # e.g. a clock source swap under the tracker
+        tracker.offer({"type": "tasks", "stage": "s", "done": 10})
+        self._assert_frame_sane(tracker.snapshot())
+
+
+class TestManifestSnapshot:
+    def _manifest(self, exit_status=0):
+        return {
+            "run_id": "exp:11",
+            "exit_status": exit_status,
+            "span_timings": {
+                "preference_compute": {"seconds": 2.0, "count": 3},
+                "ingest": {"seconds": 0.4, "count": 1},
+            },
+        }
+
+    def test_snapshot_carries_state_spans_and_elapsed(self):
+        snap = snapshot_from_manifest(self._manifest())
+        assert snap["schema"] == PROGRESS_SCHEMA
+        assert snap["state"] == "done"
+        assert snap["run_id"] == "exp:11"
+        assert snap["spans"] == {"ingest": 1, "preference_compute": 3}
+        assert snap["elapsed_s"] == 2.4
+        assert snap["source"] == "manifest"
+
+    def test_failed_exit_status_maps_to_failed_state(self):
+        snap = snapshot_from_manifest(self._manifest(exit_status=3))
+        assert snap["state"] == "failed"
+
+    def test_render_labels_the_manifest_only_summary(self):
+        frame = render_progress(snapshot_from_manifest(self._manifest()),
+                                source="runs/0001-exp-11")
+        assert "manifest-only summary" in frame
+        assert "preference_compute" in frame
 
 
 class TestLifecycle:

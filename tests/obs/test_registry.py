@@ -1,6 +1,8 @@
 """The run registry: append-only index, lookup, and trend classification."""
 
 import json
+import multiprocessing
+import sys
 
 import repro.obs as obs
 from repro.obs.registry import (
@@ -75,6 +77,62 @@ class TestIndex:
         registry = RunRegistry(tmp_path / "missing")
         assert registry.entries() == []
         assert registry.next_seq() == 1
+
+
+def _append_entries(runs_dir, writer, base_seq, n, barrier):
+    """Child-process worker: append n pre-built index lines concurrently."""
+    registry = RunRegistry(runs_dir)
+    barrier.wait(timeout=30)
+    for i in range(n):
+        run_dir = registry.runs_dir / f"{base_seq + i:04d}-{writer}-run"
+        run_dir.mkdir(parents=True, exist_ok=True)
+        registry.record(run_dir, run_id=f"{writer}:{i}", command="experiment",
+                        seed=i, deterministic=True, verdict="ok", wall_s=1.0)
+
+
+class TestConcurrentAppenders:
+    """Interleaved writers + a torn tail must never lose a complete entry.
+
+    ``record`` writes each index line in a single ``write`` on an
+    O_APPEND handle, and ``entries`` skips torn lines — so two processes
+    hammering the same index can interleave *lines*, never bytes.
+    """
+
+    def test_two_processes_interleaving_drop_nothing(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        registry = RunRegistry(runs_dir)
+        # An existing complete entry, then a torn tail with no newline —
+        # exactly what a run killed mid-append leaves behind.
+        first = _record_run(registry)
+        with open(registry.index_path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 99, "dir": "torn')
+        ctx = multiprocessing.get_context(
+            "fork" if sys.platform != "win32" else "spawn")
+        barrier = ctx.Barrier(2)
+        n_each = 20
+        workers = [
+            ctx.Process(target=_append_entries,
+                        args=(str(runs_dir), writer, base_seq, n_each,
+                              barrier))
+            for writer, base_seq in (("a", 1000), ("b", 2000))
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        entries = registry.entries()
+        run_ids = [e.get("run_id") for e in entries]
+        # The pre-existing complete entry survived both the tear and the
+        # concurrent traffic...
+        assert first["run_id"] in run_ids
+        # ...and every concurrent append landed exactly once, parseable.
+        for writer in ("a", "b"):
+            recorded = sorted(r for r in run_ids
+                              if isinstance(r, str)
+                              and r.startswith(f"{writer}:"))
+            assert recorded == sorted(f"{writer}:{i}" for i in range(n_each))
+        assert len(entries) == 1 + 2 * n_each
 
 
 class TestTrend:

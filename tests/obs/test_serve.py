@@ -3,6 +3,7 @@
 import json
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 import pytest
 
@@ -103,6 +104,77 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(server.url + "/nope")
         assert excinfo.value.code == 404
+
+    @pytest.mark.parametrize("route", ["/slo", "/trend"])
+    def test_watch_routes_404_without_a_runs_dir(self, server, route):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + route)
+        assert excinfo.value.code == 404
+
+
+class TestWatchEndpoints:
+    """A server wired to a registry serves fleet SLO and trend verdicts."""
+
+    GOLDEN = Path(__file__).parent / "golden" / "registry"
+
+    def _server(self, runs_dir):
+        return ObsServer("127.0.0.1", 0, runs_dir=str(runs_dir)).start()
+
+    def test_slo_is_200_when_the_fleet_is_healthy(self):
+        with obs.session(enabled=True, run_id="watch-clean"):
+            srv = self._server(self.GOLDEN / "clean")
+            try:
+                status, body = _get(srv.url + "/slo")
+            finally:
+                srv.close()
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["kind"] == "watch-slo"
+        assert payload["met"] is True
+        assert payload["breaches"] == []
+
+    def test_slo_is_503_on_a_breach_and_names_the_series(self):
+        with obs.session(enabled=True, run_id="watch-stepped"):
+            srv = self._server(self.GOLDEN / "stepped")
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _get(srv.url + "/slo")
+                assert excinfo.value.code == 503
+                payload = json.loads(excinfo.value.read().decode("utf-8"))
+            finally:
+                srv.close()
+        assert payload["met"] is False
+        assert any(b["series"] == "span_seconds[preference_compute]"
+                   for b in payload["breaches"])
+
+    def test_trend_serves_per_series_change_points(self):
+        with obs.session(enabled=True, run_id="watch-trend"):
+            srv = self._server(self.GOLDEN / "stepped")
+            try:
+                status, body = _get(srv.url + "/trend")
+            finally:
+                srv.close()
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["kind"] == "watch-trend"
+        moved = payload["series"]["span_seconds[preference_compute]"]
+        assert moved["state"] == "stepped"
+        assert moved["change_seq"] == 6
+
+    def test_empty_registry_serves_a_trivially_met_verdict(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        runs_dir.mkdir()
+        (runs_dir / "index.jsonl").write_text("", encoding="utf-8")
+        with obs.session(enabled=True, run_id="watch-empty"):
+            srv = self._server(runs_dir)
+            try:
+                status, body = _get(srv.url + "/slo")
+            finally:
+                srv.close()
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["met"] is True
+        assert payload["note"] == "empty-registry"
 
 
 class TestLifecycle:

@@ -38,6 +38,13 @@ Checks any combination of the artifact kinds the CLI emits::
   ``index.jsonl``) — schema-stamped index lines with strictly increasing
   sequence numbers, each pointing at a run directory whose manifest
   validates.
+- ``--baseline`` / ``--trend`` / ``--slo``: ``autosens watch`` artifacts —
+  watch schema + kind stamps, per-series baseline fields with sane
+  envelopes, change-point states from the closed vocabulary (a stepped
+  series must carry its ``change_seq``), and SLO verdicts whose ``met``
+  flags agree with their per-series details and breach list.
+- ``--summary``: an ``autosens obs summary --format json`` payload — a
+  list of ``[field, value]`` rows covering the manifest essentials.
 
 Exit status 0 when everything validates, 1 with one line per violation
 otherwise (drift between a summary and its entries, an out-of-order top
@@ -64,6 +71,7 @@ from repro.obs.profile import PROFILE_SCHEMA  # noqa: E402
 from repro.obs.progress import PROGRESS_SCHEMA, STATES  # noqa: E402
 from repro.obs.registry import REGISTRY_SCHEMA  # noqa: E402
 from repro.obs.trace import TRACE_SCHEMA  # noqa: E402
+from repro.obs.watch import WATCH_SCHEMA  # noqa: E402
 
 SPAN_FIELDS = ("name", "id", "parent", "path", "tid", "start_us", "dur_us",
                "attrs")
@@ -344,7 +352,8 @@ def _validate_diff(path: Path) -> list:
     if payload.get("schema") != DIFF_SCHEMA:
         errors.append(f"{path}: schema != {DIFF_SCHEMA}")
     if payload.get("kind") not in ("bench", "manifest", "metrics", "curve",
-                                   "health", "sensitivity"):
+                                   "health", "sensitivity",
+                                   "watch-baseline", "watch-trend"):
         errors.append(f"{path}: bad kind {payload.get('kind')!r}")
     entries = payload.get("entries")
     if not isinstance(entries, list):
@@ -536,6 +545,161 @@ def _validate_registry(path: Path) -> list:
     return errors
 
 
+_BASELINE_SERIES_FIELDS = ("n", "last", "ewma", "median", "mad", "lo", "hi",
+                           "within_envelope")
+_TREND_STATES = ("stable", "stepped", "trending")
+_SLO_OBJECTIVES = ("max", "min", "stable")
+
+
+def _validate_baseline(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if payload.get("schema") != WATCH_SCHEMA:
+        errors.append(f"{path}: schema != {WATCH_SCHEMA}")
+    if payload.get("kind") != "watch-baseline":
+        errors.append(f"{path}: kind != 'watch-baseline'")
+    series = payload.get("series")
+    if not isinstance(series, dict) or not series:
+        return errors + [f"{path}: series missing or empty"]
+    for name, cell in series.items():
+        if not isinstance(cell, dict):
+            errors.append(f"{path}: series {name!r} is not an object")
+            continue
+        n = cell.get("n")
+        if not isinstance(n, int) or n < 1:
+            errors.append(f"{path}: series {name!r} has bad n {n!r}")
+            continue
+        missing = [f for f in _BASELINE_SERIES_FIELDS if f not in cell]
+        if missing:
+            errors.append(f"{path}: series {name!r} missing fields {missing}")
+            continue
+        for key in ("last", "ewma", "median", "mad", "lo", "hi"):
+            if not isinstance(cell[key], (int, float)):
+                errors.append(
+                    f"{path}: series {name!r} has bad {key} {cell[key]!r}")
+        if isinstance(cell["lo"], (int, float)) and \
+                isinstance(cell["hi"], (int, float)) and \
+                cell["lo"] > cell["hi"]:
+            errors.append(f"{path}: series {name!r} envelope lo > hi")
+        if isinstance(cell["mad"], (int, float)) and cell["mad"] < 0:
+            errors.append(f"{path}: series {name!r} has negative mad")
+    return errors
+
+
+def _validate_trend(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if payload.get("schema") != WATCH_SCHEMA:
+        errors.append(f"{path}: schema != {WATCH_SCHEMA}")
+    if payload.get("kind") != "watch-trend":
+        errors.append(f"{path}: kind != 'watch-trend'")
+    series = payload.get("series")
+    if not isinstance(series, dict) or not series:
+        return errors + [f"{path}: series missing or empty"]
+    for name, cell in series.items():
+        state = cell.get("state") if isinstance(cell, dict) else None
+        if state not in _TREND_STATES:
+            errors.append(f"{path}: series {name!r} has bad state {state!r}")
+            continue
+        if state == "stepped" and not isinstance(cell.get("change_seq"), int):
+            errors.append(f"{path}: stepped series {name!r} has no "
+                          f"change_seq")
+        if state in ("stepped", "trending") and \
+                cell.get("direction") not in ("up", "down"):
+            errors.append(f"{path}: series {name!r} has bad direction "
+                          f"{cell.get('direction')!r}")
+    return errors
+
+
+def _validate_slo(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if payload.get("schema") != WATCH_SCHEMA:
+        errors.append(f"{path}: schema != {WATCH_SCHEMA}")
+    if payload.get("kind") != "watch-slo":
+        errors.append(f"{path}: kind != 'watch-slo'")
+    slos = payload.get("slos")
+    if not isinstance(slos, list) or not slos:
+        return errors + [f"{path}: slos missing or empty"]
+    any_unmet = False
+    for i, slo in enumerate(slos):
+        name = slo.get("name") if isinstance(slo, dict) else None
+        if not isinstance(name, str) or not name:
+            errors.append(f"{path}: slo {i} has no name")
+            continue
+        if slo.get("objective") not in _SLO_OBJECTIVES:
+            errors.append(f"{path}: slo {name!r} has bad objective "
+                          f"{slo.get('objective')!r}")
+        burn = slo.get("burn_rate")
+        if not isinstance(burn, (int, float)) or not 0.0 <= burn <= 1.0:
+            errors.append(f"{path}: slo {name!r} has bad burn_rate {burn!r}")
+        if not isinstance(slo.get("met"), bool):
+            errors.append(f"{path}: slo {name!r} has non-bool met")
+            continue
+        details = slo.get("series", [])
+        if not isinstance(details, list):
+            errors.append(f"{path}: slo {name!r} series is not a list")
+            continue
+        unmet = [d for d in details
+                 if isinstance(d, dict) and d.get("met") is False]
+        if slo["met"] != (not unmet):
+            errors.append(f"{path}: slo {name!r} met={slo['met']} disagrees "
+                          f"with its series details")
+        for d in details:
+            observed = d.get("observed_burn_rate") if isinstance(d, dict) \
+                else None
+            if observed is not None and (
+                    not isinstance(observed, (int, float))
+                    or not 0.0 <= observed <= 1.0):
+                errors.append(f"{path}: slo {name!r} has bad "
+                              f"observed_burn_rate {observed!r}")
+        any_unmet = any_unmet or not slo["met"]
+    met = payload.get("met")
+    if not isinstance(met, bool) or met != (not any_unmet):
+        errors.append(f"{path}: report met={met!r} disagrees with its slos")
+    breaches = payload.get("breaches")
+    if not isinstance(breaches, list):
+        errors.append(f"{path}: breaches missing")
+    elif bool(breaches) == bool(met):
+        errors.append(f"{path}: met={met!r} but {len(breaches)} breach(es)")
+    return errors
+
+
+def _validate_summary(path: Path) -> list:
+    """An ``autosens obs summary --format json`` payload: a list of
+    ``[field, value]`` string pairs covering the manifest essentials."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = []
+    if not isinstance(payload, list) or not payload:
+        return [f"{path}: expected a non-empty list of [field, value] rows"]
+    fields = []
+    for i, row in enumerate(payload):
+        if (not isinstance(row, (list, tuple)) or len(row) != 2
+                or not isinstance(row[0], str)
+                or not isinstance(row[1], (str, int, float, bool,
+                                           type(None)))):
+            errors.append(f"{path}: row {i} is not a [field, scalar] "
+                          f"pair: {row!r}")
+            continue
+        fields.append(row[0])
+    for required in ("run id", "experiment", "seed", "deterministic"):
+        if required not in fields:
+            errors.append(f"{path}: summary has no {required!r} row")
+    return errors
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", type=Path, default=None,
@@ -562,14 +726,27 @@ def main(argv=None) -> int:
     parser.add_argument("--registry", type=Path, default=None,
                         help="run registry: a --runs-dir directory or its "
                              "index.jsonl")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="watch baseline artifact (autosens watch "
+                             "--out-dir baseline.json)")
+    parser.add_argument("--trend", type=Path, default=None,
+                        help="watch trend artifact (autosens watch "
+                             "--out-dir trend.json)")
+    parser.add_argument("--slo", type=Path, default=None,
+                        help="watch SLO verdict artifact (autosens watch "
+                             "--out-dir slo.json)")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="an 'autosens obs summary --format json' "
+                             "payload")
     args = parser.parse_args(argv)
     if all(getattr(args, name) is None
            for name in ("trace", "metrics", "manifest", "health",
                         "profile", "diff", "sensitivity", "progress",
-                        "events", "registry")):
+                        "events", "registry", "baseline", "trend", "slo",
+                        "summary")):
         parser.error("nothing to validate; pass --trace/--metrics/--manifest/"
                      "--health/--profile/--diff/--sensitivity/--progress/"
-                     "--events/--registry")
+                     "--events/--registry/--baseline/--trend/--slo/--summary")
 
     errors = []
     if args.trace is not None:
@@ -598,6 +775,14 @@ def main(argv=None) -> int:
         errors += _validate_events(args.events)
     if args.registry is not None:
         errors += _validate_registry(args.registry)
+    if args.baseline is not None:
+        errors += _validate_baseline(args.baseline)
+    if args.trend is not None:
+        errors += _validate_trend(args.trend)
+    if args.slo is not None:
+        errors += _validate_slo(args.slo)
+    if args.summary is not None:
+        errors += _validate_summary(args.summary)
 
     if errors:
         for line in errors:
